@@ -1,0 +1,104 @@
+//! Ablation sweeps for the design choices DESIGN.md §6 calls out, beyond
+//! the paper's own Figures 8/10:
+//!
+//! 1. NTT batch depth `B` and groups-per-block `G` (the §3 internal
+//!    shuffle's two knobs);
+//! 2. MSM window size `k` (§4.1's profiling-based configuration);
+//! 3. checkpoint interval `M` (Algorithm 1's time/space tradeoff);
+//! 4. the §7 extension: HE-style batched-NTT throughput.
+
+use gzkp_bench::Recorder;
+use gzkp_curves::bls12_381::G1Config;
+use gzkp_ff::fields::{Fr254, Fr381};
+use gzkp_gpu_sim::{v100, Backend};
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{BatchedNtt, GzkpNtt};
+use gzkp_msm::{GzkpMsm, MsmEngine};
+
+fn ntt_shape_sweep(rec: &mut Recorder) {
+    let log_n = 20;
+    for b in [4u32, 6, 8] {
+        for g in [1u32, 4, 16, 32] {
+            let e = GzkpNtt {
+                device: v100(),
+                backend: Backend::FpLib,
+                batch_iters: b,
+                groups_per_block: g,
+            };
+            let t = GpuNttEngine::<Fr254>::cost(&e, log_n).total_ms();
+            rec.row(
+                format!("ntt-2^{log_n} B={b} G={g}"),
+                "ms",
+                vec![("time".into(), t)],
+            );
+        }
+    }
+}
+
+fn msm_window_sweep(rec: &mut Recorder) {
+    let n = 1usize << 20;
+    for k in (8..=18).step_by(2) {
+        let e = GzkpMsm { window: Some(k as u32), ..GzkpMsm::new(v100()) };
+        rec.row(
+            format!("msm-2^20 k={k}"),
+            "ms",
+            vec![
+                ("time".into(), MsmEngine::<G1Config>::plan_dense(&e, n).total_ms()),
+                (
+                    "mem-GB".into(),
+                    MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64,
+                ),
+            ],
+        );
+    }
+}
+
+fn checkpoint_sweep(rec: &mut Recorder) {
+    let n = 1usize << 20;
+    for m in [1u32, 2, 4, 8, 16] {
+        let e = GzkpMsm {
+            window: Some(16),
+            checkpoint_interval: Some(m),
+            ..GzkpMsm::new(v100())
+        };
+        rec.row(
+            format!("msm-2^20 M={m}"),
+            "ms",
+            vec![
+                ("time".into(), MsmEngine::<G1Config>::plan_dense(&e, n).total_ms()),
+                (
+                    "mem-GB".into(),
+                    MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64,
+                ),
+            ],
+        );
+    }
+}
+
+fn he_batching(rec: &mut Recorder) {
+    // §7: throughput of many small NTTs, fused vs sequential.
+    let e = GzkpNtt::auto::<Fr381>(v100());
+    let single = GpuNttEngine::<Fr381>::cost(&e, 12).total_ms();
+    let b = BatchedNtt::new(e);
+    for count in [1usize, 8, 64, 512] {
+        let fused = b.cost::<Fr381>(12, count).total_ms();
+        rec.row(
+            format!("he-ntt 2^12 x{count}"),
+            "ms",
+            vec![
+                ("fused".into(), fused),
+                ("sequential".into(), single * count as f64),
+                ("throughput/s".into(), b.throughput_per_sec::<Fr381>(12, count)),
+            ],
+        );
+    }
+}
+
+fn main() {
+    let mut rec = Recorder::new("ablation_sweeps");
+    ntt_shape_sweep(&mut rec);
+    msm_window_sweep(&mut rec);
+    checkpoint_sweep(&mut rec);
+    he_batching(&mut rec);
+    rec.finish();
+}

@@ -1,0 +1,61 @@
+//! Figure 6: bucket-occupancy distribution of the cross-window
+//! point-merging step for a Zcash-like sparse scalar vector (scale 2^17,
+//! 256-bit scalars), plus the similar-load task grouping GZKP schedules.
+
+use gzkp_bench::Recorder;
+use gzkp_ff::fields::Fr381;
+use gzkp_msm::bucket_histogram;
+use gzkp_workloads::zcash::figure6_config;
+use gzkp_workloads::{SparsityProfile, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rec = Recorder::new("fig6_bucket_histogram");
+    let (n, k) = figure6_config();
+    let mut rng = StdRng::seed_from_u64(6);
+    let w = WorkloadSpec { name: "zcash-2^17", vector_size: n, sparsity: SparsityProfile::SPARSE };
+    let sv = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
+    let hist = bucket_histogram(&sv, k);
+
+    // Bucket 0 is trivial (no merging); the plot covers 1..2^k.
+    let body = &hist[1..];
+    let nonzero: Vec<u64> = body.iter().copied().filter(|&c| c > 0).collect();
+    let max = *nonzero.iter().max().unwrap();
+    let min = *nonzero.iter().min().unwrap();
+    let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+    rec.row(
+        "stats",
+        "points",
+        vec![
+            ("zero-bucket".into(), hist[0] as f64),
+            ("min".into(), min as f64),
+            ("mean".into(), mean),
+            ("max".into(), max as f64),
+            ("max/min".into(), max as f64 / min as f64),
+        ],
+    );
+
+    // The paper's histogram: group tasks by load into bins (the "similar
+    // task groups" GZKP schedules heaviest-first).
+    let bins = 10usize;
+    let width = ((max - min) as f64 / bins as f64).max(1.0);
+    let mut groups = vec![0u64; bins];
+    for &c in &nonzero {
+        let b = (((c - min) as f64 / width) as usize).min(bins - 1);
+        groups[b] += 1;
+    }
+    for (i, g) in groups.iter().enumerate().rev() {
+        rec.row(
+            format!(
+                "group{} [{}..{})",
+                bins - 1 - i,
+                min + (i as u64) * width as u64,
+                min + ((i + 1) as u64) * width as u64
+            ),
+            "tasks",
+            vec![("num-buckets".into(), *g as f64)],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,36 @@
+//! Figure 8: NTT ablation on BLS12-381's 256-bit scalar field, V100 model:
+//! BG (bellperson-like) → BG w. lib → GZKP-no-GM-shuffle → GZKP,
+//! sweeping 2^18 … 2^24.
+
+use gzkp_bench::{speedup, Recorder};
+use gzkp_ff::fields::Fr381;
+use gzkp_gpu_sim::v100;
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+
+fn main() {
+    let mut rec = Recorder::new("fig8_ntt_breakdown");
+    let bg = BaselineGpuNtt::new(v100());
+    let bg_lib = BaselineGpuNtt::new(v100()).with_lib();
+    let no_shuffle = GzkpNtt::no_internal_shuffle::<Fr381>(v100());
+    let gzkp = GzkpNtt::auto::<Fr381>(v100());
+
+    for log_n in 18..=24 {
+        let t_bg = GpuNttEngine::<Fr381>::cost(&bg, log_n).total_ms();
+        let t_bg_lib = GpuNttEngine::<Fr381>::cost(&bg_lib, log_n).total_ms();
+        let t_no_shuf = GpuNttEngine::<Fr381>::cost(&no_shuffle, log_n).total_ms();
+        let t_gzkp = GpuNttEngine::<Fr381>::cost(&gzkp, log_n).total_ms();
+        rec.row(
+            format!("2^{log_n}"),
+            "ms",
+            vec![
+                ("BG".into(), t_bg),
+                ("BG-w-lib".into(), t_bg_lib),
+                ("GZKP-no-GM-shuffle".into(), t_no_shuf),
+                ("GZKP".into(), t_gzkp),
+                ("total-speedup".into(), speedup(t_bg, t_gzkp)),
+            ],
+        );
+    }
+    rec.finish();
+}

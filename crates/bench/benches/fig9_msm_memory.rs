@@ -1,0 +1,41 @@
+//! Figure 9: MSM device-memory usage vs scale on the V100 model —
+//! GZKP vs MINA (Straus) on the 753-bit curve, GZKP vs bellperson on
+//! BLS12-381. GZKP's checkpoint interval adapts to the 32 GB budget, so
+//! its curve flattens past 2²² while Straus explodes.
+
+use gzkp_bench::Recorder;
+use gzkp_curves::{bls12_381, t753};
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{GzkpMsm, MsmEngine, StrausMsm, SubMsmPippenger};
+
+fn main() {
+    let mut rec = Recorder::new("fig9_msm_memory");
+    let dev = v100();
+    let straus = StrausMsm::new(dev.clone());
+    let bg = SubMsmPippenger::new(dev.clone());
+    let gzkp = GzkpMsm::new(dev.clone());
+    let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+
+    for log_n in (14..=26).step_by(2) {
+        let n = 1usize << log_n;
+        let mina753 = MsmEngine::<t753::G1Config>::memory_bytes(&straus, n);
+        let gzkp753 = MsmEngine::<t753::G1Config>::memory_bytes(&gzkp, n);
+        let bg381 = MsmEngine::<bls12_381::G1Config>::memory_bytes(&bg, n);
+        let gzkp381 = MsmEngine::<bls12_381::G1Config>::memory_bytes(&gzkp, n);
+        rec.row(
+            format!("2^{log_n}"),
+            "GB",
+            vec![
+                ("MINA-MNT4".into(), gb(mina753)),
+                ("GZKP-MNT4".into(), gb(gzkp753)),
+                ("bellperson-BLS".into(), gb(bg381)),
+                ("GZKP-BLS".into(), gb(gzkp381)),
+                (
+                    "MINA-OOM".into(),
+                    f64::from(u8::from(mina753 > dev.global_mem_bytes)),
+                ),
+            ],
+        );
+    }
+    rec.finish();
+}

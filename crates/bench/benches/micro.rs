@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks of the *real* CPU kernels (wall-clock, not
+//! simulated): field arithmetic per width, the Dekker FP multiplier, CPU
+//! NTT, the four MSM engines' functional paths, PADD/PMUL, pairing, and a
+//! small end-to-end Groth16 prove.
+//!
+//! These complement the paper-table harnesses: they measure what this
+//! machine actually executes, providing the ground truth the cost models'
+//! *relative* behaviour is sanity-checked against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gzkp_curves::bn254;
+use gzkp_curves::random_points;
+use gzkp_ff::dfp::DfpField;
+use gzkp_ff::fields::{Fq254, Fq381, Fq753, Fr254};
+use gzkp_ff::{Field, PrimeField};
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{CpuMsm, GzkpMsm, MsmEngine, ScalarVec, StrausMsm, SubMsmPippenger};
+use gzkp_ntt::{CpuNtt, Direction, Radix2Domain};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn field_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field_mul");
+    let mut rng = StdRng::seed_from_u64(1);
+    macro_rules! bench_field {
+        ($name:literal, $f:ty) => {
+            let a = <$f>::random(&mut rng);
+            let b = <$f>::random(&mut rng);
+            g.bench_function($name, |bch| bch.iter(|| std::hint::black_box(a * b)));
+        };
+    }
+    bench_field!("fq254(4 limbs)", Fq254);
+    bench_field!("fq381(6 limbs)", Fq381);
+    bench_field!("fq753(12 limbs)", Fq753);
+    g.finish();
+
+    let mut g = c.benchmark_group("field_other");
+    let a = Fq254::random(&mut rng);
+    g.bench_function("fq254_add", |bch| bch.iter(|| std::hint::black_box(a + a)));
+    g.bench_function("fq254_inverse", |bch| {
+        bch.iter(|| std::hint::black_box(a.inverse()))
+    });
+    g.bench_function("fq254_sqrt", |bch| {
+        let sq = a.square();
+        bch.iter(|| std::hint::black_box(sq.sqrt()))
+    });
+    let b = Fq254::random(&mut rng);
+    g.bench_function("fq254_dfp_mul", |bch| {
+        bch.iter(|| std::hint::black_box(DfpField::mul(a, b)))
+    });
+    g.finish();
+}
+
+fn curve_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curve");
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = bn254::G1Projective::generator().mul(&Fr254::random(&mut rng));
+    let q = bn254::G1Projective::generator().mul(&Fr254::random(&mut rng));
+    let qa = q.to_affine();
+    g.bench_function("bn254_padd", |bch| bch.iter(|| std::hint::black_box(p.add(&q))));
+    g.bench_function("bn254_padd_mixed", |bch| {
+        bch.iter(|| std::hint::black_box(p.add_mixed(&qa)))
+    });
+    g.bench_function("bn254_pdbl", |bch| bch.iter(|| std::hint::black_box(p.double())));
+    let s = Fr254::random(&mut rng);
+    g.bench_function("bn254_pmul", |bch| bch.iter(|| std::hint::black_box(p.mul(&s))));
+    g.finish();
+
+    let mut g = c.benchmark_group("pairing");
+    g.sample_size(10);
+    let pa = p.to_affine();
+    let qb = bn254::G2Affine::generator();
+    g.bench_function("bn254_pairing", |bch| {
+        bch.iter(|| std::hint::black_box(bn254::pairing(&pa, &qb)))
+    });
+    g.finish();
+}
+
+fn ntt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_ntt_fr254");
+    let mut rng = StdRng::seed_from_u64(3);
+    for log_n in [10u32, 12, 14] {
+        let d = Radix2Domain::<Fr254>::new(1 << log_n).unwrap();
+        let data: Vec<Fr254> = (0..d.size).map(|_| Fr254::random(&mut rng)).collect();
+        let engine = CpuNtt::reference();
+        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &d, |bch, d| {
+            bch.iter(|| {
+                let mut v = data.clone();
+                engine.transform(d, &mut v, Direction::Forward);
+                std::hint::black_box(v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn msm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msm_functional_bn254_g1");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 1 << 10;
+    let points = random_points::<bn254::G1Config, _>(n, &mut rng);
+    let scalars: Vec<Fr254> = (0..n).map(|_| Fr254::random(&mut rng)).collect();
+    let sv = ScalarVec::from_field(&scalars);
+
+    let cpu = CpuMsm::default();
+    g.bench_function("cpu_pippenger", |bch| {
+        bch.iter(|| std::hint::black_box(cpu.msm(&points, &sv).result))
+    });
+    let bg = SubMsmPippenger::new(v100());
+    g.bench_function("submsm_bellperson_like", |bch| {
+        bch.iter(|| std::hint::black_box(bg.msm(&points, &sv).result))
+    });
+    let straus = StrausMsm::new(v100());
+    g.bench_function("straus_mina_like", |bch| {
+        bch.iter(|| std::hint::black_box(straus.msm(&points, &sv).result))
+    });
+    let gzkp = GzkpMsm::new(v100());
+    g.bench_function("gzkp_consolidated", |bch| {
+        bch.iter(|| std::hint::black_box(gzkp.msm(&points, &sv).result))
+    });
+    g.finish();
+}
+
+fn groth16_end_to_end(c: &mut Criterion) {
+    use gzkp_curves::bn254::{Bn254, Fr};
+    use gzkp_groth16::r1cs::ConstraintSystem;
+    use gzkp_groth16::{prove, setup, verify, ProverEngines};
+    use gzkp_ntt::GzkpNtt;
+    use gzkp_workloads::synthetic::synthetic_circuit;
+
+    let mut g = c.benchmark_group("groth16");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let cs: ConstraintSystem<Fr> = synthetic_circuit(256, &mut rng);
+    let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+    let ntt = GzkpNtt::auto::<Fr>(v100());
+    let msm_g1 = GzkpMsm::new(v100());
+    let msm_g2 = GzkpMsm::new(v100());
+    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm_g1, msm_g2: &msm_g2 };
+    g.bench_function("prove_256_constraints", |bch| {
+        bch.iter(|| {
+            let (proof, _) = prove(&cs, &pk, &engines, &mut rng).unwrap();
+            std::hint::black_box(proof)
+        })
+    });
+    let (proof, _) = prove(&cs, &pk, &engines, &mut rng).unwrap();
+    let inputs: Vec<Fr> = cs.input_assignment.clone();
+    g.bench_function("verify", |bch| {
+        bch.iter(|| std::hint::black_box(verify::<Bn254>(&vk, &proof, &inputs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, field_ops, curve_ops, ntt, msm, groth16_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Table 2: end-to-end proof-generation time (POLY + MSM) for the six
+//! zkSNARK application workloads on the 753-bit curve, V100 model.
+//!
+//! Per §5.2 one proof is 7 NTTs + 5 MSMs (a/b₁/h/l in G1, b₂ in G2).
+//! Best-CPU = libsnark model (CPU NTT + parallel Pippenger);
+//! Best-GPU = MINA (libsnark POLY + Straus MSM on GPU, as in the paper);
+//! GZKP = shuffle-less NTT + consolidated load-balanced MSM.
+
+use gzkp_bench::{cpu_ntt_ms, speedup, Recorder};
+use gzkp_curves::t753;
+use gzkp_ff::fields::Fr753;
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{CpuMsm, GzkpMsm, MsmEngine, ScalarVec, StrausMsm};
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::GzkpNtt;
+use gzkp_workloads::apps::zksnark_apps;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The five prover MSMs: four on sparse/dense G1 bases, one on G2.
+fn msm_stage_ms<EG1, EG2>(e_g1: &EG1, e_g2: &EG2, sparse: &ScalarVec, dense: &ScalarVec) -> f64
+where
+    EG1: MsmEngine<t753::G1Config>,
+    EG2: MsmEngine<t753::G2Config>,
+{
+    e_g1.plan(sparse).total_ms() * 2.0 // a-query + b_g1-query
+        + e_g1.plan(dense).total_ms() // h-query
+        + e_g1.plan(sparse).total_ms() // l-query
+        + e_g2.plan(sparse).total_ms() // b_g2-query
+}
+
+fn main() {
+    let mut rec = Recorder::new("table2_zksnark_apps");
+    let dev = v100();
+    let mut rng = StdRng::seed_from_u64(2023);
+
+    let gzkp_ntt = GzkpNtt::auto::<Fr753>(dev.clone());
+    let cpu_msm = CpuMsm::default();
+    let straus = StrausMsm::new(dev.clone());
+    let gzkp_msm = GzkpMsm::new(dev.clone());
+
+    for w in zksnark_apps() {
+        let log_n = w.domain_size().trailing_zeros();
+        let sparse = w.sparse_scalar_vec::<Fr753, _>(&mut rng);
+        let dense = w.dense_scalar_vec::<Fr753, _>(&mut rng);
+
+        // POLY: 7 NTTs at the domain size.
+        let poly_cpu = 7.0 * cpu_ntt_ms(log_n, 12);
+        let poly_gzkp = 7.0 * GpuNttEngine::<Fr753>::cost(&gzkp_ntt, log_n).total_ms();
+
+        // MSM stage per system.
+        let msm_cpu = msm_stage_ms(&cpu_msm, &cpu_msm, &sparse, &dense);
+        let msm_mina = msm_stage_ms(&straus, &straus, &sparse, &dense);
+        let msm_gzkp = msm_stage_ms(&gzkp_msm, &gzkp_msm, &sparse, &dense);
+
+        let bc = poly_cpu + msm_cpu;
+        // MINA accelerates MSM only; its POLY time is libsnark's (§5.2).
+        let bg = poly_cpu + msm_mina;
+        let ours = poly_gzkp + msm_gzkp;
+        rec.row(
+            w.name,
+            "ms",
+            vec![
+                ("BC-POLY".into(), poly_cpu),
+                ("BC-MSM".into(), msm_cpu),
+                ("BG-MSM".into(), msm_mina),
+                ("GZKP-POLY".into(), poly_gzkp),
+                ("GZKP-MSM".into(), msm_gzkp),
+                ("speedup-vs-BC".into(), speedup(bc, ours)),
+                ("speedup-vs-BG".into(), speedup(bg, ours)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,70 @@
+//! Table 3: end-to-end proof-generation for the Zcash workloads on
+//! BLS12-381, V100 model. Best-CPU = bellman (CPU NTT + Pippenger),
+//! Best-GPU = bellperson (shuffle NTT + sub-MSM Pippenger).
+
+use gzkp_bench::{cpu_ntt_ms, speedup, Recorder};
+use gzkp_curves::bls12_381;
+use gzkp_ff::fields::Fr381;
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{CpuMsm, GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger};
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+use gzkp_workloads::zcash::zcash_workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn msm_stage_ms<EG1, EG2>(e_g1: &EG1, e_g2: &EG2, sparse: &ScalarVec, dense: &ScalarVec) -> f64
+where
+    EG1: MsmEngine<bls12_381::G1Config>,
+    EG2: MsmEngine<bls12_381::G2Config>,
+{
+    e_g1.plan(sparse).total_ms() * 2.0
+        + e_g1.plan(dense).total_ms()
+        + e_g1.plan(sparse).total_ms()
+        + e_g2.plan(sparse).total_ms()
+}
+
+fn main() {
+    let mut rec = Recorder::new("table3_zcash");
+    let dev = v100();
+    let mut rng = StdRng::seed_from_u64(381);
+
+    let bg_ntt = BaselineGpuNtt::new(dev.clone());
+    let gzkp_ntt = GzkpNtt::auto::<Fr381>(dev.clone());
+    let cpu_msm = CpuMsm::default();
+    let bg_msm = SubMsmPippenger::new(dev.clone());
+    let gzkp_msm = GzkpMsm::new(dev.clone());
+
+    for w in zcash_workloads() {
+        let log_n = w.domain_size().trailing_zeros();
+        let sparse = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
+        let dense = w.dense_scalar_vec::<Fr381, _>(&mut rng);
+
+        let poly_cpu = 7.0 * cpu_ntt_ms(log_n, 4);
+        let poly_bg = 7.0 * GpuNttEngine::<Fr381>::cost(&bg_ntt, log_n).total_ms();
+        let poly_gzkp = 7.0 * GpuNttEngine::<Fr381>::cost(&gzkp_ntt, log_n).total_ms();
+
+        let msm_cpu = msm_stage_ms(&cpu_msm, &cpu_msm, &sparse, &dense);
+        let msm_bg = msm_stage_ms(&bg_msm, &bg_msm, &sparse, &dense);
+        let msm_gzkp = msm_stage_ms(&gzkp_msm, &gzkp_msm, &sparse, &dense);
+
+        let bc = poly_cpu + msm_cpu;
+        let bg = poly_bg + msm_bg;
+        let ours = poly_gzkp + msm_gzkp;
+        rec.row(
+            w.name,
+            "ms",
+            vec![
+                ("BC-POLY".into(), poly_cpu),
+                ("BC-MSM".into(), msm_cpu),
+                ("BG-POLY".into(), poly_bg),
+                ("BG-MSM".into(), msm_bg),
+                ("GZKP-POLY".into(), poly_gzkp),
+                ("GZKP-MSM".into(), msm_gzkp),
+                ("speedup-vs-BC".into(), speedup(bc, ours)),
+                ("speedup-vs-BG".into(), speedup(bg, ours)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,38 @@
+//! Table 5: single-NTT latency on the V100 model.
+//!
+//! Columns mirror the paper: 753-bit (Best-CPU = libsnark model vs GZKP)
+//! and 256-bit (Best-GPU = bellperson baseline vs GZKP), sweeping the NTT
+//! scale 2^14 … 2^26. All entries are simulated times (see DESIGN.md).
+
+use gzkp_bench::{cpu_ntt_ms, speedup, Recorder};
+use gzkp_ff::fields::{Fr254, Fr753};
+use gzkp_gpu_sim::v100;
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+
+fn main() {
+    let mut rec = Recorder::new("table5_ntt_v100");
+    let gzkp753 = GzkpNtt::auto::<Fr753>(v100());
+    let gzkp256 = GzkpNtt::auto::<Fr254>(v100());
+    let bg256 = BaselineGpuNtt::new(v100());
+
+    for log_n in (14..=26).step_by(2) {
+        let cpu753 = cpu_ntt_ms(log_n, 12);
+        let g753 = GpuNttEngine::<Fr753>::cost(&gzkp753, log_n).total_ms();
+        let bg = GpuNttEngine::<Fr254>::cost(&bg256, log_n).total_ms();
+        let g256 = GpuNttEngine::<Fr254>::cost(&gzkp256, log_n).total_ms();
+        rec.row(
+            format!("2^{log_n}"),
+            "ms",
+            vec![
+                ("753b-BestCPU".into(), cpu753),
+                ("753b-GZKP".into(), g753),
+                ("753b-speedup".into(), speedup(cpu753, g753)),
+                ("256b-BestGPU".into(), bg),
+                ("256b-GZKP".into(), g256),
+                ("256b-speedup".into(), speedup(bg, g256)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,34 @@
+//! Table 6: single-NTT latency on the GTX 1080 Ti model (2^14 … 2^24).
+
+use gzkp_bench::{cpu_ntt_ms, speedup, Recorder};
+use gzkp_ff::fields::{Fr254, Fr753};
+use gzkp_gpu_sim::gtx1080ti;
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+
+fn main() {
+    let mut rec = Recorder::new("table6_ntt_1080ti");
+    let gzkp753 = GzkpNtt::auto::<Fr753>(gtx1080ti());
+    let gzkp256 = GzkpNtt::auto::<Fr254>(gtx1080ti());
+    let bg256 = BaselineGpuNtt::new(gtx1080ti());
+
+    for log_n in (14..=24).step_by(2) {
+        let cpu753 = cpu_ntt_ms(log_n, 12);
+        let g753 = GpuNttEngine::<Fr753>::cost(&gzkp753, log_n).total_ms();
+        let bg = GpuNttEngine::<Fr254>::cost(&bg256, log_n).total_ms();
+        let g256 = GpuNttEngine::<Fr254>::cost(&gzkp256, log_n).total_ms();
+        rec.row(
+            format!("2^{log_n}"),
+            "ms",
+            vec![
+                ("753b-BestCPU".into(), cpu753),
+                ("753b-GZKP".into(), g753),
+                ("753b-speedup".into(), speedup(cpu753, g753)),
+                ("256b-BestGPU".into(), bg),
+                ("256b-GZKP".into(), g256),
+                ("256b-speedup".into(), speedup(bg, g256)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,55 @@
+//! Table 7: single G1 MSM latency on the V100 model.
+//!
+//! Columns mirror the paper: 753-bit (Best-GPU = MINA/Straus vs GZKP;
+//! Straus goes OOM past 2²²), 381-bit (Best-GPU = bellperson vs GZKP),
+//! 256-bit (Best-CPU = parallel Pippenger vs GZKP). Dense synthetic
+//! scalars, as §5.3 specifies.
+
+use gzkp_bench::{speedup, Recorder};
+use gzkp_curves::{bls12_381, bn254, t753};
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{CpuMsm, GzkpMsm, MsmEngine, StrausMsm, SubMsmPippenger};
+
+fn main() {
+    let mut rec = Recorder::new("table7_msm_v100");
+    let dev = v100();
+
+    let straus = StrausMsm::new(dev.clone());
+    let bg = SubMsmPippenger::new(dev.clone());
+    let cpu = CpuMsm::default();
+    let gzkp = GzkpMsm::new(dev.clone());
+
+    for log_n in (14..=26).step_by(2) {
+        let n = 1usize << log_n;
+        // 753-bit column (T753 stands in for MNT4753).
+        let mina = if MsmEngine::<t753::G1Config>::fits_in_memory(&straus, n, dev.global_mem_bytes)
+        {
+            MsmEngine::<t753::G1Config>::plan_dense(&straus, n).total_ms() / 1e3
+        } else {
+            f64::NAN // the paper's "-" rows
+        };
+        let g753 = MsmEngine::<t753::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        // 381-bit column.
+        let bg381 = MsmEngine::<bls12_381::G1Config>::plan_dense(&bg, n).total_ms() / 1e3;
+        let g381 = MsmEngine::<bls12_381::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        // 256-bit column.
+        let cpu256 = MsmEngine::<bn254::G1Config>::plan_dense(&cpu, n).total_ms() / 1e3;
+        let g256 = MsmEngine::<bn254::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        rec.row(
+            format!("2^{log_n}"),
+            "s",
+            vec![
+                ("753b-MINA".into(), mina),
+                ("753b-GZKP".into(), g753),
+                ("753b-speedup".into(), speedup(mina, g753)),
+                ("381b-BG".into(), bg381),
+                ("381b-GZKP".into(), g381),
+                ("381b-speedup".into(), speedup(bg381, g381)),
+                ("256b-BestCPU".into(), cpu256),
+                ("256b-GZKP".into(), g256),
+                ("256b-speedup".into(), speedup(cpu256, g256)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,48 @@
+//! Table 8: single G1 MSM latency on the GTX 1080 Ti model (2^14 … 2^24);
+//! the 753-bit Straus column goes OOM past 2²⁰ on the 11 GB card.
+
+use gzkp_bench::{speedup, Recorder};
+use gzkp_curves::{bls12_381, bn254, t753};
+use gzkp_gpu_sim::gtx1080ti;
+use gzkp_msm::{CpuMsm, GzkpMsm, MsmEngine, StrausMsm, SubMsmPippenger};
+
+fn main() {
+    let mut rec = Recorder::new("table8_msm_1080ti");
+    let dev = gtx1080ti();
+
+    let straus = StrausMsm::new(dev.clone());
+    let bg = SubMsmPippenger::new(dev.clone());
+    let cpu = CpuMsm::default();
+    let gzkp = GzkpMsm::new(dev.clone());
+
+    for log_n in (14..=24).step_by(2) {
+        let n = 1usize << log_n;
+        let mina = if MsmEngine::<t753::G1Config>::fits_in_memory(&straus, n, dev.global_mem_bytes)
+        {
+            MsmEngine::<t753::G1Config>::plan_dense(&straus, n).total_ms() / 1e3
+        } else {
+            f64::NAN
+        };
+        let g753 = MsmEngine::<t753::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        let bg381 = MsmEngine::<bls12_381::G1Config>::plan_dense(&bg, n).total_ms() / 1e3;
+        let g381 = MsmEngine::<bls12_381::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        let cpu256 = MsmEngine::<bn254::G1Config>::plan_dense(&cpu, n).total_ms() / 1e3;
+        let g256 = MsmEngine::<bn254::G1Config>::plan_dense(&gzkp, n).total_ms() / 1e3;
+        rec.row(
+            format!("2^{log_n}"),
+            "s",
+            vec![
+                ("753b-MINA".into(), mina),
+                ("753b-GZKP".into(), g753),
+                ("753b-speedup".into(), speedup(mina, g753)),
+                ("381b-BG".into(), bg381),
+                ("381b-GZKP".into(), g381),
+                ("381b-speedup".into(), speedup(bg381, g381)),
+                ("256b-BestCPU".into(), cpu256),
+                ("256b-GZKP".into(), g256),
+                ("256b-speedup".into(), speedup(cpu256, g256)),
+            ],
+        );
+    }
+    rec.finish();
+}

@@ -1,0 +1,308 @@
+//! Floating-point large-integer multiplication backend (paper §4.3).
+//!
+//! GZKP's finite-field library exploits the GPU's floating-point units —
+//! otherwise idle during integer-heavy ZKP workloads — for modular
+//! multiplication. Large integers are split into base-2⁵² limbs, converted
+//! to `f64`, and multiplied with *error-free transformations* (Dekker's
+//! two-product, realized here through FMA), so no rounding is ever lost.
+//!
+//! This module is the CPU realization of that backend:
+//!
+//! * [`two_product`] / [`two_sum`] — the error-free building blocks;
+//! * [`DfpInt`] — a base-2⁵² float-limb integer;
+//! * [`dfp_full_mul`] — exact widening multiplication where every partial
+//!   product is formed by the FP pipeline;
+//! * [`DfpField`] — a wrapper executing a full modular multiplication with
+//!   the FP multiplier plus integer Montgomery reduction, bit-for-bit equal
+//!   to [`crate::fp::Fp`] (property-tested).
+//!
+//! In the GPU simulator the backend choice only changes the per-operation
+//! *cost* (the "BG w. lib" and "w. lib" ablations of Figures 8 and 10); the
+//! functional kernels always run the integer path. This module exists so the
+//! claimed technique is actually implemented and verified, not just priced.
+
+use crate::bigint::BigInt;
+use crate::fp::{Fp, FpParams};
+use core::marker::PhantomData;
+
+/// Number of bits per floating-point limb (the paper chooses base `2^52`).
+pub const DFP_LIMB_BITS: u32 = 52;
+/// Mask with the low 52 bits set.
+pub const DFP_LIMB_MASK: u64 = (1u64 << DFP_LIMB_BITS) - 1;
+
+/// Dekker/FMA two-product: returns `(hi, lo)` with `hi + lo == a * b`
+/// exactly, where `hi = fl(a*b)`.
+///
+/// Requires `a`, `b` integral with at most 52 significant bits each so that
+/// both halves are exactly representable.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let hi = a * b;
+    let lo = a.mul_add(b, -hi);
+    (hi, lo)
+}
+
+/// Knuth two-sum: returns `(s, e)` with `s + e == a + b` exactly,
+/// where `s = fl(a+b)`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// An unsigned integer stored as base-2⁵² limbs in `f64` values.
+///
+/// Every limb is an integer in `[0, 2^52)`, hence exactly representable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfpInt {
+    /// Little-endian base-2⁵² limbs.
+    pub limbs: Vec<f64>,
+}
+
+impl DfpInt {
+    /// Converts from 64-bit limbs (little-endian) into 52-bit float limbs.
+    pub fn from_u64_limbs(limbs: &[u64]) -> Self {
+        let total_bits = limbs.len() * 64;
+        let n_limbs = total_bits.div_ceil(DFP_LIMB_BITS as usize);
+        let mut out = Vec::with_capacity(n_limbs);
+        for k in 0..n_limbs {
+            let start = k * DFP_LIMB_BITS as usize;
+            let limb = start / 64;
+            let shift = start % 64;
+            let mut v = limbs.get(limb).copied().unwrap_or(0) >> shift;
+            if shift != 0 {
+                v |= limbs.get(limb + 1).copied().unwrap_or(0) << (64 - shift);
+            }
+            out.push((v & DFP_LIMB_MASK) as f64);
+        }
+        Self { limbs: out }
+    }
+
+    /// Converts back to 64-bit limbs (little-endian), producing `out_len` limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `out_len` limbs.
+    pub fn to_u64_limbs(&self, out_len: usize) -> Vec<u64> {
+        let mut out = vec![0u64; out_len];
+        for (k, &f) in self.limbs.iter().enumerate() {
+            let v = f as u64;
+            debug_assert_eq!(v as f64, f, "limb not integral");
+            let start = k * DFP_LIMB_BITS as usize;
+            let limb = start / 64;
+            let shift = start % 64;
+            if limb < out_len {
+                out[limb] |= v << shift;
+            } else {
+                assert_eq!(v, 0, "value does not fit in {out_len} limbs");
+            }
+            if shift + DFP_LIMB_BITS as usize > 64 {
+                let hi = v >> (64 - shift);
+                if limb + 1 < out_len {
+                    out[limb + 1] |= hi;
+                } else {
+                    assert_eq!(hi, 0, "value does not fit in {out_len} limbs");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exact widening multiplication of two float-limb integers.
+///
+/// Each partial product is computed on the floating-point pipeline with
+/// [`two_product`]; the exact `(hi, lo)` halves are accumulated per output
+/// column in `i128` (the role the paper's carry-resolution pass plays on the
+/// GPU) and carry-propagated back into base-2⁵² limbs.
+pub fn dfp_full_mul(a: &DfpInt, b: &DfpInt) -> DfpInt {
+    let n = a.limbs.len() + b.limbs.len();
+    let mut cols = vec![0i128; n + 2];
+    let scale = (1u128 << DFP_LIMB_BITS) as f64; // 2^52
+    for (i, &ai) in a.limbs.iter().enumerate() {
+        for (j, &bj) in b.limbs.iter().enumerate() {
+            let (hi, lo) = two_product(ai, bj);
+            // hi is a multiple of no particular power, but hi/2^52 splits it
+            // across columns i+j and i+j+1 exactly: hi = h1*2^52 + h0 with
+            // h1 = floor(hi / 2^52) exactly representable.
+            let h1 = (hi / scale).floor();
+            let h0 = hi - h1 * scale;
+            cols[i + j] += h0 as i128;
+            cols[i + j + 1] += h1 as i128;
+            // |lo| < ulp(hi) <= 2^52, always fits one column.
+            cols[i + j] += lo as i128;
+        }
+    }
+    // Carry propagation in base 2^52 (signed-safe: lo terms can be negative).
+    let mut out = Vec::with_capacity(n + 2);
+    let base = 1i128 << DFP_LIMB_BITS;
+    let mut carry: i128 = 0;
+    for c in cols {
+        let mut v = c + carry;
+        carry = v.div_euclid(base);
+        v = v.rem_euclid(base);
+        out.push(v as f64);
+    }
+    assert_eq!(carry, 0, "dfp_full_mul overflow");
+    while out.len() > 1 && *out.last().unwrap() == 0.0 {
+        out.pop();
+    }
+    DfpInt { limbs: out }
+}
+
+/// A modular-multiplication engine that routes the O(m²) multiply through
+/// the floating-point pipeline and reduces with integer Montgomery REDC.
+///
+/// Produces results bit-identical to [`Fp`]'s integer CIOS path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DfpField<P, const N: usize>(PhantomData<P>);
+
+impl<P: FpParams<N>, const N: usize> DfpField<P, N> {
+    /// Multiplies two field elements using the floating-point multiplier.
+    ///
+    /// Inputs and output are in Montgomery form, matching `Fp`'s invariant.
+    pub fn mul(a: Fp<P, N>, b: Fp<P, N>) -> Fp<P, N> {
+        // 1. Full 2N-limb product on the FP pipeline.
+        let fa = DfpInt::from_u64_limbs(&a.0 .0);
+        let fb = DfpInt::from_u64_limbs(&b.0 .0);
+        let prod = dfp_full_mul(&fa, &fb);
+        let wide = prod.to_u64_limbs(2 * N);
+        // 2. Integer Montgomery reduction (textbook REDC on the wide product).
+        Fp(Self::redc(&wide), PhantomData)
+    }
+
+    /// Textbook Montgomery reduction of a `2N`-limb value `< p·R`.
+    fn redc(wide: &[u64]) -> BigInt<N> {
+        use crate::bigint::{adc, mac};
+        let m = &P::MODULUS.0;
+        let inv = Fp::<P, N>::INV;
+        let mut t = wide.to_vec();
+        t.push(0);
+        let mut carry2 = 0u64;
+        for i in 0..N {
+            let k = t[i].wrapping_mul(inv);
+            let (_, mut carry) = mac(t[i], k, m[0], 0);
+            for j in 1..N {
+                let (lo, hi) = mac(t[i + j], k, m[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            let (lo, c) = adc(t[i + N], carry, carry2);
+            t[i + N] = lo;
+            carry2 = c;
+        }
+        let mut out = [0u64; N];
+        out.copy_from_slice(&t[N..2 * N]);
+        let mut r = BigInt(out);
+        if carry2 != 0 || t[2 * N] != 0 || r.const_cmp(&P::MODULUS) >= 0 {
+            let (s, _) = r.const_sub(&P::MODULUS);
+            r = s;
+        }
+        r
+    }
+
+    /// Squares a field element on the FP pipeline.
+    pub fn square(a: Fp<P, N>) -> Fp<P, N> {
+        Self::mul(a, a)
+    }
+}
+
+/// Relative cost model of the two multiplier backends, by limb count.
+///
+/// The FP path issues `ceil(64m/52)²` FMA pairs against the integer path's
+/// `m² + m(m+1)` 64×64 MULs, but on Volta-class parts the FP64/FP32 pipes
+/// add throughput the integer units don't have, for a net gain the paper
+/// reports as ~1.3–1.6× at ZKP bit widths. The GPU simulator consumes this
+/// ratio; see `gzkp-gpu-sim::device`.
+pub fn fp_backend_speedup(limbs_64: usize) -> f64 {
+    match limbs_64 {
+        0..=4 => 1.35,  // 256-bit
+        5..=6 => 1.45,  // 381-bit
+        _ => 1.6,       // 753-bit: integer-pipe pressure highest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{Fq254, Fr254};
+    use crate::traits::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_product_exactness() {
+        // 52-bit integral operands: hi+lo must equal the exact product.
+        let a = ((1u64 << 52) - 3) as f64;
+        let b = ((1u64 << 52) - 12345) as f64;
+        let (hi, lo) = two_product(a, b);
+        let exact = ((1u128 << 52) - 3) * ((1u128 << 52) - 12345);
+        let recon = hi as i128 + lo as i128; // both halves integral here? hi may not be.
+        // hi + lo is exact in real arithmetic; compare via i128 reconstruction
+        // through column splitting as dfp_full_mul does.
+        let scale = (1u128 << 52) as f64;
+        let h1 = (hi / scale).floor();
+        let h0 = hi - h1 * scale;
+        let total = (h1 as i128) * (1i128 << 52) + h0 as i128 + lo as i128;
+        assert_eq!(total as u128, exact);
+        let _ = recon;
+    }
+
+    #[test]
+    fn two_sum_exactness() {
+        // fl(2^53 + 1) rounds to 2^53; two_sum must recover the lost 1.
+        let a = 9007199254740992.0; // 2^53
+        let b = 1.0;
+        let (s, e) = two_sum(a, b);
+        assert_eq!(s, 9007199254740992.0);
+        assert_eq!(e, 1.0);
+        // And a case with a negative error term.
+        let (s2, e2) = two_sum(9007199254740992.0, 3.0);
+        assert_eq!(s2, 9007199254740996.0); // rounds up (ties-to-even)
+        assert_eq!(e2, -1.0);
+    }
+
+    #[test]
+    fn dfpint_roundtrip() {
+        let limbs = [0xdeadbeefcafebabe_u64, 0x0123456789abcdef, 0xffffffffffffffff, 0x1];
+        let d = DfpInt::from_u64_limbs(&limbs);
+        assert_eq!(d.to_u64_limbs(4), limbs.to_vec());
+    }
+
+    #[test]
+    fn full_mul_matches_integer() {
+        let a = [0xffffffffffffffff_u64, 0xfffffffffffffffe];
+        let b = [0x123456789abcdef0_u64, 0xfedcba9876543210];
+        let fa = DfpInt::from_u64_limbs(&a);
+        let fb = DfpInt::from_u64_limbs(&b);
+        let prod = dfp_full_mul(&fa, &fb).to_u64_limbs(4);
+        let ia = BigInt::<2>(a);
+        let ib = BigInt::<2>(b);
+        let (lo, hi) = ia.widening_mul(&ib);
+        assert_eq!(&prod[..2], &lo.0);
+        assert_eq!(&prod[2..], &hi.0);
+    }
+
+    #[test]
+    fn dfp_field_mul_matches_cios() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let a = Fr254::random(&mut rng);
+            let b = Fr254::random(&mut rng);
+            assert_eq!(super::DfpField::mul(a, b), a * b);
+        }
+        for _ in 0..200 {
+            let a = Fq254::random(&mut rng);
+            let b = Fq254::random(&mut rng);
+            assert_eq!(super::DfpField::mul(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn speedup_monotone_in_width() {
+        assert!(fp_backend_speedup(12) >= fp_backend_speedup(6));
+        assert!(fp_backend_speedup(6) >= fp_backend_speedup(4));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the finite-field substrate: bigint arithmetic
+//! against the dynamic-width reference, field axioms under random
+//! operation sequences, Montgomery-domain consistency, and the Dekker
+//! floating-point multiplier against the integer CIOS path.
+
+use gzkp_ff::bigint::BigInt;
+use gzkp_ff::dfp::{dfp_full_mul, DfpField, DfpInt};
+use gzkp_ff::dynmont;
+use gzkp_ff::fields::{Fq381, Fq753, Fr254};
+use gzkp_ff::{Field, PrimeField};
+use proptest::prelude::*;
+
+fn arb_bigint4() -> impl Strategy<Value = BigInt<4>> {
+    prop::array::uniform4(any::<u64>()).prop_map(BigInt)
+}
+
+fn arb_fr254() -> impl Strategy<Value = Fr254> {
+    prop::array::uniform4(any::<u64>()).prop_map(|mut limbs| {
+        limbs[3] &= (1 << 62) - 1; // below 2^254 < p·4, then reduce by retry
+        loop {
+            if let Some(f) = Fr254::from_limbs(&limbs) {
+                return f;
+            }
+            limbs[3] >>= 1;
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bigint_add_matches_dynmont(a in arb_bigint4(), b in arb_bigint4()) {
+        let (sum, carry) = a.const_add(&b);
+        let mut expect = dynmont::add(&a.0, &b.0);
+        expect.resize(5, 0);
+        prop_assert_eq!(&sum.0[..], &expect[..4]);
+        prop_assert_eq!(carry, expect[4]);
+    }
+
+    #[test]
+    fn bigint_mul_matches_dynmont(a in arb_bigint4(), b in arb_bigint4()) {
+        let (lo, hi) = a.widening_mul(&b);
+        let mut expect = dynmont::mul(&a.0, &b.0);
+        expect.resize(8, 0);
+        prop_assert_eq!(&lo.0[..], &expect[..4]);
+        prop_assert_eq!(&hi.0[..], &expect[4..]);
+    }
+
+    #[test]
+    fn bigint_shift_roundtrip(a in arb_bigint4(), s in 0u32..255) {
+        let shifted = dynmont::shl(&a.0, s);
+        let back = dynmont::shr(&shifted, s);
+        let mut orig = a.0.to_vec();
+        dynmont::normalize(&mut orig);
+        prop_assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn bigint_divrem_reconstructs(a in arb_bigint4(), d in arb_bigint4()) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = dynmont::div_rem(&a.0, &d.0);
+        prop_assert_eq!(dynmont::cmp_slices(&r, &d.0), std::cmp::Ordering::Less);
+        let back = dynmont::add(&dynmont::mul(&q, &d.0), &r);
+        let mut orig = a.0.to_vec();
+        dynmont::normalize(&mut orig);
+        prop_assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn field_ring_axioms(a in arb_fr254(), b in arb_fr254(), c in arb_fr254()) {
+        prop_assert_eq!((a + b) * c, a * c + b * c);
+        prop_assert_eq!(a * (b * c), (a * b) * c);
+        prop_assert_eq!(a - b, -(b - a));
+        prop_assert_eq!(a.double(), a + a);
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn field_inverse_and_pow(a in arb_fr254()) {
+        if let Some(inv) = a.inverse() {
+            prop_assert_eq!(a * inv, Fr254::one());
+            // a^(p-2) == a^{-1}
+            let p = Fr254::characteristic();
+            let mut pm2 = BigInt::<4>::new([p[0], p[1], p[2], p[3]]);
+            pm2.sub_with_borrow(&BigInt::from_u64(2));
+            prop_assert_eq!(a.pow(&pm2.0), inv);
+        } else {
+            prop_assert!(a.is_zero());
+        }
+    }
+
+    #[test]
+    fn canonical_roundtrip(a in arb_fr254()) {
+        let limbs = a.to_limbs();
+        prop_assert_eq!(Fr254::from_limbs(&limbs).unwrap(), a);
+        // Canonical representation is strictly below the modulus.
+        let canon = BigInt::<4>::new([limbs[0], limbs[1], limbs[2], limbs[3]]);
+        let p = Fr254::characteristic();
+        prop_assert!(canon < BigInt::<4>::new([p[0], p[1], p[2], p[3]]));
+    }
+
+    #[test]
+    fn sqrt_of_square_exists(a in arb_fr254()) {
+        let sq = a.square();
+        let r = sq.sqrt().expect("square must have a root");
+        prop_assert!(r == a || r == -a);
+    }
+
+    #[test]
+    fn dfp_matches_integer_backend(a in arb_fr254(), b in arb_fr254()) {
+        prop_assert_eq!(DfpField::mul(a, b), a * b);
+    }
+
+    #[test]
+    fn dfp_full_mul_matches_widening(a in arb_bigint4(), b in arb_bigint4()) {
+        let fa = DfpInt::from_u64_limbs(&a.0);
+        let fb = DfpInt::from_u64_limbs(&b.0);
+        let prod = dfp_full_mul(&fa, &fb).to_u64_limbs(8);
+        let (lo, hi) = a.widening_mul(&b);
+        prop_assert_eq!(&prod[..4], &lo.0[..]);
+        prop_assert_eq!(&prod[4..], &hi.0[..]);
+    }
+
+    #[test]
+    fn window_extraction_consistent(a in arb_bigint4(), k in 1usize..17, t in 0usize..40) {
+        // bits_at must match a shift-and-mask reference via dynmont.
+        let start = t * k;
+        let got = a.bits_at(start, k);
+        let shifted = dynmont::shr(&a.0, start as u32);
+        let expect = shifted.first().copied().unwrap_or(0) & ((1u64 << k) - 1);
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn wide_field_axioms_381(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fq381::random(&mut rng);
+        let b = Fq381::random(&mut rng);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b).square(), a.square() + a * b + a * b + b.square());
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq381::one());
+        }
+    }
+
+    #[test]
+    fn wide_field_axioms_753(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fq753::random(&mut rng);
+        let b = Fq753::random(&mut rng);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a + b - b, a);
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inverse().unwrap(), Fq753::one());
+        }
+        prop_assert_eq!(DfpField::mul(a, b), a * b);
+    }
+}

@@ -1,0 +1,183 @@
+//! The Groth16 prover: the paper's two-stage pipeline — POLY (seven NTTs)
+//! followed by five MSMs (a-query G1, b-query G1, b-query G2, h-query G1,
+//! l-query G1) — with pluggable NTT and MSM engines so every paper
+//! configuration (Best-CPU, BG, GZKP, ablations) runs through the same
+//! code path.
+
+use crate::qap::{poly_stage, QapWitness};
+use crate::r1cs::{ConstraintSystem, SynthesisError};
+use crate::setup::ProvingKey;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::Affine;
+use gzkp_ff::Field;
+use gzkp_gpu_sim::StageReport;
+use gzkp_msm::{MsmEngine, ScalarVec};
+use gzkp_ntt::gpu::GpuNttEngine;
+use rand::Rng;
+
+/// A Groth16 proof: two G1 points and one G2 point (<1 KB — the
+/// succinctness property of §2.1).
+#[derive(Debug, Clone)]
+pub struct Proof<P: PairingConfig> {
+    /// The `A` element.
+    pub a: Affine<P::G1>,
+    /// The `B` element.
+    pub b: Affine<P::G2>,
+    /// The `C` element.
+    pub c: Affine<P::G1>,
+}
+
+impl<P: PairingConfig> PartialEq for Proof<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.a == other.a && self.b == other.b && self.c == other.c
+    }
+}
+impl<P: PairingConfig> Eq for Proof<P> {}
+
+/// Engine selection for the prover.
+pub struct ProverEngines<'a, P: PairingConfig> {
+    /// NTT engine for the POLY stage.
+    pub ntt: &'a dyn GpuNttEngine<P::Fr>,
+    /// MSM engine for G1 inner products.
+    pub msm_g1: &'a dyn MsmEngine<P::G1>,
+    /// MSM engine for the single G2 inner product.
+    pub msm_g2: &'a dyn MsmEngine<P::G2>,
+}
+
+/// Timing record of one proof generation, split by the paper's two stages.
+#[derive(Debug, Clone)]
+pub struct ProveReport {
+    /// POLY-stage simulated report (7 NTTs).
+    pub poly: StageReport,
+    /// MSM-stage simulated report (5 MSMs).
+    pub msm: StageReport,
+}
+
+impl ProveReport {
+    /// POLY time in milliseconds.
+    pub fn poly_ms(&self) -> f64 {
+        self.poly.total_ms()
+    }
+    /// MSM time in milliseconds.
+    pub fn msm_ms(&self) -> f64 {
+        self.msm.total_ms()
+    }
+    /// End-to-end proof generation time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.poly_ms() + self.msm_ms()
+    }
+}
+
+/// Generates a proof for the (satisfied, synthesized) constraint system.
+///
+/// # Errors
+///
+/// Fails when the system is unsatisfied or exceeds the NTT domain.
+///
+/// # Panics
+///
+/// Panics if the proving key does not match the constraint system shape.
+pub fn prove<P: PairingConfig, R: Rng + ?Sized>(
+    cs: &ConstraintSystem<P::Fr>,
+    pk: &ProvingKey<P>,
+    engines: &ProverEngines<'_, P>,
+    rng: &mut R,
+) -> Result<(Proof<P>, ProveReport), SynthesisError> {
+    cs.is_satisfied()?;
+    assert_eq!(pk.a_query.len(), cs.num_variables(), "key/circuit mismatch");
+
+    // --- POLY stage: h = (A·B − C)/Z through seven NTTs (§5.2). ---
+    let qap = QapWitness::from_r1cs(cs)?;
+    assert_eq!(pk.domain_size, qap.domain.size, "key domain mismatch");
+    let poly = poly_stage(&qap, engines.ntt);
+
+    // --- MSM stage: five MSMs (§5.2). ---
+    let z = cs.full_assignment();
+    let z_scalars = ScalarVec::from_field(&z);
+    let aux_scalars = ScalarVec::from_field(&cs.aux_assignment);
+    let h_trim = &poly.h[..pk.h_query.len()];
+    let h_scalars = ScalarVec::from_field(h_trim);
+
+    let mut msm_report = StageReport::new("MSM");
+    let mut take = |run: gzkp_msm::MsmRun<P::G1>, label: &str| {
+        for mut k in run.report.kernels {
+            k.name = format!("{label}.{}", k.name);
+            msm_report.kernels.push(k);
+        }
+        run.result
+    };
+
+    let a_sum = take(engines.msm_g1.msm(&pk.a_query, &z_scalars), "a_query");
+    let b_g1_sum = take(engines.msm_g1.msm(&pk.b_g1_query, &z_scalars), "b_g1");
+    let h_sum = take(engines.msm_g1.msm(&pk.h_query, &h_scalars), "h_query");
+    let l_sum = take(engines.msm_g1.msm(&pk.l_query, &aux_scalars), "l_query");
+    let b_g2_run = engines.msm_g2.msm(&pk.b_g2_query, &z_scalars);
+    for mut k in b_g2_run.report.kernels {
+        k.name = format!("b_g2.{}", k.name);
+        msm_report.kernels.push(k);
+    }
+    let b_g2_sum = b_g2_run.result;
+
+    // Blinding factors (zero-knowledge).
+    let r = P::Fr::random(rng);
+    let s = P::Fr::random(rng);
+
+    // A = α + Σ z·a_query + r·δ
+    let a = a_sum
+        .add_mixed(&pk.alpha_g1)
+        .add(&pk.delta_g1.mul(&r));
+    // B = β + Σ z·b_query + s·δ (in G2; and its G1 shadow for C)
+    let b_g2 = b_g2_sum
+        .add_mixed(&pk.beta_g2)
+        .add(&pk.delta_g2.mul(&s));
+    let b_g1 = b_g1_sum
+        .add_mixed(&pk.beta_g1)
+        .add(&pk.delta_g1.mul(&s));
+    // C = Σ_aux z·l_query + Σ h·h_query + s·A + r·B₁ − r·s·δ
+    let c = l_sum
+        .add(&h_sum)
+        .add(&a.mul(&s))
+        .add(&b_g1.mul(&r))
+        .add(&pk.delta_g1.mul(&(r * s)).neg());
+
+    Ok((
+        Proof {
+            a: a.to_affine(),
+            b: b_g2.to_affine(),
+            c: c.to_affine(),
+        },
+        ProveReport { poly: poly.report, msm: msm_report },
+    ))
+}
+
+/// Cost-only proof-generation plan: runs the POLY stage functionally (it
+/// is cheap) but prices the five MSMs from the actual scalar digit
+/// distributions without performing curve arithmetic. This is what the
+/// Table 2/3/4 harnesses use at paper-scale vector sizes.
+pub fn prove_plan<P: PairingConfig>(
+    cs: &ConstraintSystem<P::Fr>,
+    engines: &ProverEngines<'_, P>,
+) -> Result<ProveReport, SynthesisError> {
+    let qap = QapWitness::from_r1cs(cs)?;
+    let poly = poly_stage(&qap, engines.ntt);
+
+    let z = cs.full_assignment();
+    let z_scalars = ScalarVec::from_field(&z);
+    let aux_scalars = ScalarVec::from_field(&cs.aux_assignment);
+    let h_scalars = ScalarVec::from_field(&poly.h[..qap.domain.size - 1]);
+
+    let mut msm_report = StageReport::new("MSM");
+    let mut take = |rep: StageReport, label: &str| {
+        for mut k in rep.kernels {
+            k.name = format!("{label}.{}", k.name);
+            msm_report.kernels.push(k);
+        }
+    };
+    take(engines.msm_g1.plan(&z_scalars), "a_query");
+    take(engines.msm_g1.plan(&z_scalars), "b_g1");
+    take(engines.msm_g1.plan(&h_scalars), "h_query");
+    take(engines.msm_g1.plan(&aux_scalars), "l_query");
+    take(engines.msm_g2.plan(&z_scalars), "b_g2");
+
+    Ok(ProveReport { poly: poly.report, msm: msm_report })
+}

@@ -1,0 +1,247 @@
+//! Rank-1 constraint systems: the circuit representation Groth16 proves.
+//!
+//! A constraint is `⟨A, z⟩ · ⟨B, z⟩ = ⟨C, z⟩` over the full assignment
+//! `z = (1, public inputs…, private witness…)`. The builder collects both
+//! the constraint matrices (sparse) and, on the prover side, the
+//! assignment values.
+
+use gzkp_ff::PrimeField;
+
+/// Index into the full assignment vector. Index 0 is the constant `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(pub usize);
+
+impl Variable {
+    /// The constant-one variable.
+    pub const ONE: Variable = Variable(0);
+}
+
+/// A sparse linear combination `Σ coeff · var`.
+#[derive(Debug, Clone, Default)]
+pub struct LinearCombination<F: PrimeField> {
+    /// `(variable index, coefficient)` pairs.
+    pub terms: Vec<(usize, F)>,
+}
+
+impl<F: PrimeField> LinearCombination<F> {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// A single variable with coefficient one.
+    pub fn from_var(v: Variable) -> Self {
+        Self { terms: vec![(v.0, F::one())] }
+    }
+
+    /// A constant value (coefficient on the one-variable).
+    pub fn from_const(c: F) -> Self {
+        Self { terms: vec![(0, c)] }
+    }
+
+    /// Adds `coeff · var` to the combination.
+    pub fn add_term(mut self, v: Variable, coeff: F) -> Self {
+        self.terms.push((v.0, coeff));
+        self
+    }
+
+    /// Evaluates against a full assignment.
+    pub fn eval(&self, z: &[F]) -> F {
+        self.terms
+            .iter()
+            .fold(F::zero(), |acc, (i, c)| acc + z[*i] * *c)
+    }
+}
+
+/// Why synthesis or proving failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// A constraint evaluated to `a·b ≠ c` under the current assignment.
+    Unsatisfied(usize),
+    /// The circuit asked for a witness value that was not provided.
+    AssignmentMissing,
+    /// The constraint system exceeds the field's NTT capacity.
+    DomainTooLarge,
+}
+
+impl core::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SynthesisError::Unsatisfied(i) => write!(f, "constraint {i} unsatisfied"),
+            SynthesisError::AssignmentMissing => write!(f, "assignment missing"),
+            SynthesisError::DomainTooLarge => write!(f, "domain exceeds field 2-adicity"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// An R1CS instance under construction, with assignments.
+#[derive(Debug, Clone)]
+pub struct ConstraintSystem<F: PrimeField> {
+    /// Number of public inputs (excluding the constant one).
+    pub num_inputs: usize,
+    /// Number of private witness variables.
+    pub num_aux: usize,
+    /// The constraints as sparse `(A, B, C)` rows.
+    pub constraints: Vec<(
+        LinearCombination<F>,
+        LinearCombination<F>,
+        LinearCombination<F>,
+    )>,
+    /// Public-input values (prover and verifier share these).
+    pub input_assignment: Vec<F>,
+    /// Private witness values (prover only).
+    pub aux_assignment: Vec<F>,
+}
+
+impl<F: PrimeField> Default for ConstraintSystem<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: PrimeField> ConstraintSystem<F> {
+    /// Creates an empty system.
+    pub fn new() -> Self {
+        Self {
+            num_inputs: 0,
+            num_aux: 0,
+            constraints: Vec::new(),
+            input_assignment: Vec::new(),
+            aux_assignment: Vec::new(),
+        }
+    }
+
+    /// Allocates a public-input variable with the given value.
+    pub fn alloc_input(&mut self, value: F) -> Variable {
+        self.num_inputs += 1;
+        self.input_assignment.push(value);
+        Variable(self.num_inputs)
+    }
+
+    /// Allocates a private witness variable with the given value.
+    pub fn alloc(&mut self, value: F) -> Variable {
+        self.num_aux += 1;
+        self.aux_assignment.push(value);
+        Variable(self.num_inputs_total() + self.num_aux - 1)
+    }
+
+    fn num_inputs_total(&self) -> usize {
+        1 + self.num_inputs
+    }
+
+    /// Total variables including the constant one.
+    pub fn num_variables(&self) -> usize {
+        1 + self.num_inputs + self.num_aux
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds the constraint `a · b = c`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.constraints.push((a, b, c));
+    }
+
+    /// The full assignment `z = (1, inputs…, aux…)`.
+    ///
+    /// Variables allocated with [`Self::alloc`] index past the inputs, so
+    /// this is only valid once all inputs are allocated before any aux —
+    /// the convention all gadgets in this workspace follow.
+    pub fn full_assignment(&self) -> Vec<F> {
+        let mut z = Vec::with_capacity(self.num_variables());
+        z.push(F::one());
+        z.extend_from_slice(&self.input_assignment);
+        z.extend_from_slice(&self.aux_assignment);
+        z
+    }
+
+    /// Checks every constraint against the assignment.
+    pub fn is_satisfied(&self) -> Result<(), SynthesisError> {
+        let z = self.full_assignment();
+        for (i, (a, b, c)) in self.constraints.iter().enumerate() {
+            if a.eval(&z) * b.eval(&z) != c.eval(&z) {
+                return Err(SynthesisError::Unsatisfied(i));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A circuit: something that can synthesize constraints (and assignments)
+/// into a [`ConstraintSystem`].
+pub trait Circuit<F: PrimeField> {
+    /// Builds the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a needed witness value is unavailable.
+    fn synthesize(&self, cs: &mut ConstraintSystem<F>) -> Result<(), SynthesisError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr254;
+    use gzkp_ff::Field;
+
+    /// x * y = z with z public.
+    fn mul_circuit(x: u64, y: u64, z: u64) -> ConstraintSystem<Fr254> {
+        let mut cs = ConstraintSystem::new();
+        let z_var = cs.alloc_input(Fr254::from_u64(z));
+        let x_var = cs.alloc(Fr254::from_u64(x));
+        let y_var = cs.alloc(Fr254::from_u64(y));
+        cs.enforce(
+            LinearCombination::from_var(x_var),
+            LinearCombination::from_var(y_var),
+            LinearCombination::from_var(z_var),
+        );
+        cs
+    }
+
+    #[test]
+    fn satisfied_multiplication() {
+        assert!(mul_circuit(6, 7, 42).is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn unsatisfied_multiplication() {
+        assert_eq!(
+            mul_circuit(6, 7, 41).is_satisfied(),
+            Err(SynthesisError::Unsatisfied(0))
+        );
+    }
+
+    #[test]
+    fn linear_combination_eval() {
+        let mut cs = ConstraintSystem::<Fr254>::new();
+        let a = cs.alloc_input(Fr254::from_u64(10));
+        let b = cs.alloc(Fr254::from_u64(20));
+        let lc = LinearCombination::zero()
+            .add_term(a, Fr254::from_u64(3))
+            .add_term(b, Fr254::from_u64(2))
+            .add_term(Variable::ONE, Fr254::from_u64(5));
+        assert_eq!(lc.eval(&cs.full_assignment()), Fr254::from_u64(75));
+    }
+
+    #[test]
+    fn assignment_layout() {
+        let mut cs = ConstraintSystem::<Fr254>::new();
+        let i1 = cs.alloc_input(Fr254::from_u64(11));
+        let w1 = cs.alloc(Fr254::from_u64(22));
+        assert_eq!(i1, Variable(1));
+        assert_eq!(w1, Variable(2));
+        let z = cs.full_assignment();
+        assert_eq!(z[0], Fr254::one());
+        assert_eq!(z[1], Fr254::from_u64(11));
+        assert_eq!(z[2], Fr254::from_u64(22));
+    }
+}

@@ -1,0 +1,220 @@
+//! Groth16 trusted setup: samples the toxic waste `(τ, α, β, γ, δ)` and
+//! produces the proving key (the point vectors `M⃗, Q⃗` of the paper's
+//! Figure 1) and the short verification key.
+
+use crate::r1cs::{ConstraintSystem, SynthesisError};
+use gzkp_curves::group::batch_to_affine;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{Affine, Projective};
+use gzkp_ff::{batch_inverse, Field, PrimeField};
+use gzkp_ntt::Radix2Domain;
+use rand::Rng;
+
+/// The Groth16 proving key for pairing config `P`.
+#[derive(Debug, Clone)]
+pub struct ProvingKey<P: PairingConfig> {
+    /// `α` in G1.
+    pub alpha_g1: Affine<P::G1>,
+    /// `β` in G1 and G2.
+    pub beta_g1: Affine<P::G1>,
+    /// `β` in G2.
+    pub beta_g2: Affine<P::G2>,
+    /// `δ` in G1 and G2.
+    pub delta_g1: Affine<P::G1>,
+    /// `δ` in G2.
+    pub delta_g2: Affine<P::G2>,
+    /// `A_j(τ)·G1` for every variable `j` (the a-query MSM basis).
+    pub a_query: Vec<Affine<P::G1>>,
+    /// `B_j(τ)·G1`.
+    pub b_g1_query: Vec<Affine<P::G1>>,
+    /// `B_j(τ)·G2`.
+    pub b_g2_query: Vec<Affine<P::G2>>,
+    /// `(β·A_j(τ) + α·B_j(τ) + C_j(τ))/δ · G1` for private variables.
+    pub l_query: Vec<Affine<P::G1>>,
+    /// `τ^i·Z(τ)/δ · G1` for `i < N − 1` (the h-query MSM basis).
+    pub h_query: Vec<Affine<P::G1>>,
+    /// Domain size used at setup (the prover must match it).
+    pub domain_size: usize,
+}
+
+/// The Groth16 verification key.
+#[derive(Debug, Clone)]
+pub struct VerifyingKey<P: PairingConfig> {
+    /// `α` in G1.
+    pub alpha_g1: Affine<P::G1>,
+    /// `β` in G2.
+    pub beta_g2: Affine<P::G2>,
+    /// `γ` in G2.
+    pub gamma_g2: Affine<P::G2>,
+    /// `δ` in G2.
+    pub delta_g2: Affine<P::G2>,
+    /// `(β·A_j(τ) + α·B_j(τ) + C_j(τ))/γ · G1` for the constant one and
+    /// each public input.
+    pub ic: Vec<Affine<P::G1>>,
+}
+
+/// Evaluates all Lagrange basis polynomials of the domain at `τ`:
+/// `L_i(τ) = Z(τ)·ωⁱ / (N·(τ − ωⁱ))`.
+fn lagrange_at_tau<F: PrimeField>(domain: &Radix2Domain<F>, tau: F) -> Vec<F> {
+    let z_tau = domain.eval_vanishing(tau);
+    let mut omega_i = F::one();
+    let mut denoms: Vec<F> = (0..domain.size)
+        .map(|_| {
+            let d = tau - omega_i;
+            omega_i *= domain.omega;
+            d
+        })
+        .collect();
+    batch_inverse(&mut denoms);
+    let n_inv = domain.size_inv;
+    let mut omega_i = F::one();
+    denoms
+        .into_iter()
+        .map(|dinv| {
+            let l = z_tau * omega_i * n_inv * dinv;
+            omega_i *= domain.omega;
+            l
+        })
+        .collect()
+}
+
+/// Runs the trusted setup over a synthesized constraint system.
+///
+/// # Errors
+///
+/// Fails if the constraint count exceeds the scalar field's NTT capacity.
+pub fn setup<P: PairingConfig, R: Rng + ?Sized>(
+    cs: &ConstraintSystem<P::Fr>,
+    rng: &mut R,
+) -> Result<(ProvingKey<P>, VerifyingKey<P>), SynthesisError> {
+    let domain = Radix2Domain::<P::Fr>::at_least(cs.num_constraints().max(2))
+        .ok_or(SynthesisError::DomainTooLarge)?;
+    let tau = P::Fr::random(rng);
+    let alpha = P::Fr::random(rng);
+    let beta = P::Fr::random(rng);
+    let gamma = P::Fr::random(rng);
+    let delta = P::Fr::random(rng);
+
+    // Per-variable QAP polynomial evaluations at τ via the Lagrange basis.
+    let lag = lagrange_at_tau(&domain, tau);
+    let nvars = cs.num_variables();
+    let mut a_tau = vec![P::Fr::zero(); nvars];
+    let mut b_tau = vec![P::Fr::zero(); nvars];
+    let mut c_tau = vec![P::Fr::zero(); nvars];
+    for (i, (la, lb, lc)) in cs.constraints.iter().enumerate() {
+        for (j, coeff) in &la.terms {
+            a_tau[*j] += *coeff * lag[i];
+        }
+        for (j, coeff) in &lb.terms {
+            b_tau[*j] += *coeff * lag[i];
+        }
+        for (j, coeff) in &lc.terms {
+            c_tau[*j] += *coeff * lag[i];
+        }
+    }
+
+    let g1 = Projective::<P::G1>::generator();
+    let g2 = Projective::<P::G2>::generator();
+    let gamma_inv = gamma.inverse().expect("gamma nonzero");
+    let delta_inv = delta.inverse().expect("delta nonzero");
+
+    let num_public = 1 + cs.num_inputs;
+    let ic: Vec<_> = (0..num_public)
+        .map(|j| g1.mul(&((beta * a_tau[j] + alpha * b_tau[j] + c_tau[j]) * gamma_inv)))
+        .collect();
+    let l_query: Vec<_> = (num_public..nvars)
+        .map(|j| g1.mul(&((beta * a_tau[j] + alpha * b_tau[j] + c_tau[j]) * delta_inv)))
+        .collect();
+    let a_query: Vec<_> = a_tau.iter().map(|v| g1.mul(v)).collect();
+    let b_g1_query: Vec<_> = b_tau.iter().map(|v| g1.mul(v)).collect();
+    let b_g2_query: Vec<_> = b_tau.iter().map(|v| g2.mul(v)).collect();
+
+    // h-query: τ^i · Z(τ) / δ in G1, for i < N − 1.
+    let z_tau = domain.eval_vanishing(tau);
+    let mut h_query = Vec::with_capacity(domain.size - 1);
+    let mut tpow = z_tau * delta_inv;
+    for _ in 0..domain.size - 1 {
+        h_query.push(g1.mul(&tpow));
+        tpow *= tau;
+    }
+
+    let pk = ProvingKey {
+        alpha_g1: g1.mul(&alpha).to_affine(),
+        beta_g1: g1.mul(&beta).to_affine(),
+        beta_g2: g2.mul(&beta).to_affine(),
+        delta_g1: g1.mul(&delta).to_affine(),
+        delta_g2: g2.mul(&delta).to_affine(),
+        a_query: batch_to_affine(&a_query),
+        b_g1_query: batch_to_affine(&b_g1_query),
+        b_g2_query: batch_to_affine(&b_g2_query),
+        l_query: batch_to_affine(&l_query),
+        h_query: batch_to_affine(&h_query),
+        domain_size: domain.size,
+    };
+    let vk = VerifyingKey {
+        alpha_g1: pk.alpha_g1,
+        beta_g2: pk.beta_g2,
+        gamma_g2: g2.mul(&gamma).to_affine(),
+        delta_g2: pk.delta_g2,
+        ic: batch_to_affine(&ic),
+    };
+    Ok((pk, vk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r1cs::LinearCombination;
+    use gzkp_curves::bn254::{Bn254, Fr};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lagrange_partition_of_unity() {
+        // Σ L_i(τ) = 1 and L_i(ω^j) = δ_ij.
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let tau = Fr::random(&mut rng);
+        let lag = lagrange_at_tau(&d, tau);
+        let sum: Fr = lag.iter().copied().sum();
+        assert_eq!(sum, Fr::one());
+    }
+
+    #[test]
+    fn lagrange_interpolates() {
+        // Σ f(ωⁱ)·L_i(τ) must equal f(τ) for a low-degree f.
+        let d = Radix2Domain::<Fr>::new(8).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let tau = Fr::random(&mut rng);
+        let lag = lagrange_at_tau(&d, tau);
+        // f(x) = 3x² + 2x + 5
+        let f = |x: Fr| Fr::from_u64(3) * x.square() + Fr::from_u64(2) * x + Fr::from_u64(5);
+        let mut w = Fr::one();
+        let mut acc = Fr::zero();
+        for l in &lag {
+            acc += f(w) * *l;
+            w *= d.omega;
+        }
+        assert_eq!(acc, f(tau));
+    }
+
+    #[test]
+    fn setup_produces_consistent_sizes() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_input(Fr::from_u64(6));
+        let x = cs.alloc(Fr::from_u64(2));
+        let y = cs.alloc(Fr::from_u64(3));
+        cs.enforce(
+            LinearCombination::from_var(x),
+            LinearCombination::from_var(y),
+            LinearCombination::from_var(out),
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        assert_eq!(pk.a_query.len(), cs.num_variables());
+        assert_eq!(pk.b_g2_query.len(), cs.num_variables());
+        assert_eq!(pk.l_query.len(), cs.num_aux);
+        assert_eq!(pk.h_query.len(), pk.domain_size - 1);
+        assert_eq!(vk.ic.len(), 1 + cs.num_inputs);
+    }
+}

@@ -1,0 +1,43 @@
+//! Groth16 verification: the pairing check
+//! `e(A, B) = e(α, β) · e(Σ xᵢ·ICᵢ, γ) · e(C, δ)`,
+//! evaluated as one multi-Miller loop with a single final exponentiation.
+
+use crate::prove::Proof;
+use crate::setup::VerifyingKey;
+use gzkp_curves::pairing::{multi_pairing, PairingConfig};
+ 
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_ff::Field;
+
+/// Verifies a proof against public inputs.
+///
+/// Returns `true` iff the pairing equation holds. Runs in milliseconds
+/// regardless of circuit size (the succinctness property of §2.1).
+pub fn verify<P: PairingConfig>(
+    vk: &VerifyingKey<P>,
+    proof: &Proof<P>,
+    public_inputs: &[<P as PairingConfig>::Fr],
+) -> bool
+where
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    if public_inputs.len() + 1 != vk.ic.len() {
+        return false;
+    }
+    // Accumulate the public-input commitment Σ xᵢ·ICᵢ (IC₀ has weight 1).
+    let mut acc = vk.ic[0].to_projective();
+    for (x, ic) in public_inputs.iter().zip(&vk.ic[1..]) {
+        acc = acc.add(&ic.mul(x));
+    }
+    let acc = acc.to_affine();
+
+    // e(A, B) · e(−α, β) · e(−acc, γ) · e(−C, δ) == 1
+    let result = multi_pairing::<P>(&[
+        (proof.a, proof.b),
+        (vk.alpha_g1.neg(), vk.beta_g2),
+        (acc.neg(), vk.gamma_g2),
+        (proof.c.neg(), vk.delta_g2),
+    ]);
+    result == gzkp_curves::pairing::Gt::<P>::one()
+}

@@ -1,0 +1,183 @@
+//! The common MSM engine interface and shared cost-model helpers.
+
+use crate::scalars::ScalarVec;
+use gzkp_curves::{Affine, CurveParams, Projective};
+use gzkp_ff::Field;
+use gzkp_gpu_sim::device::{field_add_macs, field_mul_macs};
+use gzkp_gpu_sim::kernel::StageReport;
+
+/// Result of a functional MSM run: the inner product and the simulated
+/// execution report.
+#[derive(Debug)]
+pub struct MsmRun<C: CurveParams> {
+    /// `Σ sᵢ ⊗ Pᵢ`.
+    pub result: Projective<C>,
+    /// Simulated time breakdown.
+    pub report: StageReport,
+}
+
+/// A multi-scalar-multiplication engine.
+///
+/// Every engine computes the same inner product (cross-validated in tests);
+/// they differ in algorithm and execution structure, which the cost model
+/// prices per DESIGN.md.
+pub trait MsmEngine<C: CurveParams>: Send + Sync {
+    /// Engine label for reports ("BG", "MINA", "GZKP", …).
+    fn name(&self) -> String;
+
+    /// Functional MSM plus simulated cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points.len() != scalars.len()`.
+    fn msm(&self, points: &[Affine<C>], scalars: &ScalarVec) -> MsmRun<C>;
+
+    /// Cost model driven by the actual scalar digits (captures sparsity and
+    /// load imbalance) without touching any points.
+    fn plan(&self, scalars: &ScalarVec) -> StageReport;
+
+    /// Cost model for dense uniform scalars at scale `n` (the Tables 7/8
+    /// microbenchmark sweeps, where running 2²⁶ functionally is pointless).
+    fn plan_dense(&self, n: usize) -> StageReport;
+
+    /// Device-memory footprint at scale `n` in bytes (Figure 9). Includes
+    /// input points/scalars plus all engine-private structures.
+    fn memory_bytes(&self, n: usize) -> u64;
+
+    /// Whether the engine fits in device memory at scale `n` (Table 7's
+    /// "-" rows are MINA exceeding V100 memory).
+    fn fits_in_memory(&self, n: usize, device_mem: u64) -> bool {
+        self.memory_bytes(n) <= device_mem
+    }
+}
+
+/// Per-curve arithmetic pricing, extension-degree aware.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveCost {
+    /// 64-bit limbs of the prime subfield.
+    pub base_limbs: usize,
+    /// Extension degree of the coordinate field (1 = G1, 2 = G2).
+    pub ext_degree: usize,
+}
+
+impl CurveCost {
+    /// Pricing for curve `C`.
+    pub fn of<C: CurveParams>() -> Self {
+        Self {
+            base_limbs: <C::Base as Field>::base_limbs(),
+            ext_degree: <C::Base as Field>::extension_degree(),
+        }
+    }
+
+    /// MACs per coordinate-field multiplication (Karatsuba for Fp2: 3 muls).
+    pub fn field_mul(&self) -> f64 {
+        let base = field_mul_macs(self.base_limbs);
+        match self.ext_degree {
+            1 => base,
+            2 => 3.0 * base + 5.0 * field_add_macs(self.base_limbs),
+            d => (d * d) as f64 * base, // generic (unused in practice)
+        }
+    }
+
+    /// MACs per coordinate-field addition.
+    pub fn field_add(&self) -> f64 {
+        self.ext_degree as f64 * field_add_macs(self.base_limbs)
+    }
+
+    /// MACs per full Jacobian PADD (11M + 5S ≈ 16 muls).
+    pub fn padd(&self) -> f64 {
+        16.0 * self.field_mul() + 7.0 * self.field_add()
+    }
+
+    /// MACs per mixed (Jacobian + affine) addition (7M + 4S ≈ 11 muls).
+    pub fn padd_mixed(&self) -> f64 {
+        11.0 * self.field_mul() + 7.0 * self.field_add()
+    }
+
+    /// MACs per Jacobian doubling (2M + 5S ≈ 7 muls).
+    pub fn pdbl(&self) -> f64 {
+        7.0 * self.field_mul() + 11.0 * self.field_add()
+    }
+
+    /// Bytes of one affine point.
+    pub fn affine_bytes(&self) -> u64 {
+        (2 * self.ext_degree * self.base_limbs * 8) as u64
+    }
+
+    /// Bytes of one Jacobian point.
+    pub fn jacobian_bytes(&self) -> u64 {
+        (3 * self.ext_degree * self.base_limbs * 8) as u64
+    }
+
+    /// Equivalent "limbs" key for the backend-speedup table (an Fq2 element
+    /// behaves like a wider integer for throughput purposes).
+    pub fn speedup_limbs(&self) -> usize {
+        self.base_limbs
+    }
+}
+
+/// Ground-truth oracle: the definitionally correct `Σ sᵢ ⊗ Pᵢ` by plain
+/// double-and-add per element. O(N·l) PADDs — tests only.
+pub fn naive_msm<C: CurveParams>(points: &[Affine<C>], scalars: &ScalarVec) -> Projective<C> {
+    assert_eq!(points.len(), scalars.len());
+    let mut acc = Projective::<C>::identity();
+    for (i, p) in points.iter().enumerate() {
+        acc = acc.add(&p.to_projective().mul_limbs(scalars.scalar_limbs(i)));
+    }
+    acc
+}
+
+/// The running-sum ("bucket reduction") identity: given bucket sums
+/// `B_1..B_m`, computes `Σ j·B_j` with `2(m−1)` PADDs instead of `m` PMULs.
+pub fn bucket_reduce<C: CurveParams>(buckets: &[Projective<C>]) -> Projective<C> {
+    let mut running = Projective::<C>::identity();
+    let mut total = Projective::<C>::identity();
+    for b in buckets.iter().rev() {
+        running = running.add(b);
+        total = total.add(&running);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_curves::bn254::{Fr, G1Config};
+    use gzkp_curves::random_points;
+    use gzkp_ff::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bucket_reduce_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = random_points::<G1Config, _>(5, &mut rng);
+        let buckets: Vec<Projective<G1Config>> =
+            pts.iter().map(|p| p.to_projective()).collect();
+        let reduced = bucket_reduce(&buckets);
+        let mut expect = Projective::<G1Config>::identity();
+        for (j, b) in buckets.iter().enumerate() {
+            expect = expect.add(&b.mul_u64(j as u64 + 1));
+        }
+        assert_eq!(reduced, expect);
+    }
+
+    #[test]
+    fn naive_msm_linear_in_scalars() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = random_points::<G1Config, _>(4, &mut rng);
+        let s1: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        let doubled: Vec<Fr> = s1.iter().map(|s| *s + *s).collect();
+        let r1 = naive_msm(&pts, &crate::scalars::ScalarVec::from_field(&s1));
+        let r2 = naive_msm(&pts, &crate::scalars::ScalarVec::from_field(&doubled));
+        assert_eq!(r1.double(), r2);
+    }
+
+    #[test]
+    fn curve_cost_g2_heavier_than_g1() {
+        let g1 = CurveCost::of::<G1Config>();
+        let g2 = CurveCost::of::<gzkp_curves::bn254::G2Config>();
+        assert!(g2.padd() > 2.0 * g1.padd());
+        assert_eq!(g2.affine_bytes(), 2 * g1.affine_bytes());
+    }
+}

@@ -1,0 +1,222 @@
+//! Scalar-vector preparation: flat limb storage, window extraction and
+//! bucket-occupancy histograms (the inputs to every MSM engine and to the
+//! Figure-6 load analysis).
+
+use gzkp_ff::PrimeField;
+
+/// A vector of scalars in canonical (non-Montgomery) representation,
+/// stored as one flat little-endian limb buffer — the column-friendly
+/// layout GPU MSM kernels consume.
+#[derive(Debug, Clone)]
+pub struct ScalarVec {
+    limbs: Vec<u64>,
+    per_scalar: usize,
+    bits: u32,
+    n: usize,
+}
+
+impl ScalarVec {
+    /// Converts field elements out of Montgomery form into the flat buffer.
+    pub fn from_field<F: PrimeField>(scalars: &[F]) -> Self {
+        let per_scalar = F::NUM_LIMBS;
+        let mut limbs = Vec::with_capacity(scalars.len() * per_scalar);
+        for s in scalars {
+            limbs.extend(s.to_limbs());
+        }
+        Self { limbs, per_scalar, bits: F::MODULUS_BITS, n: scalars.len() }
+    }
+
+    /// Builds directly from raw canonical limbs (testing, synthetic data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs.len()` is not a multiple of `per_scalar`.
+    pub fn from_raw(limbs: Vec<u64>, per_scalar: usize, bits: u32) -> Self {
+        assert_eq!(limbs.len() % per_scalar, 0);
+        let n = limbs.len() / per_scalar;
+        Self { limbs, per_scalar, bits, n }
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scalar bit width (`l` in the paper's notation).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Limbs per scalar.
+    pub fn limbs_per_scalar(&self) -> usize {
+        self.per_scalar
+    }
+
+    /// Raw limbs of scalar `i`.
+    pub fn scalar_limbs(&self, i: usize) -> &[u64] {
+        &self.limbs[i * self.per_scalar..(i + 1) * self.per_scalar]
+    }
+
+    /// Extracts the `k`-bit window `t` of scalar `i` (window `t` covers bits
+    /// `[t·k, (t+1)·k)`).
+    #[inline]
+    pub fn window(&self, i: usize, t: usize, k: u32) -> u64 {
+        let limbs = self.scalar_limbs(i);
+        let start = t * k as usize;
+        if start >= 64 * self.per_scalar {
+            return 0;
+        }
+        let limb = start / 64;
+        let shift = start % 64;
+        let mut v = limbs[limb] >> shift;
+        if shift != 0 && limb + 1 < self.per_scalar {
+            v |= limbs[limb + 1] << (64 - shift);
+        }
+        v & ((1u64 << k) - 1)
+    }
+
+    /// Number of `k`-bit windows covering the scalar width
+    /// (`⌈l/k⌉` in the paper).
+    pub fn num_windows(&self, k: u32) -> usize {
+        self.bits.div_ceil(k) as usize
+    }
+
+    /// Fraction of scalars equal to 0 or 1 — the sparsity signature of
+    /// real-world workloads (§4.2).
+    pub fn sparsity(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let trivial = (0..self.n)
+            .filter(|&i| {
+                let l = self.scalar_limbs(i);
+                l[0] <= 1 && l[1..].iter().all(|&x| x == 0)
+            })
+            .count();
+        trivial as f64 / self.n as f64
+    }
+}
+
+/// Bucket-occupancy histogram of the *cross-window* point-merging step
+/// (GZKP's consolidation, §4.1): bucket `d` (1 ≤ d < 2^k) counts every
+/// `(i, t)` pair whose window digit equals `d`. Figure 6 plots exactly this.
+pub fn bucket_histogram(scalars: &ScalarVec, k: u32) -> Vec<u64> {
+    let mut hist = vec![0u64; 1 << k];
+    let windows = scalars.num_windows(k);
+    for i in 0..scalars.len() {
+        for t in 0..windows {
+            let d = scalars.window(i, t, k);
+            hist[d as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// Per-window non-zero digit counts — the load profile of window-parallel
+/// (sub-MSM) engines. Sparse workloads concentrate work in low windows.
+pub fn window_loads(scalars: &ScalarVec, k: u32) -> Vec<u64> {
+    let windows = scalars.num_windows(k);
+    let mut loads = vec![0u64; windows];
+    for i in 0..scalars.len() {
+        for (t, l) in loads.iter_mut().enumerate() {
+            if scalars.window(i, t, k) != 0 {
+                *l += 1;
+            }
+        }
+    }
+    loads
+}
+
+/// The paper's recommended window size for a given MSM scale: larger
+/// windows cut Pippenger work but explode the task count (§4.1); this is
+/// the standard `log2(n) − 3` heuristic clamped to sane bounds, used as the
+/// starting point for profiling-based configuration.
+pub fn default_window_size(n: usize) -> u32 {
+    if n <= 1 {
+        return 1;
+    }
+    (n.ilog2() as i64 - 3).clamp(4, 16) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr254;
+    use gzkp_ff::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_reconstruction() {
+        // Sum of windows × weights reconstructs the scalar.
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Fr254::random(&mut rng);
+        let sv = ScalarVec::from_field(&[s]);
+        for k in [4u32, 7, 13, 16] {
+            let mut acc = vec![0u64; 5];
+            for t in (0..sv.num_windows(k)).rev() {
+                // acc = acc * 2^k + digit
+                let mut carry = 0u128;
+                let d = sv.window(0, t, k);
+                for limb in acc.iter_mut() {
+                    let v = ((*limb as u128) << k) | carry;
+                    *limb = v as u64;
+                    carry = v >> 64;
+                }
+                let (lo, c) = acc[0].overflowing_add(d);
+                acc[0] = lo;
+                if c {
+                    acc[1] += 1;
+                }
+            }
+            assert_eq!(&acc[..4], sv.scalar_limbs(0), "k={k}");
+            assert_eq!(acc[4], 0);
+        }
+    }
+
+    #[test]
+    fn histogram_totals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scalars: Vec<Fr254> = (0..100).map(|_| Fr254::random(&mut rng)).collect();
+        let sv = ScalarVec::from_field(&scalars);
+        let k = 8;
+        let hist = bucket_histogram(&sv, k);
+        let total: u64 = hist.iter().sum();
+        assert_eq!(total, 100 * sv.num_windows(k) as u64);
+    }
+
+    #[test]
+    fn sparsity_detection() {
+        let scalars = vec![
+            Fr254::zero(),
+            Fr254::one(),
+            Fr254::from_u64(12345),
+            Fr254::zero(),
+        ];
+        let sv = ScalarVec::from_field(&scalars);
+        assert!((sv.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_scalars_concentrate_in_low_windows() {
+        // 0/1 scalars: only window 0 can be non-zero.
+        let scalars = vec![Fr254::one(); 64];
+        let sv = ScalarVec::from_field(&scalars);
+        let loads = window_loads(&sv, 8);
+        assert_eq!(loads[0], 64);
+        assert!(loads[1..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn default_window_reasonable() {
+        assert_eq!(default_window_size(1 << 14), 11);
+        assert_eq!(default_window_size(1 << 20), 16);
+        assert_eq!(default_window_size(1 << 26), 16); // clamped
+        assert_eq!(default_window_size(16), 4); // clamped low
+    }
+}

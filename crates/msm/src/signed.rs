@@ -1,0 +1,256 @@
+//! Signed-digit bucket MSM — an extension beyond the paper.
+//!
+//! Rewriting each window digit into the balanced range
+//! `[−2^{k−1}, 2^{k−1})` (with carry into the next window) halves the
+//! bucket count: a negative digit subtracts the point from bucket `|d|`
+//! instead of adding it to bucket `d`. Point negation is free on
+//! short-Weierstrass curves (flip `y`), so the same consolidation work
+//! feeds half as many point-merging tasks, and the prefix-sum bucket
+//! reduction halves. Modern MSM implementations (post-GZKP) ship this;
+//! here it composes with GZKP's cross-window consolidation.
+
+use crate::engine::{bucket_reduce, MsmEngine, MsmRun};
+use crate::gzkp::GzkpMsm;
+use crate::scalars::ScalarVec;
+use gzkp_curves::{Affine, CurveParams, Projective};
+use gzkp_ff::PrimeField;
+use gzkp_gpu_sim::kernel::StageReport;
+
+/// GZKP's consolidated MSM with balanced signed digits.
+#[derive(Debug, Clone)]
+pub struct SignedGzkpMsm {
+    /// The underlying GZKP configuration (device, backend, window, M, LB).
+    pub inner: GzkpMsm,
+}
+
+impl SignedGzkpMsm {
+    /// Wraps a GZKP engine configuration.
+    pub fn new(inner: GzkpMsm) -> Self {
+        Self { inner }
+    }
+
+    /// Balanced signed-digit decomposition: returns `windows + 1` digits
+    /// per scalar with `Σ dₜ·2^{t·k}` equal to the scalar.
+    pub fn signed_digits(scalars: &ScalarVec, i: usize, k: u32) -> Vec<i64> {
+        let windows = scalars.num_windows(k);
+        let half = 1i64 << (k - 1);
+        let full = 1i64 << k;
+        let mut out = Vec::with_capacity(windows + 1);
+        let mut carry = 0i64;
+        for t in 0..windows {
+            let raw = scalars.window(i, t, k) as i64 + carry;
+            if raw >= half {
+                out.push(raw - full);
+                carry = 1;
+            } else {
+                out.push(raw);
+                carry = 0;
+            }
+        }
+        out.push(carry);
+        out
+    }
+
+    fn k_of(&self, n: usize) -> u32 {
+        self.inner.window.unwrap_or_else(|| crate::scalars::default_window_size(n))
+    }
+
+    /// Per-bucket `(entries, doublings)` over the halved signed range.
+    fn signed_loads(&self, scalars: &ScalarVec, k: u32, m: u32) -> Vec<(u64, u64)> {
+        let windows = scalars.num_windows(k) + 1;
+        let mut loads = vec![(0u64, 0u64); 1usize << (k - 1)];
+        for i in 0..scalars.len() {
+            for (t, d) in Self::signed_digits(scalars, i, k).into_iter().enumerate() {
+                if d != 0 {
+                    let e = &mut loads[(d.unsigned_abs() - 1) as usize];
+                    e.0 += 1;
+                    if (t as u32) % m != 0 {
+                        e.1 += k as u64;
+                    }
+                }
+            }
+        }
+        let _ = windows;
+        loads
+    }
+}
+
+impl<C: CurveParams> MsmEngine<C> for SignedGzkpMsm {
+    fn name(&self) -> String {
+        "GZKP+signed".into()
+    }
+
+    fn msm(&self, points: &[Affine<C>], scalars: &ScalarVec) -> MsmRun<C> {
+        assert_eq!(points.len(), scalars.len());
+        let n = points.len();
+        let k = self.k_of(n);
+        let windows = scalars.num_windows(k) + 1; // +1 for the carry digit
+        let m = self.inner.interval_for::<C>(n, windows);
+        let pre = self.inner.preprocess(points, k, m, windows);
+
+        // Precompute the digit matrix once (windows+1 digits per scalar).
+        let digits: Vec<Vec<i64>> = (0..n)
+            .map(|i| Self::signed_digits(scalars, i, k))
+            .collect();
+
+        let mut buckets = vec![Projective::<C>::identity(); 1usize << (k - 1)];
+        let mut temp: Vec<Projective<C>> = Vec::new();
+        for t in 0..windows {
+            let level = (t as u32 / m) as usize;
+            let rem = t as u32 % m;
+            if m > 1 {
+                if rem == 0 {
+                    temp = pre[level].iter().map(|p| p.to_projective()).collect();
+                } else {
+                    for p in temp.iter_mut() {
+                        for _ in 0..k {
+                            *p = p.double();
+                        }
+                    }
+                }
+            }
+            for (i, drow) in digits.iter().enumerate() {
+                let d = drow[t];
+                if d == 0 {
+                    continue;
+                }
+                let idx = (d.unsigned_abs() - 1) as usize;
+                let add_point = |slot: &mut Projective<C>, negate: bool| {
+                    if m == 1 {
+                        let p = if negate { pre[level][i].neg() } else { pre[level][i] };
+                        *slot = slot.add_mixed(&p);
+                    } else {
+                        let p = if negate { temp[i].neg() } else { temp[i] };
+                        *slot = slot.add(&p);
+                    }
+                };
+                add_point(&mut buckets[idx], d < 0);
+            }
+        }
+        let result = bucket_reduce(&buckets);
+        let loads = self.signed_loads(scalars, k, m);
+        let report = self.inner.stage::<C>(n, k, windows, &loads);
+        MsmRun { result, report }
+    }
+
+    fn plan(&self, scalars: &ScalarVec) -> StageReport {
+        let n = scalars.len();
+        let k = self.k_of(n);
+        let windows = scalars.num_windows(k) + 1;
+        let m = self.inner.interval_for::<C>(n, windows);
+        let loads = self.signed_loads(scalars, k, m);
+        self.inner.stage::<C>(n, k, windows, &loads)
+    }
+
+    fn plan_dense(&self, n: usize) -> StageReport {
+        let k = self.k_of(n);
+        let bits = <C::Scalar as PrimeField>::MODULUS_BITS;
+        let windows = bits.div_ceil(k) as usize + 1;
+        let m = self.inner.interval_for::<C>(n, windows);
+        // Dense digits spread uniformly over the halved bucket range.
+        let buckets = 1usize << (k - 1);
+        let entries = (n as f64 * windows as f64 * (1.0 - 1.0 / (1u64 << k) as f64)) as u64
+            / buckets as u64;
+        let dbl = (entries as f64 * k as f64 * (m as f64 - 1.0) / m as f64) as u64;
+        self.inner
+            .stage::<C>(n, k, windows, &vec![(entries, dbl); buckets])
+    }
+
+    fn memory_bytes(&self, n: usize) -> u64 {
+        // Buckets halve relative to the unsigned engine; the rest matches.
+        let base = MsmEngine::<C>::memory_bytes(&self.inner, n);
+        let k = self.k_of(n);
+        let bucket_bytes = ((1u64 << k) - 1) * crate::engine::CurveCost::of::<C>().jacobian_bytes();
+        base - bucket_bytes / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::naive_msm;
+    use gzkp_curves::bn254::{Fr, G1Config};
+    use gzkp_curves::random_points;
+    use gzkp_ff::Field;
+    use gzkp_gpu_sim::v100;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn signed_digits_reconstruct_scalar() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Fr::random(&mut rng);
+        let sv = ScalarVec::from_field(&[s]);
+        for k in [4u32, 8, 13, 16] {
+            let digits = SignedGzkpMsm::signed_digits(&sv, 0, k);
+            let half = 1i64 << (k - 1);
+            assert!(digits.iter().all(|&d| (-half..=half).contains(&d)));
+            // Reconstruct: Σ d·2^{tk} via i128 accumulation per limb window.
+            let mut acc = vec![0i128; 6];
+            for (t, &d) in digits.iter().enumerate() {
+                let bit = t * k as usize;
+                acc[bit / 64] += (d as i128) << (bit % 64);
+            }
+            // Normalize carries.
+            let mut limbs = [0u64; 6];
+            let mut carry: i128 = 0;
+            for (i, a) in acc.iter().enumerate() {
+                let v = a + carry;
+                limbs[i] = v as u64;
+                carry = (v - (v as u64 as i128)) >> 64;
+            }
+            assert_eq!(&limbs[..4], &gzkp_ff::PrimeField::to_limbs(&s)[..], "k={k}");
+            assert_eq!(limbs[4], 0);
+        }
+    }
+
+    #[test]
+    fn matches_naive_oracle() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 60;
+        let pts = random_points::<G1Config, _>(n, &mut rng);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let sv = ScalarVec::from_field(&scalars);
+        let run = SignedGzkpMsm::new(GzkpMsm::new(v100())).msm(&pts, &sv);
+        assert_eq!(run.result, naive_msm(&pts, &sv));
+    }
+
+    #[test]
+    fn matches_with_checkpoint_streaming() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20;
+        let pts = random_points::<G1Config, _>(n, &mut rng);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let sv = ScalarVec::from_field(&scalars);
+        let expect = naive_msm(&pts, &sv);
+        for m in [2u32, 5] {
+            let e = SignedGzkpMsm::new(GzkpMsm {
+                checkpoint_interval: Some(m),
+                window: Some(8),
+                ..GzkpMsm::new(v100())
+            });
+            assert_eq!(e.msm(&pts, &sv).result, expect, "M={m}");
+        }
+    }
+
+    #[test]
+    fn handles_extreme_scalars() {
+        // -1 mod r has all-maximal digits; 0 and 1 are the sparse cases.
+        let pts = random_points::<G1Config, _>(3, &mut StdRng::seed_from_u64(4));
+        let scalars = vec![-Fr::one(), Fr::zero(), Fr::one()];
+        let sv = ScalarVec::from_field(&scalars);
+        let run = SignedGzkpMsm::new(GzkpMsm::new(v100())).msm(&pts, &sv);
+        assert_eq!(run.result, naive_msm(&pts, &sv));
+    }
+
+    #[test]
+    fn reduces_bucket_memory() {
+        let signed = SignedGzkpMsm::new(GzkpMsm::new(v100()));
+        let unsigned = GzkpMsm::new(v100());
+        let n = 1 << 16;
+        assert!(
+            MsmEngine::<G1Config>::memory_bytes(&signed, n)
+                < MsmEngine::<G1Config>::memory_bytes(&unsigned, n)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Shared batched-iteration machinery for the GPU NTT engines.
+//!
+//! Both GPU engines execute the Cooley–Tukey iterations in *batches* of `B`
+//! consecutive iterations (§2.2): a batch starting at iteration `s`
+//! decomposes into `N/2^B` independent groups, each owning the `2^B`
+//! elements `{h·2^{s+B} + j·2^s + l : j = 0..2^B}` (stride `2^s`). The
+//! engines differ only in how groups are mapped to blocks and how the data
+//! reaches shared memory; the butterfly math here is common — which is also
+//! what guarantees both engines are bit-identical to the CPU reference.
+
+use crate::domain::{bit_reverse_permute, Radix2Domain};
+use crate::cpu::Direction;
+use gzkp_ff::PrimeField;
+
+/// One batch of iterations: `[start, start + iters)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// First iteration index (also `log2` of the element stride).
+    pub start: u32,
+    /// Number of iterations fused in this batch.
+    pub iters: u32,
+}
+
+impl Batch {
+    /// Elements per independent group.
+    pub fn group_size(&self) -> usize {
+        1 << self.iters
+    }
+
+    /// Number of independent groups at scale `n`.
+    pub fn num_groups(&self, n: usize) -> usize {
+        n >> self.iters
+    }
+
+    /// Element stride inside a group.
+    pub fn stride(&self) -> usize {
+        1 << self.start
+    }
+}
+
+/// Splits `log_n` iterations into batches of at most `max_iters`.
+///
+/// This mirrors the fixed grouping of the baseline (bellperson groups every
+/// 8 iterations; the remainder forms a short final batch — the source of
+/// its tiny-block pathology at awkward scales, §5.3).
+pub fn fixed_batches(log_n: u32, max_iters: u32) -> Vec<Batch> {
+    let mut out = Vec::new();
+    let mut s = 0;
+    while s < log_n {
+        let iters = max_iters.min(log_n - s);
+        out.push(Batch { start: s, iters });
+        s += iters;
+    }
+    out
+}
+
+/// Processes every group of one batch functionally (gather → local
+/// butterflies → scatter). `tw` is the half-size twiddle table.
+pub fn process_batch<F: PrimeField>(data: &mut [F], tw: &[F], batch: Batch) {
+    let n = data.len();
+    let gsize = batch.group_size();
+    let stride = batch.stride();
+    let outer = 1usize << (batch.start + batch.iters); // group period
+    let mut buf = vec![F::zero(); gsize];
+    for base in (0..n).step_by(outer) {
+        for l in 0..stride {
+            // Gather the group (h = base/outer, l).
+            for (j, slot) in buf.iter_mut().enumerate() {
+                *slot = data[base + j * stride + l];
+            }
+            group_butterflies(&mut buf, tw, n, batch.start, batch.iters, l);
+            // Scatter back.
+            for (j, slot) in buf.iter().enumerate() {
+                data[base + j * stride + l] = *slot;
+            }
+        }
+    }
+}
+
+/// Applies `iters` butterfly iterations to one group's local buffer.
+///
+/// For global iteration `i = start + ii`, the butterfly pairing local
+/// indices `j` and `j + 2^ii` uses twiddle `ω^{((jj·2^start) + l)·N/2^{i+1}}`
+/// where `jj = j mod 2^ii`.
+pub fn group_butterflies<F: PrimeField>(
+    buf: &mut [F],
+    tw: &[F],
+    n: usize,
+    start: u32,
+    iters: u32,
+    l: usize,
+) {
+    for ii in 0..iters {
+        let half = 1usize << ii;
+        let i = start + ii;
+        let tw_stride = n >> (i + 1);
+        for chunk in (0..buf.len()).step_by(2 * half) {
+            for jj in 0..half {
+                let j = chunk + jj;
+                let tw_idx = ((jj << start) + l) * tw_stride;
+                let w = tw[tw_idx];
+                let t = buf[j + half] * w;
+                buf[j + half] = buf[j] - t;
+                buf[j] = buf[j] + t;
+            }
+        }
+    }
+}
+
+/// Full functional transform through the batch pipeline; used by both GPU
+/// engines (their cost models differ, the math does not).
+pub fn batched_transform<F: PrimeField>(
+    domain: &Radix2Domain<F>,
+    data: &mut [F],
+    dir: Direction,
+    batches: &[Batch],
+) {
+    assert_eq!(data.len(), domain.size);
+    if data.len() == 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let tw = match dir {
+        Direction::Forward => domain.twiddles(),
+        Direction::Inverse => domain.inv_twiddles(),
+    };
+    for b in batches {
+        process_batch(data, &tw, *b);
+    }
+    if dir == Direction::Inverse {
+        let s = domain.size_inv;
+        for v in data.iter_mut() {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuNtt;
+    use gzkp_ff::fields::Fr254;
+    use gzkp_ff::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_batch_structure() {
+        let b = fixed_batches(20, 8);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], Batch { start: 0, iters: 8 });
+        assert_eq!(b[1], Batch { start: 8, iters: 8 });
+        assert_eq!(b[2], Batch { start: 16, iters: 4 });
+        let b18 = fixed_batches(18, 8);
+        assert_eq!(b18[2], Batch { start: 16, iters: 2 }); // the 2-thread case
+    }
+
+    #[test]
+    fn batched_matches_cpu_various_batchings() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Radix2Domain::<Fr254>::new(1 << 10).unwrap();
+        let coeffs: Vec<Fr254> = (0..d.size).map(|_| Fr254::random(&mut rng)).collect();
+        let mut expect = coeffs.clone();
+        CpuNtt::reference().transform(&d, &mut expect, Direction::Forward);
+        for max_iters in [1u32, 2, 3, 5, 8, 10] {
+            let mut got = coeffs.clone();
+            let batches = fixed_batches(d.log_n, max_iters);
+            batched_transform(&d, &mut got, Direction::Forward, &batches);
+            assert_eq!(got, expect, "batching with max_iters={max_iters}");
+        }
+    }
+
+    #[test]
+    fn batched_inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = Radix2Domain::<Fr254>::new(256).unwrap();
+        let coeffs: Vec<Fr254> = (0..256).map(|_| Fr254::random(&mut rng)).collect();
+        let mut v = coeffs.clone();
+        let batches = fixed_batches(8, 3);
+        batched_transform(&d, &mut v, Direction::Forward, &batches);
+        batched_transform(&d, &mut v, Direction::Inverse, &batches);
+        assert_eq!(v, coeffs);
+    }
+}

@@ -1,0 +1,200 @@
+//! Radix-2 evaluation domains over NTT-friendly prime fields.
+//!
+//! A [`Radix2Domain`] bundles the primitive root of unity, its inverse, the
+//! `1/N` scaling factor and the coset generator used by the Groth16 POLY
+//! stage (the `H(x) = (A·B − C)/Z` division happens on a multiplicative
+//! coset so `Z` never vanishes).
+
+use gzkp_ff::PrimeField;
+
+/// A power-of-two evaluation domain in a prime field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Radix2Domain<F: PrimeField> {
+    /// Domain size `N = 2^log_n`.
+    pub size: usize,
+    /// `log2(N)`.
+    pub log_n: u32,
+    /// Primitive `N`-th root of unity ω.
+    pub omega: F,
+    /// `ω⁻¹`.
+    pub omega_inv: F,
+    /// `N⁻¹` (inverse-NTT scaling).
+    pub size_inv: F,
+    /// Multiplicative-coset generator `g` (the field's generator).
+    pub coset_gen: F,
+    /// `g⁻¹`.
+    pub coset_gen_inv: F,
+}
+
+impl<F: PrimeField> Radix2Domain<F> {
+    /// Creates a domain of the given size.
+    ///
+    /// Returns `None` if `size` is not a power of two or exceeds the field's
+    /// two-adicity.
+    pub fn new(size: usize) -> Option<Self> {
+        if !size.is_power_of_two() || size == 0 {
+            return None;
+        }
+        let log_n = size.trailing_zeros();
+        let omega = F::root_of_unity(size as u64)?;
+        let coset_gen = F::multiplicative_generator();
+        Some(Self {
+            size,
+            log_n,
+            omega,
+            omega_inv: omega.inverse().expect("root nonzero"),
+            size_inv: F::from_u64(size as u64).inverse().expect("N < p"),
+            coset_gen,
+            coset_gen_inv: coset_gen.inverse().expect("generator nonzero"),
+        })
+    }
+
+    /// Smallest domain that can hold `n` values.
+    pub fn at_least(n: usize) -> Option<Self> {
+        Self::new(n.next_power_of_two())
+    }
+
+    /// Precomputes the half-size twiddle table `[ω⁰, ω¹, …, ω^{N/2−1}]`.
+    ///
+    /// Iteration `i` of the Cooley–Tukey loop uses `tw[j · N / 2^{i+1}]`,
+    /// so one table serves every iteration — the layout GZKP's
+    /// preprocessing stores once, without redundancy (§5.3).
+    pub fn twiddles(&self) -> Vec<F> {
+        Self::powers(self.omega, self.size / 2)
+    }
+
+    /// Twiddles for the inverse transform.
+    pub fn inv_twiddles(&self) -> Vec<F> {
+        Self::powers(self.omega_inv, self.size / 2)
+    }
+
+    /// `[base⁰, …, base^{n−1}]`.
+    pub fn powers(base: F, n: usize) -> Vec<F> {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = F::one();
+        for _ in 0..n {
+            out.push(acc);
+            acc *= base;
+        }
+        out
+    }
+
+    /// Evaluates the vanishing polynomial `Z(x) = x^N − 1` at `x`.
+    pub fn eval_vanishing(&self, x: F) -> F {
+        x.pow(&[self.size as u64]) - F::one()
+    }
+
+    /// Scales a vector by successive coset-generator powers in place
+    /// (entering the coset before a forward NTT).
+    pub fn coset_scale(&self, data: &mut [F]) {
+        let mut p = F::one();
+        for v in data.iter_mut() {
+            *v *= p;
+            p *= self.coset_gen;
+        }
+    }
+
+    /// Undoes [`Self::coset_scale`] (after an inverse NTT on the coset).
+    pub fn coset_unscale(&self, data: &mut [F]) {
+        let mut p = F::one();
+        for v in data.iter_mut() {
+            *v *= p;
+            p *= self.coset_gen_inv;
+        }
+    }
+}
+
+/// In-place bit-reversal permutation (the standard pre-pass of the
+/// iterative Cooley–Tukey schedule in Figure 2 of the paper).
+pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    let log_n = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits().wrapping_shr(64 - log_n) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Naive O(N²) DFT used as the ground-truth oracle in tests.
+pub fn naive_dft<F: PrimeField>(coeffs: &[F], omega: F) -> Vec<F> {
+    let n = coeffs.len();
+    (0..n)
+        .map(|k| {
+            let wk = omega.pow(&[k as u64]);
+            let mut acc = F::zero();
+            let mut x = F::one();
+            for c in coeffs {
+                acc += *c * x;
+                x *= wk;
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr254;
+    use gzkp_ff::Field;
+
+    #[test]
+    fn domain_creation() {
+        let d = Radix2Domain::<Fr254>::new(1024).unwrap();
+        assert_eq!(d.log_n, 10);
+        assert_eq!(d.omega.pow(&[1024]), Fr254::one());
+        assert_ne!(d.omega.pow(&[512]), Fr254::one());
+        assert!(Radix2Domain::<Fr254>::new(1000).is_none());
+        assert!(Radix2Domain::<Fr254>::new(1 << 40).is_none());
+    }
+
+    #[test]
+    fn at_least_rounds_up() {
+        let d = Radix2Domain::<Fr254>::at_least(1000).unwrap();
+        assert_eq!(d.size, 1024);
+    }
+
+    #[test]
+    fn twiddle_table_consistent() {
+        let d = Radix2Domain::<Fr254>::new(64).unwrap();
+        let tw = d.twiddles();
+        assert_eq!(tw.len(), 32);
+        assert_eq!(tw[0], Fr254::one());
+        for j in 1..32 {
+            assert_eq!(tw[j], tw[j - 1] * d.omega);
+        }
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        bit_reverse_permute(&mut v);
+        assert_ne!(v, orig);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn coset_scale_roundtrip() {
+        let d = Radix2Domain::<Fr254>::new(16).unwrap();
+        let mut v: Vec<Fr254> = (1..17).map(Fr254::from_u64).collect();
+        let orig = v.clone();
+        d.coset_scale(&mut v);
+        assert_ne!(v, orig);
+        d.coset_unscale(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn vanishing_poly_zero_on_domain() {
+        let d = Radix2Domain::<Fr254>::new(8).unwrap();
+        for k in 0..8u64 {
+            assert!(d.eval_vanishing(d.omega.pow(&[k])).is_zero());
+        }
+        assert!(!d.eval_vanishing(d.coset_gen).is_zero());
+    }
+}

@@ -1,0 +1,33 @@
+//! The Table 2 zkSNARK application workloads (xJsnark-generated in the
+//! paper; reproduced as size/sparsity profiles — see DESIGN.md).
+
+use crate::{SparsityProfile, WorkloadSpec};
+
+/// Application workloads with the exact "Vector size" column of Table 2.
+/// These run on the 753-bit curve (MNT4753 in the paper, T753 here).
+pub fn zksnark_apps() -> Vec<WorkloadSpec> {
+    // Application witnesses carry substantial bound-check structure, but
+    // less extreme than Zcash's; a moderate sparse profile.
+    let app_profile = SparsityProfile { frac_zero: 0.25, frac_one: 0.30, frac_small: 0.15 };
+    vec![
+        WorkloadSpec { name: "AES", vector_size: 16383, sparsity: app_profile },
+        WorkloadSpec { name: "SHA-256", vector_size: 32767, sparsity: app_profile },
+        WorkloadSpec { name: "RSAEnc", vector_size: 98303, sparsity: app_profile },
+        WorkloadSpec { name: "RSASigVer", vector_size: 131071, sparsity: app_profile },
+        WorkloadSpec { name: "Merkle-Tree", vector_size: 294911, sparsity: app_profile },
+        WorkloadSpec { name: "Auction", vector_size: 557055, sparsity: app_profile },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_sizes_match_paper() {
+        let apps = zksnark_apps();
+        let sizes: Vec<usize> = apps.iter().map(|w| w.vector_size).collect();
+        assert_eq!(sizes, vec![16383, 32767, 98303, 131071, 294911, 557055]);
+        assert_eq!(apps[4].name, "Merkle-Tree");
+    }
+}

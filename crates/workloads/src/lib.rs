@@ -1,0 +1,146 @@
+//! # gzkp-workloads — the paper's evaluation workloads
+//!
+//! Generators for every workload class in §5.1 (see DESIGN.md for the
+//! substitution rationale — prover cost depends on vector sizes and scalar
+//! distributions, not on gate semantics, so the xJsnark/Zcash circuits are
+//! reproduced as profiles):
+//!
+//! * [`apps`] — the six Table 2 zkSNARK applications with the paper's
+//!   exact vector sizes;
+//! * [`zcash`] — the Table 3/4 Zcash transactions with the sparse
+//!   0/1-heavy scalar distribution of §4.2 / Figure 6;
+//! * [`synthetic`] — dense uniform inputs (Tables 5–8) and parameterized
+//!   R1CS circuit generation for end-to-end prover runs.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod synthetic;
+pub mod zcash;
+
+use gzkp_ff::PrimeField;
+use gzkp_msm::ScalarVec;
+use rand::Rng;
+
+/// Scalar-value distribution of a workload's `u⃗` vector (§4.2: bound
+/// checks and range constraints put many 0s and 1s in real witnesses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Fraction of exact zeros.
+    pub frac_zero: f64,
+    /// Fraction of exact ones.
+    pub frac_one: f64,
+    /// Fraction of small (< 2¹⁶) values.
+    pub frac_small: f64,
+    // Remainder: uniform full-width field elements.
+}
+
+impl SparsityProfile {
+    /// Dense uniform scalars (the Tables 5–8 synthetic microbenchmarks).
+    pub const DENSE: SparsityProfile =
+        SparsityProfile { frac_zero: 0.0, frac_one: 0.0, frac_small: 0.0 };
+
+    /// The sparse profile of real zkSNARK witnesses (Zcash-class): heavy in
+    /// 0/1 from boolean and range gadgets. Calibrated so the cross-window
+    /// bucket-occupancy spread lands near the paper's Figure 6 (~2.85×).
+    pub const SPARSE: SparsityProfile =
+        SparsityProfile { frac_zero: 0.20, frac_one: 0.15, frac_small: 0.10 };
+
+    /// Samples one scalar from the profile.
+    pub fn sample<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let x: f64 = rng.gen();
+        if x < self.frac_zero {
+            F::zero()
+        } else if x < self.frac_zero + self.frac_one {
+            F::one()
+        } else if x < self.frac_zero + self.frac_one + self.frac_small {
+            F::from_u64(rng.gen::<u16>() as u64)
+        } else {
+            F::random(rng)
+        }
+    }
+}
+
+/// One benchmark workload: a named vector size plus a scalar distribution.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Application name as printed in the paper's tables.
+    pub name: &'static str,
+    /// The `N` column of Tables 2/3 ("Vector size").
+    pub vector_size: usize,
+    /// Distribution of the `u⃗` scalar vector.
+    pub sparsity: SparsityProfile,
+}
+
+impl WorkloadSpec {
+    /// The padded power-of-two domain size.
+    pub fn domain_size(&self) -> usize {
+        self.vector_size.next_power_of_two()
+    }
+
+    /// Samples the sparse scalar vector `u⃗` (the a/b/l-query MSM inputs).
+    pub fn sparse_scalars<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<F> {
+        (0..self.vector_size)
+            .map(|_| self.sparsity.sample(rng))
+            .collect()
+    }
+
+    /// Samples the dense scalar vector `h⃗` (the POLY output feeding the
+    /// h-query MSM; uniformly distributed regardless of witness sparsity).
+    pub fn dense_scalars<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<F> {
+        (0..self.vector_size).map(|_| F::random(rng)).collect()
+    }
+
+    /// Sparse scalars packed for the MSM engines.
+    pub fn sparse_scalar_vec<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> ScalarVec {
+        ScalarVec::from_field(&self.sparse_scalars::<F, R>(rng))
+    }
+
+    /// Dense scalars packed for the MSM engines.
+    pub fn dense_scalar_vec<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> ScalarVec {
+        ScalarVec::from_field(&self.dense_scalars::<F, R>(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr254;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sparse_profile_is_sparse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = WorkloadSpec {
+            name: "test",
+            vector_size: 4000,
+            sparsity: SparsityProfile::SPARSE,
+        };
+        let sv = w.sparse_scalar_vec::<Fr254, _>(&mut rng);
+        let s = sv.sparsity();
+        assert!(s > 0.28 && s < 0.45, "sparsity {s}");
+    }
+
+    #[test]
+    fn dense_profile_is_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = WorkloadSpec {
+            name: "test",
+            vector_size: 1000,
+            sparsity: SparsityProfile::DENSE,
+        };
+        let sv = w.sparse_scalar_vec::<Fr254, _>(&mut rng);
+        assert!(sv.sparsity() < 0.01);
+    }
+
+    #[test]
+    fn domain_rounds_up() {
+        let w = WorkloadSpec {
+            name: "t",
+            vector_size: 16383,
+            sparsity: SparsityProfile::DENSE,
+        };
+        assert_eq!(w.domain_size(), 16384);
+    }
+}

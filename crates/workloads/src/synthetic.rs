@@ -1,0 +1,97 @@
+//! Synthetic inputs: dense microbenchmark vectors (Tables 5–8) and
+//! parameterized R1CS circuits for end-to-end prover runs.
+
+use crate::{SparsityProfile, WorkloadSpec};
+use gzkp_groth16::gadgets::{alloc_boolean, mimc_constants, mimc_gadget};
+use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
+use gzkp_ff::PrimeField;
+use rand::Rng;
+
+/// A dense synthetic workload at scale `n` (the "synthetic data generated
+/// by libsnark" of §5.1).
+pub fn dense(n: usize) -> WorkloadSpec {
+    WorkloadSpec { name: "dense-synthetic", vector_size: n, sparsity: SparsityProfile::DENSE }
+}
+
+/// Builds a satisfied R1CS instance with approximately `target_constraints`
+/// constraints mixing multiplicative chains, boolean/range gadgets (the
+/// source of witness sparsity) and a MiMC block, mimicking the gate mix of
+/// real application circuits.
+pub fn synthetic_circuit<F: PrimeField, R: Rng + ?Sized>(
+    target_constraints: usize,
+    rng: &mut R,
+) -> ConstraintSystem<F> {
+    let mut cs = ConstraintSystem::<F>::new();
+    // A public "output" input so the instance has a statement.
+    let pub_val = F::from_u64(4242);
+    let pub_var = cs.alloc_input(pub_val);
+    // Pin the public input with one constraint.
+    cs.enforce(
+        LinearCombination::from_var(pub_var),
+        LinearCombination::from_const(F::one()),
+        LinearCombination::from_const(pub_val),
+    );
+
+    // One MiMC block for realistic non-linear structure (~183 constraints).
+    let constants = mimc_constants::<F>();
+    let x0 = F::random(rng);
+    let k0 = F::random(rng);
+    let xv = cs.alloc(x0);
+    let kv = cs.alloc(k0);
+    mimc_gadget(&mut cs, xv, x0, kv, k0, &constants);
+
+    // Fill the rest: 60% multiplication chain, 40% boolean allocations
+    // (booleans put the 0/1 values into the witness, as range gadgets do
+    // in real circuits).
+    let mut acc_val = F::random(rng);
+    let mut acc_var = cs.alloc(acc_val);
+    while cs.num_constraints() < target_constraints {
+        if cs.num_constraints() % 5 < 3 {
+            let m_val = F::random(rng);
+            let m_var = cs.alloc(m_val);
+            let out_val = acc_val * m_val;
+            let out_var = cs.alloc(out_val);
+            cs.enforce(
+                LinearCombination::from_var(acc_var),
+                LinearCombination::from_var(m_var),
+                LinearCombination::from_var(out_var),
+            );
+            acc_val = out_val;
+            acc_var = out_var;
+        } else {
+            alloc_boolean(&mut cs, rng.gen());
+        }
+    }
+    debug_assert!(cs.is_satisfied().is_ok());
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr254;
+    use gzkp_ff::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthetic_circuit_is_satisfied() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cs = synthetic_circuit::<Fr254, _>(1000, &mut rng);
+        assert!(cs.is_satisfied().is_ok());
+        assert!(cs.num_constraints() >= 1000);
+        assert!(cs.num_constraints() < 1100);
+    }
+
+    #[test]
+    fn synthetic_circuit_witness_has_zeros_and_ones() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cs = synthetic_circuit::<Fr254, _>(2000, &mut rng);
+        let trivial = cs
+            .aux_assignment
+            .iter()
+            .filter(|v| v.is_zero() || **v == Fr254::one())
+            .count();
+        assert!(trivial * 5 > cs.aux_assignment.len(), "want ≥20% trivial witnesses");
+    }
+}

@@ -1,0 +1,69 @@
+//! The Table 3/4 Zcash workloads (Sprout and Sapling transaction proofs on
+//! BLS12-381), with the highly sparse witness distribution the paper's
+//! load-balancing analysis is built on (§4.2, Figure 6).
+
+use crate::{SparsityProfile, WorkloadSpec};
+
+/// Zcash proof workloads with the exact "Vector size" column of Table 3.
+pub fn zcash_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "Sapling_Output",
+            vector_size: 8191,
+            sparsity: SparsityProfile::SPARSE,
+        },
+        WorkloadSpec {
+            name: "Sapling_Spend",
+            vector_size: 131071,
+            sparsity: SparsityProfile::SPARSE,
+        },
+        WorkloadSpec {
+            name: "Sprout",
+            vector_size: 2097151,
+            sparsity: SparsityProfile::SPARSE,
+        },
+    ]
+}
+
+/// The Figure 6 analysis configuration: a Zcash MSM execution at scale
+/// `2^17` with 256-bit scalars, window size 8 for the histogram plot.
+pub fn figure6_config() -> (usize, u32) {
+    (1 << 17, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_ff::fields::Fr381;
+    use gzkp_msm::bucket_histogram;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table3_sizes_match_paper() {
+        let sizes: Vec<usize> = zcash_workloads().iter().map(|w| w.vector_size).collect();
+        assert_eq!(sizes, vec![8191, 131071, 2097151]);
+    }
+
+    #[test]
+    fn sparse_buckets_are_skewed() {
+        // Figure 6's headline: up to ~2.85× spread in bucket occupancy.
+        let mut rng = StdRng::seed_from_u64(66);
+        let w = WorkloadSpec {
+            name: "fig6",
+            vector_size: 1 << 13,
+            sparsity: SparsityProfile::SPARSE,
+        };
+        let sv = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
+        let hist = bucket_histogram(&sv, 8);
+        // Exclude bucket 0 (trivial) as the paper's plot does.
+        let nonzero: Vec<u64> = hist[1..].iter().copied().filter(|&c| c > 0).collect();
+        let max = *nonzero.iter().max().unwrap() as f64;
+        let mean = nonzero.iter().sum::<u64>() as f64 / nonzero.len() as f64;
+        assert!(
+            max / mean > 1.5,
+            "sparse witness should skew buckets: max/mean {}",
+            max / mean
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Window-size and checkpoint-interval tuning (paper §4.1): GZKP performs
+//! profiling-based window configuration because the MSM size is known per
+//! application. This example sweeps `k` and the checkpoint interval `M`
+//! on the simulated V100 and shows the memory/time tradeoff of
+//! Algorithm 1.
+//!
+//! ```text
+//! cargo run --release --example msm_tuning
+//! ```
+
+use gzkp_curves::bls12_381::G1Config;
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{profile_window_size, GzkpMsm, MsmEngine};
+
+fn main() {
+    let n = 1 << 20;
+    println!("MSM scale: 2^20, BLS12-381 G1, simulated V100\n");
+
+    println!("{:<8} {:>12} {:>14}", "window", "time (ms)", "memory (GB)");
+    for k in (8..=18).step_by(2) {
+        let e = GzkpMsm { window: Some(k), ..GzkpMsm::new(v100()) };
+        let t = MsmEngine::<G1Config>::plan_dense(&e, n).total_ms();
+        let m = MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64;
+        println!("{:<8} {:>12.3} {:>14.2}", format!("k={k}"), t, m);
+    }
+    let best = profile_window_size::<G1Config>(&v100(), n);
+    println!("\nprofiled best window: k = {best}");
+
+    println!("\ncheckpoint interval M (k = {best}), the Algorithm 1 knob:");
+    println!("{:<8} {:>12} {:>14}", "M", "time (ms)", "memory (GB)");
+    for m in [1u32, 2, 4, 8, 16] {
+        let e = GzkpMsm {
+            window: Some(best),
+            checkpoint_interval: Some(m),
+            ..GzkpMsm::new(v100())
+        };
+        let t = MsmEngine::<G1Config>::plan_dense(&e, n).total_ms();
+        let mem = MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64;
+        println!("{:<8} {:>12.3} {:>14.2}", m, t, mem);
+    }
+    println!("\nlarger M: less preprocessing memory, more on-the-fly doublings.");
+}

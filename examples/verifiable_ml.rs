@@ -1,0 +1,149 @@
+//! Verifiable machine learning — the paper's §1 motivating application:
+//! "the owner of the machine-learning model can declare that the model
+//! reached a certain accuracy … and use the ZKP primitive to guarantee
+//! the validity of the declaration without disclosing any secret
+//! information (e.g., parameters) about the model."
+//!
+//! Here a model owner publishes a MiMC commitment to a private linear
+//! model and then proves, for a *public* input vector, that the committed
+//! model's score clears a public threshold — without revealing a single
+//! weight.
+//!
+//! ```text
+//! cargo run --release --example verifiable_ml
+//! ```
+
+use gzkp_curves::bn254::{Bn254, Fr};
+use gzkp_ff::Field;
+use gzkp_gpu_sim::v100;
+use gzkp_groth16::gadgets::{alloc_ranged, mimc_constants, mimc_gadget, mimc_hash};
+use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination, Variable};
+use gzkp_groth16::{prove, setup, verify, ProverEngines};
+use gzkp_msm::GzkpMsm;
+use gzkp_ntt::GzkpNtt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURES: usize = 8;
+
+/// Commits to the weight vector with a MiMC chain: h ← MiMC(h + wᵢ; 0).
+fn commit_weights(weights: &[u64], constants: &[Fr]) -> Fr {
+    weights.iter().fold(Fr::zero(), |h, &w| {
+        mimc_hash(h + Fr::from_u64(w), Fr::zero(), constants)
+    })
+}
+
+fn build_circuit(
+    weights: &[u64],
+    features: &[u64],
+    threshold: u64,
+    commitment: Fr,
+) -> ConstraintSystem<Fr> {
+    let constants = mimc_constants::<Fr>();
+    let mut cs = ConstraintSystem::<Fr>::new();
+
+    // Public statement: the model commitment and the decision threshold.
+    let commit_var = cs.alloc_input(commitment);
+    let threshold_var = cs.alloc_input(Fr::from_u64(threshold));
+
+    // Private witness: the weights (range-checked to 16 bits).
+    let weight_vars: Vec<(Variable, Fr)> = weights
+        .iter()
+        .map(|&w| {
+            let (v, _bits) = alloc_ranged(&mut cs, w, 16);
+            (v, Fr::from_u64(w))
+        })
+        .collect();
+
+    // Recompute the commitment in-circuit and pin it to the public input.
+    let zero_key = cs.alloc(Fr::zero());
+    cs.enforce(
+        LinearCombination::from_var(zero_key),
+        LinearCombination::from_const(Fr::one()),
+        LinearCombination::zero(),
+    );
+    let mut h = (zero_key, Fr::zero());
+    for (wv, wval) in &weight_vars {
+        let in_val = h.1 + *wval;
+        let in_var = cs.alloc(in_val);
+        cs.enforce(
+            LinearCombination::from_var(h.0).add_term(*wv, Fr::one()),
+            LinearCombination::from_const(Fr::one()),
+            LinearCombination::from_var(in_var),
+        );
+        h = mimc_gadget(&mut cs, in_var, in_val, zero_key, Fr::zero(), &constants);
+    }
+    cs.enforce(
+        LinearCombination::from_var(h.0),
+        LinearCombination::from_const(Fr::one()),
+        LinearCombination::from_var(commit_var),
+    );
+
+    // Score = ⟨w, x⟩ with public features folded in as constants (linear).
+    let mut score_lc = LinearCombination::zero();
+    let mut score_val = Fr::zero();
+    for ((wv, wval), &x) in weight_vars.iter().zip(features) {
+        score_lc = score_lc.add_term(*wv, Fr::from_u64(x));
+        score_val += *wval * Fr::from_u64(x);
+    }
+    let score_var = cs.alloc(score_val);
+    cs.enforce(
+        score_lc,
+        LinearCombination::from_const(Fr::one()),
+        LinearCombination::from_var(score_var),
+    );
+
+    // margin = score − threshold must be a small non-negative integer:
+    // the 40-bit range check is the inequality proof.
+    let margin_u64 = {
+        let dot: u64 = weights.iter().zip(features).map(|(w, x)| w * x).sum();
+        dot.checked_sub(threshold).expect("model must clear the threshold")
+    };
+    let (margin_var, _) = alloc_ranged(&mut cs, margin_u64, 40);
+    cs.enforce(
+        LinearCombination::from_var(score_var).add_term(threshold_var, -Fr::one()),
+        LinearCombination::from_const(Fr::one()),
+        LinearCombination::from_var(margin_var),
+    );
+    cs
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let constants = mimc_constants::<Fr>();
+
+    // The owner's secret model and its public commitment.
+    let weights: Vec<u64> = (0..FEATURES).map(|_| rng.gen_range(1..1000)).collect();
+    let commitment = commit_weights(&weights, &constants);
+    println!("model committed: {commitment}");
+
+    // A public inference request.
+    let features: Vec<u64> = (0..FEATURES).map(|_| rng.gen_range(1..1000)).collect();
+    let dot: u64 = weights.iter().zip(&features).map(|(w, x)| w * x).sum();
+    let threshold = dot - rng.gen_range(1..1000); // statement holds
+    println!("public features {features:?}, threshold {threshold}, true score {dot} (stays private-ish: only 'score ≥ threshold' is proven)");
+
+    let cs = build_circuit(&weights, &features, threshold, commitment);
+    cs.is_satisfied().expect("circuit satisfied");
+    println!("circuit: {} constraints", cs.num_constraints());
+
+    let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
+    let ntt = GzkpNtt::auto::<Fr>(v100());
+    let msm = GzkpMsm::new(v100());
+    let msm2 = GzkpMsm::new(v100());
+    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm, msm_g2: &msm2 };
+    let (proof, report) = prove(&cs, &pk, &engines, &mut rng).expect("prove");
+    println!(
+        "proved: POLY {:.2} ms + MSM {:.2} ms (simulated V100)",
+        report.poly_ms(),
+        report.msm_ms()
+    );
+
+    let statement = [commitment, Fr::from_u64(threshold)];
+    assert!(verify::<Bn254>(&vk, &proof, &statement));
+    println!("verified: the committed model scores ≥ {threshold} on this input");
+
+    // A different commitment (different model) must not verify.
+    assert!(!verify::<Bn254>(&vk, &proof, &[commitment + Fr::one(), Fr::from_u64(threshold)]));
+    println!("forged model commitment correctly rejected");
+}

@@ -1,0 +1,80 @@
+//! The Zcash proving pipeline (paper Table 3): runs the Sapling_Output
+//! workload shape through all three systems — Best-CPU (bellman-like),
+//! Best-GPU (bellperson-like) and GZKP — on the simulated V100, printing
+//! the POLY/MSM split and speedups, plus the Figure 6 bucket skew of the
+//! sparse witness.
+//!
+//! ```text
+//! cargo run --release --example zcash_pipeline
+//! ```
+
+use gzkp_bench_shim::*;
+
+// The example re-implements the small shared helpers inline so it depends
+// only on the library crates.
+mod gzkp_bench_shim {
+    pub use gzkp_curves::bls12_381::{G1Config, G2Config};
+    pub use gzkp_ff::fields::Fr381;
+    pub use gzkp_gpu_sim::v100;
+    pub use gzkp_msm::{
+        bucket_histogram, CpuMsm, GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger,
+    };
+    pub use gzkp_ntt::gpu::GpuNttEngine;
+    pub use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+    pub use gzkp_workloads::zcash::zcash_workloads;
+}
+
+fn msm_stage_ms(
+    g1: &dyn MsmEngine<G1Config>,
+    g2: &dyn MsmEngine<G2Config>,
+    sparse: &ScalarVec,
+    dense: &ScalarVec,
+) -> f64 {
+    g1.plan(sparse).total_ms() * 3.0 + g1.plan(dense).total_ms() + g2.plan(sparse).total_ms()
+}
+
+fn main() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let w = &zcash_workloads()[0]; // Sapling_Output
+    println!("workload: {} (N = {})", w.name, w.vector_size);
+
+    let sparse = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
+    let dense = w.dense_scalar_vec::<Fr381, _>(&mut rng);
+    println!("witness sparsity (0/1 fraction): {:.2}", sparse.sparsity());
+
+    // Figure 6 in miniature: the bucket skew the load balancer handles.
+    let hist = bucket_histogram(&sparse, 8);
+    let busy: Vec<u64> = hist[1..].iter().copied().filter(|&c| c > 0).collect();
+    let max = *busy.iter().max().unwrap();
+    let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+    println!("bucket skew: max {max} vs mean {mean:.0} ({:.2}x)", max as f64 / mean);
+
+    let log_n = w.domain_size().trailing_zeros();
+    let dev = v100();
+
+    // POLY: 7 NTTs per proof.
+    let bg_ntt = BaselineGpuNtt::new(dev.clone());
+    let gz_ntt = GzkpNtt::auto::<Fr381>(dev.clone());
+    let poly_bg = 7.0 * GpuNttEngine::<Fr381>::cost(&bg_ntt, log_n).total_ms();
+    let poly_gz = 7.0 * GpuNttEngine::<Fr381>::cost(&gz_ntt, log_n).total_ms();
+
+    // MSM: 5 MSMs per proof.
+    let cpu = CpuMsm::default();
+    let bg = SubMsmPippenger::new(dev.clone());
+    let gz = GzkpMsm::new(dev);
+    let msm_cpu = msm_stage_ms(&cpu, &cpu, &sparse, &dense);
+    let msm_bg = msm_stage_ms(&bg, &bg, &sparse, &dense);
+    let msm_gz = msm_stage_ms(&gz, &gz, &sparse, &dense);
+
+    println!("\n{:<12} {:>12} {:>12} {:>12}", "stage", "Best-CPU", "bellperson", "GZKP");
+    println!("{:<12} {:>12.2} {:>12.2} {:>12.2}", "POLY (ms)", f64::NAN, poly_bg, poly_gz);
+    println!("{:<12} {:>12.2} {:>12.2} {:>12.2}", "MSM (ms)", msm_cpu, msm_bg, msm_gz);
+    let total_bg = poly_bg + msm_bg;
+    let total_gz = poly_gz + msm_gz;
+    println!(
+        "\nGZKP end-to-end speedup vs bellperson: {:.1}x  ({:.2} ms -> {:.2} ms, simulated V100)",
+        total_bg / total_gz,
+        total_bg,
+        total_gz
+    );
+}

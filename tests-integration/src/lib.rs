@@ -1,0 +1,3 @@
+//! Cross-crate integration tests and example carriers for the GZKP
+//! reproduction workspace. See `tests/` for the tests and `../examples/`
+//! for the runnable examples.
