@@ -11,9 +11,9 @@ use gzkp_bench::Recorder;
 use gzkp_curves::bls12_381::G1Config;
 use gzkp_ff::fields::{Fr254, Fr381};
 use gzkp_gpu_sim::{v100, Backend};
+use gzkp_msm::{GzkpMsm, MsmEngine};
 use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_ntt::{BatchedNtt, GzkpNtt};
-use gzkp_msm::{GzkpMsm, MsmEngine};
 
 fn ntt_shape_sweep(rec: &mut Recorder) {
     let log_n = 20;
@@ -38,12 +38,18 @@ fn ntt_shape_sweep(rec: &mut Recorder) {
 fn msm_window_sweep(rec: &mut Recorder) {
     let n = 1usize << 20;
     for k in (8..=18).step_by(2) {
-        let e = GzkpMsm { window: Some(k as u32), ..GzkpMsm::new(v100()) };
+        let e = GzkpMsm {
+            window: Some(k as u32),
+            ..GzkpMsm::new(v100())
+        };
         rec.row(
             format!("msm-2^20 k={k}"),
             "ms",
             vec![
-                ("time".into(), MsmEngine::<G1Config>::plan_dense(&e, n).total_ms()),
+                (
+                    "time".into(),
+                    MsmEngine::<G1Config>::plan_dense(&e, n).total_ms(),
+                ),
                 (
                     "mem-GB".into(),
                     MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64,
@@ -65,7 +71,10 @@ fn checkpoint_sweep(rec: &mut Recorder) {
             format!("msm-2^20 M={m}"),
             "ms",
             vec![
-                ("time".into(), MsmEngine::<G1Config>::plan_dense(&e, n).total_ms()),
+                (
+                    "time".into(),
+                    MsmEngine::<G1Config>::plan_dense(&e, n).total_ms(),
+                ),
                 (
                     "mem-GB".into(),
                     MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64,
@@ -88,7 +97,10 @@ fn he_batching(rec: &mut Recorder) {
             vec![
                 ("fused".into(), fused),
                 ("sequential".into(), single * count as f64),
-                ("throughput/s".into(), b.throughput_per_sec::<Fr381>(12, count)),
+                (
+                    "throughput/s".into(),
+                    b.throughput_per_sec::<Fr381>(12, count),
+                ),
             ],
         );
     }

@@ -30,7 +30,11 @@ fn main() {
             } else {
                 SparsityProfile::SPARSE
             };
-            let w = WorkloadSpec { name: "fig10", vector_size: n, sparsity };
+            let w = WorkloadSpec {
+                name: "fig10",
+                vector_size: n,
+                sparsity,
+            };
             let sv = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
             let t_bg = MsmEngine::<G1Config>::plan(&bg, &sv).total_ms();
             let t_no_lb = MsmEngine::<G1Config>::plan(&no_lb, &sv).total_ms();

@@ -14,7 +14,11 @@ fn main() {
     let mut rec = Recorder::new("fig6_bucket_histogram");
     let (n, k) = figure6_config();
     let mut rng = StdRng::seed_from_u64(6);
-    let w = WorkloadSpec { name: "zcash-2^17", vector_size: n, sparsity: SparsityProfile::SPARSE };
+    let w = WorkloadSpec {
+        name: "zcash-2^17",
+        vector_size: n,
+        sparsity: SparsityProfile::SPARSE,
+    };
     let sv = w.sparse_scalar_vec::<Fr381, _>(&mut rng);
     let hist = bucket_histogram(&sv, k);
 

@@ -57,13 +57,19 @@ fn curve_ops(c: &mut Criterion) {
     let p = bn254::G1Projective::generator().mul(&Fr254::random(&mut rng));
     let q = bn254::G1Projective::generator().mul(&Fr254::random(&mut rng));
     let qa = q.to_affine();
-    g.bench_function("bn254_padd", |bch| bch.iter(|| std::hint::black_box(p.add(&q))));
+    g.bench_function("bn254_padd", |bch| {
+        bch.iter(|| std::hint::black_box(p.add(&q)))
+    });
     g.bench_function("bn254_padd_mixed", |bch| {
         bch.iter(|| std::hint::black_box(p.add_mixed(&qa)))
     });
-    g.bench_function("bn254_pdbl", |bch| bch.iter(|| std::hint::black_box(p.double())));
+    g.bench_function("bn254_pdbl", |bch| {
+        bch.iter(|| std::hint::black_box(p.double()))
+    });
     let s = Fr254::random(&mut rng);
-    g.bench_function("bn254_pmul", |bch| bch.iter(|| std::hint::black_box(p.mul(&s))));
+    g.bench_function("bn254_pmul", |bch| {
+        bch.iter(|| std::hint::black_box(p.mul(&s)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("pairing");
@@ -83,13 +89,17 @@ fn ntt(c: &mut Criterion) {
         let d = Radix2Domain::<Fr254>::new(1 << log_n).unwrap();
         let data: Vec<Fr254> = (0..d.size).map(|_| Fr254::random(&mut rng)).collect();
         let engine = CpuNtt::reference();
-        g.bench_with_input(BenchmarkId::from_parameter(format!("2^{log_n}")), &d, |bch, d| {
-            bch.iter(|| {
-                let mut v = data.clone();
-                engine.transform(d, &mut v, Direction::Forward);
-                std::hint::black_box(v)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{log_n}")),
+            &d,
+            |bch, d| {
+                bch.iter(|| {
+                    let mut v = data.clone();
+                    engine.transform(d, &mut v, Direction::Forward);
+                    std::hint::black_box(v)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -137,7 +147,11 @@ fn groth16_end_to_end(c: &mut Criterion) {
     let ntt = GzkpNtt::auto::<Fr>(v100());
     let msm_g1 = GzkpMsm::new(v100());
     let msm_g2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm_g1, msm_g2: &msm_g2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm_g1,
+        msm_g2: &msm_g2,
+    };
     g.bench_function("prove_256_constraints", |bch| {
         bch.iter(|| {
             let (proof, _) = prove(&cs, &pk, &engines, &mut rng).unwrap();
@@ -152,5 +166,54 @@ fn groth16_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, field_ops, curve_ops, ntt, msm, groth16_end_to_end);
+fn telemetry_overhead(c: &mut Criterion) {
+    use gzkp_curves::bn254::{Bn254, Fr};
+    use gzkp_groth16::r1cs::ConstraintSystem;
+    use gzkp_groth16::{prove_with_telemetry, setup, ProverEngines};
+    use gzkp_ntt::GzkpNtt;
+    use gzkp_telemetry::{NoopSink, TraceRecorder};
+    use gzkp_workloads::synthetic::synthetic_circuit;
+
+    // The prover's telemetry hooks are `sink.enabled()` branches; with the
+    // default NoopSink the prove path must cost the same as before the
+    // instrumentation existed. Compare against a live TraceRecorder to see
+    // what recording actually costs.
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let cs: ConstraintSystem<Fr> = synthetic_circuit(256, &mut rng);
+    let (pk, _) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+    let ntt = GzkpNtt::auto::<Fr>(v100());
+    let msm_g1 = GzkpMsm::new(v100());
+    let msm_g2 = GzkpMsm::new(v100());
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm_g1,
+        msm_g2: &msm_g2,
+    };
+    g.bench_function("prove_noop_sink", |bch| {
+        bch.iter(|| {
+            let (proof, _) = prove_with_telemetry(&cs, &pk, &engines, &mut rng, &NoopSink).unwrap();
+            std::hint::black_box(proof)
+        })
+    });
+    g.bench_function("prove_trace_recorder", |bch| {
+        bch.iter(|| {
+            let recorder = TraceRecorder::new("V100");
+            let (proof, _) = prove_with_telemetry(&cs, &pk, &engines, &mut rng, &recorder).unwrap();
+            std::hint::black_box((proof, recorder.finish()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    field_ops,
+    curve_ops,
+    ntt,
+    msm,
+    groth16_end_to_end,
+    telemetry_overhead
+);
 criterion_main!(benches);

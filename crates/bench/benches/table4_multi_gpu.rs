@@ -22,20 +22,14 @@ const CARDS: usize = 4;
 /// Splits a scalar vector into four card-local quarters.
 fn quarters(sv_raw: &[gzkp_ff::fields::Fr381]) -> Vec<ScalarVec> {
     let chunk = sv_raw.len().div_ceil(CARDS);
-    sv_raw
-        .chunks(chunk)
-        .map(ScalarVec::from_field)
-        .collect()
+    sv_raw.chunks(chunk).map(ScalarVec::from_field).collect()
 }
 
 /// One MSM over four cards: per-card plan + combination transfer
 /// (each card ships its partial G1/G2 sums — a few hundred bytes — plus
 /// bucket spill; modelled as 1 MB per card).
 fn msm4_ms<C: gzkp_curves::CurveParams>(engine: &dyn MsmEngine<C>, parts: &[ScalarVec]) -> f64 {
-    let per_card: Vec<f64> = parts
-        .iter()
-        .map(|p| engine.plan(p).total_ns())
-        .collect();
+    let per_card: Vec<f64> = parts.iter().map(|p| engine.plan(p).total_ns()).collect();
     multi_gpu_time_ns(&v100(), &per_card, (CARDS as u64) * (1 << 20)) / 1e6
 }
 

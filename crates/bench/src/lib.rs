@@ -13,13 +13,16 @@
 #![warn(missing_docs)]
 
 use gzkp_gpu_sim::device::{cpu_xeon, field_add_macs, field_mul_macs, DeviceConfig};
+use gzkp_telemetry::{Trace, TraceNode};
 use serde::Serialize;
 use std::io::Write as _;
 use std::path::PathBuf;
 
 /// True when the full paper-scale sweep was requested.
 pub fn full_mode() -> bool {
-    std::env::var("GZKP_BENCH_FULL").map(|v| v != "0").unwrap_or(false)
+    std::env::var("GZKP_BENCH_FULL")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// One printed/recorded result row.
@@ -46,7 +49,10 @@ impl Recorder {
     /// Starts a recorder for the given experiment id.
     pub fn new(experiment: &str) -> Self {
         println!("\n=== {experiment} ===");
-        Self { experiment: experiment.into(), rows: Vec::new() }
+        Self {
+            experiment: experiment.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Records and prints one row.
@@ -65,13 +71,17 @@ impl Recorder {
         });
     }
 
-    /// Flushes JSON to `<workspace>/target/paper-results/<experiment>.json`.
+    /// Flushes JSON to `<workspace>/target/paper-results/<experiment>.json`
+    /// plus a versioned telemetry trace (`BENCH_<experiment>.json`, one
+    /// span per row) that `zkprof render`/`zkprof diff` consume — run a
+    /// bench on two commits and diff the two `BENCH_*` files to gate on
+    /// regressions.
     pub fn finish(self) {
         // Bench binaries run with the package dir as CWD; anchor at the
         // workspace target directory instead.
-        let target = std::env::var("CARGO_TARGET_DIR").map(PathBuf::from).unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target")
-        });
+        let target = std::env::var("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
         let dir = target.join("paper-results");
         if std::fs::create_dir_all(&dir).is_err() {
             return;
@@ -81,6 +91,34 @@ impl Recorder {
             let _ = writeln!(f, "{}", serde_json::to_string_pretty(&self.rows).unwrap());
             println!("[written {}]", path.display());
         }
+        let trace = self.to_trace();
+        let trace_path = dir.join(format!("BENCH_{}.json", trace.root.name));
+        if trace.write_to(&trace_path).is_ok() {
+            println!("[written {}]", trace_path.display());
+        }
+    }
+
+    /// Converts the recorded rows into a telemetry [`Trace`]: the root
+    /// span is the experiment, each row becomes a child span whose
+    /// counters are the row's measurements. When the rows are in
+    /// milliseconds the first measurement doubles as the span time, so
+    /// `zkprof diff` can gate per-row regressions.
+    fn to_trace(&self) -> Trace {
+        let mut root = TraceNode::new(self.experiment.clone());
+        for row in &self.rows {
+            let mut node = TraceNode::new(row.label.clone());
+            for (name, v) in &row.values {
+                node.counters.push((format!("{name} [{}]", row.unit), *v));
+            }
+            if row.unit == "ms" {
+                if let Some((_, v)) = row.values.first() {
+                    node.time_ns = v * 1e6;
+                }
+            }
+            root.time_ns += node.time_ns;
+            root.children.push(node);
+        }
+        Trace::new("gzkp-bench", "simulated", root)
     }
 }
 

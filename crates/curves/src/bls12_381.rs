@@ -196,7 +196,9 @@ mod tests {
         let q = G2Affine::generator();
         let e = pairing(&p, &q);
         let p2 = p.mul(&Fr::from_u64(2)).to_affine();
-        let q2 = Projective::<G2Config>::generator().mul(&Fr::from_u64(2)).to_affine();
+        let q2 = Projective::<G2Config>::generator()
+            .mul(&Fr::from_u64(2))
+            .to_affine();
         assert_eq!(pairing(&p2, &q), e.square());
         assert_eq!(pairing(&p, &q2), e.square());
         assert_eq!(pairing(&p2, &q2), e.pow(&[4]));

@@ -112,9 +112,7 @@ impl CurveParams for G2Config {
     fn coeff_b() -> Fq2 {
         // b2 = 3 / (9 + u)
         static B2: OnceLock<Fq2> = OnceLock::new();
-        *B2.get_or_init(|| {
-            Fq2::from_u64(3) * xi().inverse().expect("xi nonzero")
-        })
+        *B2.get_or_init(|| Fq2::from_u64(3) * xi().inverse().expect("xi nonzero"))
     }
     fn generator() -> (Fq2, Fq2) {
         // The standard generator (EIP-197 encoding).
@@ -234,7 +232,9 @@ mod tests {
                     let (r, o) = limb.overflowing_add(c);
                     *limb = r;
                     c = u64::from(o);
-                    if c == 0 { break; }
+                    if c == 0 {
+                        break;
+                    }
                 }
             } else {
                 let mut b = (-d) as u64;
@@ -242,7 +242,9 @@ mod tests {
                     let (r, o) = limb.overflowing_sub(b);
                     *limb = r;
                     b = u64::from(o);
-                    if b == 0 { break; }
+                    if b == 0 {
+                        break;
+                    }
                 }
             }
         }
@@ -279,7 +281,9 @@ mod tests {
         let q = G2Affine::generator();
         let e = pairing(&p, &q);
         let p2 = p.mul(&Fr::from_u64(2)).to_affine();
-        let q3 = Projective::<G2Config>::generator().mul(&Fr::from_u64(3)).to_affine();
+        let q3 = Projective::<G2Config>::generator()
+            .mul(&Fr::from_u64(3))
+            .to_affine();
         assert_eq!(pairing(&p2, &q), e.square());
         assert_eq!(pairing(&p, &q3), e.square() * e);
         assert_eq!(pairing(&p2, &q3), e.pow(&[6]));
@@ -287,8 +291,14 @@ mod tests {
 
     #[test]
     fn pairing_with_identity_is_one() {
-        assert_eq!(pairing(&G1Affine::identity(), &G2Affine::generator()), Fq12::one());
-        assert_eq!(pairing(&G1Affine::generator(), &G2Affine::identity()), Fq12::one());
+        assert_eq!(
+            pairing(&G1Affine::identity(), &G2Affine::generator()),
+            Fq12::one()
+        );
+        assert_eq!(
+            pairing(&G1Affine::generator(), &G2Affine::identity()),
+            Fq12::one()
+        );
     }
 
     #[test]

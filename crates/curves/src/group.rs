@@ -87,12 +87,20 @@ impl<C: CurveParams> Default for Projective<C> {
 impl<C: CurveParams> Affine<C> {
     /// The point at infinity.
     pub fn identity() -> Self {
-        Self { x: C::Base::zero(), y: C::Base::zero(), infinity: true }
+        Self {
+            x: C::Base::zero(),
+            y: C::Base::zero(),
+            infinity: true,
+        }
     }
 
     /// Constructs a point from coordinates **without** an on-curve check.
     pub fn new_unchecked(x: C::Base, y: C::Base) -> Self {
-        Self { x, y, infinity: false }
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
     }
 
     /// Constructs a point, returning `None` if not on the curve.
@@ -127,7 +135,11 @@ impl<C: CurveParams> Affine<C> {
         if self.infinity {
             *self
         } else {
-            Self { x: self.x, y: -self.y, infinity: false }
+            Self {
+                x: self.x,
+                y: -self.y,
+                infinity: false,
+            }
         }
     }
 
@@ -136,7 +148,12 @@ impl<C: CurveParams> Affine<C> {
         if self.infinity {
             Projective::identity()
         } else {
-            Projective { x: self.x, y: self.y, z: C::Base::one(), _marker: PhantomData }
+            Projective {
+                x: self.x,
+                y: self.y,
+                z: C::Base::one(),
+                _marker: PhantomData,
+            }
         }
     }
 
@@ -157,8 +174,7 @@ impl<C: CurveParams> PartialEq for Projective<C> {
         }
         let z1sq = self.z.square();
         let z2sq = other.z.square();
-        self.x * z2sq == other.x * z1sq
-            && self.y * (z2sq * other.z) == other.y * (z1sq * self.z)
+        self.x * z2sq == other.x * z1sq && self.y * (z2sq * other.z) == other.y * (z1sq * self.z)
     }
 }
 impl<C: CurveParams> Eq for Projective<C> {}
@@ -206,7 +222,12 @@ impl<C: CurveParams> Projective<C> {
         let x3 = t;
         let y3 = m * (s - t) - yyyy.double().double().double(); // 8*YYYY
         let z3 = (self.y + self.z).square() - yy - zz;
-        Self { x: x3, y: y3, z: z3, _marker: PhantomData }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
     }
 
     /// Point addition (`add-2007-bl`), PADD in the paper's notation.
@@ -237,7 +258,12 @@ impl<C: CurveParams> Projective<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (s1 * j).double();
         let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
-        Self { x: x3, y: y3, z: z3, _marker: PhantomData }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
     }
 
     /// Mixed addition with an affine point (`madd-2007-bl`), the workhorse
@@ -267,12 +293,22 @@ impl<C: CurveParams> Projective<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (self.y * j).double();
         let z3 = (self.z + h).square() - z1z1 - hh;
-        Self { x: x3, y: y3, z: z3, _marker: PhantomData }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+            _marker: PhantomData,
+        }
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        Self { x: self.x, y: -self.y, z: self.z, _marker: PhantomData }
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+            _marker: PhantomData,
+        }
     }
 
     /// Subtraction.

@@ -36,5 +36,5 @@ pub mod serialize;
 pub mod t753;
 
 pub use group::{batch_to_affine, random_points, wnaf_digits, Affine, CurveParams, Projective};
-pub use serialize::{compress, decompress, CoordField};
 pub use pairing::{final_exponentiation, miller_loop, multi_pairing, PairingConfig};
+pub use serialize::{compress, decompress, CoordField};

@@ -57,11 +57,17 @@ struct EFq12<C: Fp12Config> {
 
 impl<C: Fp12Config> EFq12<C> {
     fn neg(&self) -> Self {
-        Self { x: self.x, y: -self.y }
+        Self {
+            x: self.x,
+            y: -self.y,
+        }
     }
 
     fn frobenius(&self, power: usize) -> Self {
-        Self { x: self.x.frobenius_map(power), y: self.y.frobenius_map(power) }
+        Self {
+            x: self.x.frobenius_map(power),
+            y: self.y.frobenius_map(power),
+        }
     }
 
     /// Affine point doubling; returns `None` at infinity (y == 0).
@@ -120,10 +126,7 @@ fn embed_fq2<P: PairingConfig>(v: Fp2<P::Fq2C>) -> Gt<P>
 where
     <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
 {
-    Fp12::new(
-        Fp6::new(v, Fp2::zero(), Fp2::zero()),
-        Fp6::zero(),
-    )
+    Fp12::new(Fp6::new(v, Fp2::zero(), Fp2::zero()), Fp6::zero())
 }
 
 /// The generator `w` of `Fq12 = Fq6[w]`.
@@ -142,7 +145,10 @@ where
     let x = embed_fq2::<P>(q.x);
     let y = embed_fq2::<P>(q.y);
     if P::TWIST_IS_D {
-        EFq12 { x: x * w2, y: y * w3 }
+        EFq12 {
+            x: x * w2,
+            y: y * w3,
+        }
     } else {
         EFq12 {
             x: x * w2.inverse().expect("w invertible"),
@@ -161,7 +167,10 @@ where
     if p.is_identity() || q.is_identity() {
         return Gt::<P>::one();
     }
-    let pe = EFq12 { x: embed_fq::<P>(p.x), y: embed_fq::<P>(p.y) };
+    let pe = EFq12 {
+        x: embed_fq::<P>(p.x),
+        y: embed_fq::<P>(p.y),
+    };
     let qe = untwist::<P>(q);
 
     let c = P::loop_count();
@@ -172,7 +181,7 @@ where
         f = f.square() * line_eval(&t, &t, &pe);
         t = t.double().expect("no 2-torsion hit in Miller loop");
         if (c[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
-            f = f * line_eval(&t, &qe, &pe);
+            f *= line_eval(&t, &qe, &pe);
             t = t.add(&qe).expect("no cancellation in Miller loop");
         }
     }
@@ -185,9 +194,9 @@ where
         // Optimal ate for BN curves: two Frobenius-twisted additions.
         let q1 = qe.frobenius(1);
         let q2 = qe.frobenius(2).neg();
-        f = f * line_eval(&t, &q1, &pe);
+        f *= line_eval(&t, &q1, &pe);
         t = t.add(&q1).expect("BN final step 1");
-        f = f * line_eval(&t, &q2, &pe);
+        f *= line_eval(&t, &q2, &pe);
         let _ = t.add(&q2); // final T unused
     }
     f
@@ -219,15 +228,21 @@ where
     final_exponentiation::<P>(&miller_loop::<P>(p, q))
 }
 
+/// One `(G1, G2)` input of a product-of-pairings.
+pub type PairingPair<P> = (
+    Affine<<P as PairingConfig>::G1>,
+    Affine<<P as PairingConfig>::G2>,
+);
+
 /// Product of pairings `∏ e(Pᵢ, Qᵢ)` with a single final exponentiation —
 /// the shape the Groth16 verification equation uses.
-pub fn multi_pairing<P: PairingConfig>(pairs: &[(Affine<P::G1>, Affine<P::G2>)]) -> Gt<P>
+pub fn multi_pairing<P: PairingConfig>(pairs: &[PairingPair<P>]) -> Gt<P>
 where
     <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
 {
     let mut f = Gt::<P>::one();
     for (p, q) in pairs {
-        f = f * miller_loop::<P>(p, q);
+        f *= miller_loop::<P>(p, q);
     }
     final_exponentiation::<P>(&f)
 }
@@ -239,11 +254,7 @@ where
 ///
 /// Panics if `divisor` does not divide `q^i − 1` (i.e. the tower is
 /// misconfigured).
-pub fn frobenius_coeffs<C: Fp2Config>(
-    xi: Fp2<C>,
-    divisor: u64,
-    count: usize,
-) -> Vec<Fp2<C>> {
+pub fn frobenius_coeffs<C: Fp2Config>(xi: Fp2<C>, divisor: u64, count: usize) -> Vec<Fp2<C>> {
     let q = C::Fp::characteristic();
     let mut out = Vec::with_capacity(count);
     let mut qi = vec![1u64]; // q^0

@@ -27,7 +27,10 @@ impl<P: gzkp_ff::FpParams<N>, const N: usize> CoordField for gzkp_ff::Fp<P, N> {
         N * 8
     }
     fn to_coord_bytes(&self) -> Vec<u8> {
-        self.to_limbs().iter().flat_map(|l| l.to_le_bytes()).collect()
+        self.to_limbs()
+            .iter()
+            .flat_map(|l| l.to_le_bytes())
+            .collect()
     }
     fn from_coord_bytes(bytes: &[u8]) -> Option<Self> {
         if bytes.len() != N * 8 {
@@ -55,8 +58,12 @@ where
         2 * C::Fp::NUM_LIMBS * 8
     }
     fn to_coord_bytes(&self) -> Vec<u8> {
-        let mut out: Vec<u8> =
-            self.c0.to_limbs().iter().flat_map(|l| l.to_le_bytes()).collect();
+        let mut out: Vec<u8> = self
+            .c0
+            .to_limbs()
+            .iter()
+            .flat_map(|l| l.to_le_bytes())
+            .collect();
         out.extend(self.c1.to_limbs().iter().flat_map(|l| l.to_le_bytes()));
         out
     }

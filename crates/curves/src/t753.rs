@@ -93,8 +93,8 @@ pub type G2Projective = Projective<G2Config>;
 mod tests {
     use super::*;
     use gzkp_ff::PrimeField;
-    use rand::{rngs::StdRng, Rng};
     use rand::SeedableRng;
+    use rand::{rngs::StdRng, Rng};
 
     #[test]
     fn generators_on_curve() {

@@ -6,7 +6,7 @@ use gzkp_curves::group::{batch_to_affine, random_points, Projective};
 use gzkp_curves::serialize::{compress, decompress};
 use gzkp_curves::{bls12_381, bn254, t753, CurveParams};
 use gzkp_ff::ext::Fp2;
-use gzkp_ff::{Field, PrimeField};
+use gzkp_ff::Field;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,14 +22,24 @@ fn group_laws_for<C: CurveParams>(seed: u64) {
     let r = rand_point::<C>(seed ^ 0xbeef);
     // Abelian group axioms.
     assert_eq!(p.add(&q), q.add(&p), "{} commutativity", C::NAME);
-    assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)), "{} associativity", C::NAME);
+    assert_eq!(
+        p.add(&q).add(&r),
+        p.add(&q.add(&r)),
+        "{} associativity",
+        C::NAME
+    );
     assert_eq!(p.add(&Projective::identity()), p, "{} identity", C::NAME);
     assert!(p.add(&p.neg()).is_identity(), "{} inverse", C::NAME);
     assert_eq!(p.double(), p.add(&p), "{} doubling", C::NAME);
     // Mixed addition agrees with full addition.
     assert_eq!(p.add(&q), p.add_mixed(&q.to_affine()), "{} mixed", C::NAME);
     // Affine roundtrip.
-    assert_eq!(p.to_affine().to_projective(), p, "{} affine roundtrip", C::NAME);
+    assert_eq!(
+        p.to_affine().to_projective(),
+        p,
+        "{} affine roundtrip",
+        C::NAME
+    );
     assert!(p.to_affine().is_on_curve(), "{} on-curve", C::NAME);
 }
 
@@ -96,10 +106,11 @@ proptest! {
 #[test]
 fn batch_normalize_handles_identity_mix() {
     let mut rng = StdRng::seed_from_u64(5);
-    let mut pts: Vec<Projective<bn254::G1Config>> = random_points::<bn254::G1Config, _>(6, &mut rng)
-        .iter()
-        .map(|p| p.to_projective())
-        .collect();
+    let mut pts: Vec<Projective<bn254::G1Config>> =
+        random_points::<bn254::G1Config, _>(6, &mut rng)
+            .iter()
+            .map(|p| p.to_projective())
+            .collect();
     pts.insert(2, Projective::identity());
     pts.push(Projective::identity());
     let affines = batch_to_affine(&pts);

@@ -273,7 +273,10 @@ impl<const N: usize> BigInt<N> {
                 _ => panic!("invalid hex digit {}", b as char),
             })
             .collect();
-        assert!(digits.len() <= N * 16, "hex literal too long for BigInt<{N}>");
+        assert!(
+            digits.len() <= N * 16,
+            "hex literal too long for BigInt<{N}>"
+        );
         for (i, d) in digits.iter().rev().enumerate() {
             limbs[i / 16] |= (*d as u64) << (4 * (i % 16));
         }
@@ -437,7 +440,9 @@ mod tests {
 
     #[test]
     fn decimal_parse() {
-        let a = B4::from_decimal("21888242871839275222246405745257275088548364400416034343698204186575808495617");
+        let a = B4::from_decimal(
+            "21888242871839275222246405745257275088548364400416034343698204186575808495617",
+        );
         assert_eq!(
             a.to_hex(),
             "0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001"

@@ -218,9 +218,9 @@ impl<P: FpParams<N>, const N: usize> DfpField<P, N> {
 /// ratio; see `gzkp-gpu-sim::device`.
 pub fn fp_backend_speedup(limbs_64: usize) -> f64 {
     match limbs_64 {
-        0..=4 => 1.35,  // 256-bit
-        5..=6 => 1.45,  // 381-bit
-        _ => 1.6,       // 753-bit: integer-pipe pressure highest
+        0..=4 => 1.35, // 256-bit
+        5..=6 => 1.45, // 381-bit
+        _ => 1.6,      // 753-bit: integer-pipe pressure highest
     }
 }
 
@@ -240,8 +240,8 @@ mod tests {
         let (hi, lo) = two_product(a, b);
         let exact = ((1u128 << 52) - 3) * ((1u128 << 52) - 12345);
         let recon = hi as i128 + lo as i128; // both halves integral here? hi may not be.
-        // hi + lo is exact in real arithmetic; compare via i128 reconstruction
-        // through column splitting as dfp_full_mul does.
+                                             // hi + lo is exact in real arithmetic; compare via i128 reconstruction
+                                             // through column splitting as dfp_full_mul does.
         let scale = (1u128 << 52) as f64;
         let h1 = (hi / scale).floor();
         let h0 = hi - h1 * scale;
@@ -266,7 +266,12 @@ mod tests {
 
     #[test]
     fn dfpint_roundtrip() {
-        let limbs = [0xdeadbeefcafebabe_u64, 0x0123456789abcdef, 0xffffffffffffffff, 0x1];
+        let limbs = [
+            0xdeadbeefcafebabe_u64,
+            0x0123456789abcdef,
+            0xffffffffffffffff,
+            0x1,
+        ];
         let d = DfpInt::from_u64_limbs(&limbs);
         assert_eq!(d.to_u64_limbs(4), limbs.to_vec());
     }

@@ -67,8 +67,8 @@ pub fn sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     );
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0;
-    for i in 0..a.len() {
-        let (lo, bo) = sbb(a[i], b.get(i).copied().unwrap_or(0), borrow);
+    for (i, &ai) in a.iter().enumerate() {
+        let (lo, bo) = sbb(ai, b.get(i).copied().unwrap_or(0), borrow);
         out.push(lo);
         borrow = bo;
     }
@@ -230,7 +230,12 @@ impl MontCtx {
         let mut r2_raw = vec![0u64; 2 * n + 1];
         r2_raw[2 * n] = 1;
         let r2 = rem(&r2_raw, &modulus);
-        Self { modulus, inv, r2, r1 }
+        Self {
+            modulus,
+            inv,
+            r2,
+            r1,
+        }
     }
 
     /// The modulus this context reduces by.
@@ -253,10 +258,10 @@ impl MontCtx {
         let n = self.limbs();
         let m = &self.modulus;
         let mut t = vec![0u64; n + 2];
-        for i in 0..n {
+        for &bi in b.iter().take(n) {
             let mut carry = 0u64;
             for j in 0..n {
-                let (lo, hi) = mac(t[j], a[j], b[i], carry);
+                let (lo, hi) = mac(t[j], a[j], bi, carry);
                 t[j] = lo;
                 carry = hi;
             }
@@ -344,7 +349,7 @@ pub fn is_probable_prime(n: &[u64], rounds: usize) -> bool {
             if n[0] == p {
                 return true;
             }
-            if n[0] % p == 0 {
+            if n[0].is_multiple_of(p) {
                 return false;
             }
         }
@@ -354,8 +359,8 @@ pub fn is_probable_prime(n: &[u64], rounds: usize) -> bool {
     }
     // Trial division by small primes.
     for p in [
-        3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
-        89, 97, 101, 103, 107, 109, 113,
+        3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+        97, 101, 103, 107, 109, 113,
     ] {
         let r = rem(&n, &[p]);
         if is_zero(&r) {
@@ -373,12 +378,16 @@ pub fn is_probable_prime(n: &[u64], rounds: usize) -> bool {
     }
     let ctx = MontCtx::new(&n);
     let bases: Vec<u64> = {
-        let small = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+        let small = [
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+        ];
         let mut v: Vec<u64> = small.iter().copied().take(rounds).collect();
         // Derive extra bases from the candidate when more rounds requested.
         let mut seed = n[0] ^ 0x9e3779b97f4a7c15;
         while v.len() < rounds {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             v.push((seed >> 16) | 3);
         }
         v

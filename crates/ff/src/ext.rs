@@ -37,7 +37,11 @@ pub struct Fp2<C: Fp2Config> {
 impl<C: Fp2Config> Fp2<C> {
     /// Builds an element from its two coefficients.
     pub fn new(c0: C::Fp, c1: C::Fp) -> Self {
-        Self { c0, c1, _marker: PhantomData }
+        Self {
+            c0,
+            c1,
+            _marker: PhantomData,
+        }
     }
 
     /// Multiplies by the non-residue β of the *next* tower level, i.e. maps
@@ -223,7 +227,8 @@ impl<C: Fp2Config> Field for Fp2<C> {
     }
     fn inverse(&self) -> Option<Self> {
         let norm = self.norm();
-        norm.inverse().map(|ninv| Self::new(self.c0 * ninv, -(self.c1 * ninv)))
+        norm.inverse()
+            .map(|ninv| Self::new(self.c0 * ninv, -(self.c1 * ninv)))
     }
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self::new(C::Fp::random(rng), C::Fp::random(rng))
@@ -269,7 +274,12 @@ pub struct Fp6<C: Fp6Config> {
 impl<C: Fp6Config> Fp6<C> {
     /// Builds an element from its three coefficients.
     pub fn new(c0: Fp2<C::Fp2C>, c1: Fp2<C::Fp2C>, c2: Fp2<C::Fp2C>) -> Self {
-        Self { c0, c1, c2, _marker: PhantomData }
+        Self {
+            c0,
+            c1,
+            c2,
+            _marker: PhantomData,
+        }
     }
 
     /// Multiplication by `v`: `(c0,c1,c2) ↦ (ξ·c2, c0, c1)`.
@@ -395,7 +405,8 @@ impl<C: Fp6Config> Field for Fp6<C> {
         let b = xi * self.c2.square() - self.c0 * self.c1;
         let c = self.c1.square() - self.c0 * self.c2;
         let t = xi * (self.c2 * b + self.c1 * c) + self.c0 * a;
-        t.inverse().map(|tinv| Self::new(a * tinv, b * tinv, c * tinv))
+        t.inverse()
+            .map(|tinv| Self::new(a * tinv, b * tinv, c * tinv))
     }
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self::new(Fp2::random(rng), Fp2::random(rng), Fp2::random(rng))
@@ -436,7 +447,11 @@ pub struct Fp12<C: Fp12Config> {
 impl<C: Fp12Config> Fp12<C> {
     /// Builds an element from its two `Fp6` coefficients.
     pub fn new(c0: Fp6<C::Fp6C>, c1: Fp6<C::Fp6C>) -> Self {
-        Self { c0, c1, _marker: PhantomData }
+        Self {
+            c0,
+            c1,
+            _marker: PhantomData,
+        }
     }
 
     /// Conjugation `c0 − c1·w` — the `p⁶`-Frobenius, and the inverse on the
@@ -450,10 +465,7 @@ impl<C: Fp12Config> Fp12<C> {
         let c0 = self.c0.frobenius_map(power);
         let c1 = self.c1.frobenius_map(power);
         let coeff = C::frobenius_c1(power % 12);
-        Self::new(
-            c0,
-            Fp6::new(c1.c0 * coeff, c1.c1 * coeff, c1.c2 * coeff),
-        )
+        Self::new(c0, Fp6::new(c1.c0 * coeff, c1.c1 * coeff, c1.c2 * coeff))
     }
 
     /// Sparse multiplication by an element with coefficients
@@ -462,7 +474,12 @@ impl<C: Fp12Config> Fp12<C> {
     ///
     /// We keep the general multiply for clarity; pairings here are
     /// correctness infrastructure, not a benchmarked hot path.
-    pub fn mul_by_line(&self, l00: Fp2<<C::Fp6C as Fp6Config>::Fp2C>, l11: Fp2<<C::Fp6C as Fp6Config>::Fp2C>, l12: Fp2<<C::Fp6C as Fp6Config>::Fp2C>) -> Self {
+    pub fn mul_by_line(
+        &self,
+        l00: Fp2<<C::Fp6C as Fp6Config>::Fp2C>,
+        l11: Fp2<<C::Fp6C as Fp6Config>::Fp2C>,
+        l12: Fp2<<C::Fp6C as Fp6Config>::Fp2C>,
+    ) -> Self {
         let other = Self::new(
             Fp6::new(l00, Fp2::zero(), Fp2::zero()),
             Fp6::new(l11, l12, Fp2::zero()),
@@ -575,7 +592,8 @@ impl<C: Fp12Config> Field for Fp12<C> {
     }
     fn inverse(&self) -> Option<Self> {
         let t = self.c0.square() - self.c1.square().mul_by_nonresidue();
-        t.inverse().map(|tinv| Self::new(self.c0 * tinv, -(self.c1 * tinv)))
+        t.inverse()
+            .map(|tinv| Self::new(self.c0 * tinv, -(self.c1 * tinv)))
     }
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Self::new(Fp6::random(rng), Fp6::random(rng))

@@ -24,7 +24,16 @@ use rand::Rng;
 /// Only the modulus and two small seeds are supplied; everything else is
 /// derived. Implementors are zero-sized marker types.
 pub trait FpParams<const N: usize>:
-    'static + Copy + Clone + Default + PartialEq + Eq + Send + Sync + core::fmt::Debug + core::hash::Hash
+    'static
+    + Copy
+    + Clone
+    + Default
+    + PartialEq
+    + Eq
+    + Send
+    + Sync
+    + core::fmt::Debug
+    + core::hash::Hash
 {
     /// The prime modulus.
     const MODULUS: BigInt<N>;
@@ -119,9 +128,9 @@ impl<P: FpParams<N>, const N: usize> Fp<P, N> {
         for i in 0..N {
             let bi = b.0[i];
             let mut carry = 0u64;
-            for j in 0..N {
-                let (lo, hi) = mac(t[j], a.0[j], bi, carry);
-                t[j] = lo;
+            for (tj, &aj) in t.iter_mut().zip(a.0.iter()) {
+                let (lo, hi) = mac(*tj, aj, bi, carry);
+                *tj = lo;
                 carry = hi;
             }
             let (lo, hi) = adc(t_n, carry, 0);
@@ -399,10 +408,10 @@ impl<P: FpParams<N>, const N: usize> Field for Fp<P, N> {
             }
             if u.const_cmp(&v) >= 0 {
                 u.sub_with_borrow(&v);
-                b = b - c;
+                b -= c;
             } else {
                 v.sub_with_borrow(&u);
-                c = c - b;
+                c -= b;
             }
         }
         Some(if u == one { b } else { c })

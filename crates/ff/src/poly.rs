@@ -137,7 +137,7 @@ impl<F: PrimeField> DensePolynomial<F> {
             quot[i - d_deg] = q;
             for (j, dc) in divisor.coeffs.iter().enumerate() {
                 let idx = i - d_deg + j;
-                rem[idx] = rem[idx] - q * *dc;
+                rem[idx] -= q * *dc;
             }
         }
         (Self::new(quot), Self::new(rem))
@@ -160,13 +160,12 @@ impl<F: PrimeField> DensePolynomial<F> {
         let qlen = self.coeffs.len() - n;
         let mut q = vec![F::zero(); qlen];
         for i in (0..qlen).rev() {
-            q[i] = self.coeffs[i + n]
-                + if i + n < qlen { q[i + n] } else { F::zero() };
+            q[i] = self.coeffs[i + n] + if i + n < qlen { q[i + n] } else { F::zero() };
         }
         // Remainder check: r[i] = a[i] + q[i] must vanish for i < n.
-        for i in 0..n.min(self.coeffs.len()) {
+        for (i, &ci) in self.coeffs.iter().enumerate().take(n) {
             let qi = if i < qlen { q[i] } else { F::zero() };
-            if self.coeffs[i] + qi != F::zero() {
+            if ci + qi != F::zero() {
                 return None;
             }
         }

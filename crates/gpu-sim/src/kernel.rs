@@ -89,7 +89,7 @@ impl KernelSpec {
 }
 
 /// Simulated execution report for one kernel.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelReport {
     /// Kernel name.
     pub name: String,
@@ -107,6 +107,11 @@ pub struct KernelReport {
     pub waves: u32,
     /// Occupancy: blocks resident per SM.
     pub blocks_per_sm: u32,
+    /// Total 64-bit MAC equivalents across all blocks (telemetry: the
+    /// field-multiplication work the kernel performed).
+    pub mac_ops: f64,
+    /// Total DRAM sectors moved across all blocks (telemetry).
+    pub dram_sectors: u64,
 }
 
 /// Simulates one kernel on a device.
@@ -115,11 +120,10 @@ pub fn simulate_kernel(dev: &DeviceConfig, spec: &KernelSpec) -> KernelReport {
     let sm_thr = dev.mac64_per_ns_per_sm * speedup;
 
     // Occupancy.
-    let by_shared = if spec.shared_mem_per_block == 0 {
-        dev.max_blocks_per_sm
-    } else {
-        (dev.shared_mem_per_sm / spec.shared_mem_per_block).max(1) as u32
-    };
+    let by_shared = dev
+        .shared_mem_per_sm
+        .checked_div(spec.shared_mem_per_block)
+        .map_or(dev.max_blocks_per_sm, |b| b.max(1) as u32);
     let by_threads =
         (dev.max_threads_per_block / spec.threads_per_block.max(1)).clamp(1, dev.max_blocks_per_sm);
     let blocks_per_sm = by_shared.min(by_threads).min(dev.max_blocks_per_sm).max(1);
@@ -129,8 +133,7 @@ pub fn simulate_kernel(dev: &DeviceConfig, spec: &KernelSpec) -> KernelReport {
     // blocks; too few (e.g. the 2-thread blocks of the baseline NTT's last
     // batch) derate throughput.
     let resident_threads = (blocks_per_sm * spec.threads_per_block) as f64;
-    let thread_util =
-        (resident_threads / dev.saturation_threads as f64).clamp(1.0 / 64.0, 1.0);
+    let thread_util = (resident_threads / dev.saturation_threads as f64).clamp(1.0 / 64.0, 1.0);
     // Throughput available to a single block (its share of its SM).
     let per_block_thr = sm_thr * thread_util / blocks_per_sm as f64;
 
@@ -172,11 +175,13 @@ pub fn simulate_kernel(dev: &DeviceConfig, spec: &KernelSpec) -> KernelReport {
         overhead_ns,
         waves,
         blocks_per_sm,
+        mac_ops: spec.blocks.iter().map(|b| b.mac_ops).sum(),
+        dram_sectors: spec.blocks.iter().map(|b| b.dram_sectors).sum(),
     }
 }
 
 /// A sequence of kernels making up a pipeline stage (e.g. "POLY" or "MSM").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageReport {
     /// Stage label.
     pub name: String,
@@ -187,7 +192,10 @@ pub struct StageReport {
 impl StageReport {
     /// Creates an empty stage.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), kernels: Vec::new() }
+        Self {
+            name: name.into(),
+            kernels: Vec::new(),
+        }
     }
 
     /// Simulates and appends a kernel; returns its report time.
@@ -209,6 +217,8 @@ impl StageReport {
             overhead_ns: time_ns,
             waves: 0,
             blocks_per_sm: 0,
+            mac_ops: 0.0,
+            dram_sectors: 0,
         });
     }
 
@@ -226,11 +236,7 @@ impl StageReport {
 /// Models a multi-GPU execution (Table 4): per-card stage times run in
 /// parallel; cross-card combination traffic is serialized on the
 /// interconnect afterwards.
-pub fn multi_gpu_time_ns(
-    dev: &DeviceConfig,
-    per_card_ns: &[f64],
-    combine_bytes: u64,
-) -> f64 {
+pub fn multi_gpu_time_ns(dev: &DeviceConfig, per_card_ns: &[f64], combine_bytes: u64) -> f64 {
     let slowest = per_card_ns.iter().copied().fold(0.0f64, f64::max);
     slowest + combine_bytes as f64 / dev.interconnect_bytes_per_ns
 }
@@ -248,7 +254,11 @@ mod tests {
             Backend::Integer,
             4,
             blocks,
-            BlockCost { mac_ops: macs, dram_sectors: 0, shared_bytes: 0 },
+            BlockCost {
+                mac_ops: macs,
+                dram_sectors: 0,
+                shared_bytes: 0,
+            },
         )
     }
 
@@ -273,7 +283,12 @@ mod tests {
         assert!((total - total_s).abs() / total < 1e-9);
         let rb = simulate_kernel(&dev, &balanced);
         let rs = simulate_kernel(&dev, &skewed);
-        assert!(rs.time_ns > rb.time_ns * 2.0, "{} vs {}", rs.time_ns, rb.time_ns);
+        assert!(
+            rs.time_ns > rb.time_ns * 2.0,
+            "{} vs {}",
+            rs.time_ns,
+            rb.time_ns
+        );
     }
 
     #[test]
@@ -296,7 +311,11 @@ mod tests {
             Backend::Integer,
             4,
             80,
-            BlockCost { mac_ops: 1.0, dram_sectors: 1 << 20, shared_bytes: 0 },
+            BlockCost {
+                mac_ops: 1.0,
+                dram_sectors: 1 << 20,
+                shared_bytes: 0,
+            },
         );
         let r = simulate_kernel(&dev, &k);
         // 80 * 2^20 sectors * 32 B / 900 B/ns ≈ 2.98e6 ns
@@ -315,7 +334,11 @@ mod tests {
             Backend::Integer,
             4,
             65536,
-            BlockCost { mac_ops: 100.0, dram_sectors: 0, shared_bytes: 0 },
+            BlockCost {
+                mac_ops: 100.0,
+                dram_sectors: 0,
+                shared_bytes: 0,
+            },
         );
         let few_big = KernelSpec::uniform(
             "big",
@@ -324,7 +347,11 @@ mod tests {
             Backend::Integer,
             4,
             512,
-            BlockCost { mac_ops: 100.0 * 128.0, dram_sectors: 0, shared_bytes: 0 },
+            BlockCost {
+                mac_ops: 100.0 * 128.0,
+                dram_sectors: 0,
+                shared_bytes: 0,
+            },
         );
         let rt = simulate_kernel(&dev, &many_tiny);
         let rb = simulate_kernel(&dev, &few_big);
@@ -341,7 +368,11 @@ mod tests {
             Backend::Integer,
             4,
             100,
-            BlockCost { mac_ops: 1000.0, dram_sectors: 0, shared_bytes: 0 },
+            BlockCost {
+                mac_ops: 1000.0,
+                dram_sectors: 0,
+                shared_bytes: 0,
+            },
         );
         let r = simulate_kernel(&dev, &k);
         assert_eq!(r.blocks_per_sm, 2);

@@ -80,7 +80,10 @@ impl L2Cache {
     pub fn new(capacity_bytes: u64, sector_bytes: u64, ways: usize) -> Self {
         assert!(sector_bytes > 0 && ways > 0);
         let sectors = capacity_bytes / sector_bytes;
-        assert!(sectors as usize >= ways, "capacity too small for associativity");
+        assert!(
+            sectors as usize >= ways,
+            "capacity too small for associativity"
+        );
         let num_sets = (sectors / ways as u64).max(1);
         Self {
             sector_bytes,
@@ -202,7 +205,7 @@ mod tests {
     #[test]
     fn l2_capacity_eviction() {
         let mut l2 = L2Cache::new(1024, 32, 2); // 32 sectors, 16 sets × 2 ways
-        // Fill three tags in the same set -> one eviction.
+                                                // Fill three tags in the same set -> one eviction.
         let set_stride = 16 * 32; // same set every 512 B
         assert!(!l2.access(0));
         assert!(!l2.access(set_stride));

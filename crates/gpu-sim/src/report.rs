@@ -49,7 +49,12 @@ impl Bottleneck {
 /// Renders a stage as an aligned text table with per-kernel bottlenecks.
 pub fn render_stage(stage: &StageReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "stage {:<28} {:>10.3} ms", stage.name, stage.total_ms());
+    let _ = writeln!(
+        out,
+        "stage {:<28} {:>10.3} ms",
+        stage.name,
+        stage.total_ms()
+    );
     let _ = writeln!(
         out,
         "  {:<36} {:>10} {:>9} {:>9} {:>9} {:>6}",
@@ -72,7 +77,7 @@ pub fn render_stage(stage: &StageReport) -> String {
 
 /// Aggregate utilization of a stage on a device: the fraction of the
 /// stage's span the respective resource was the binding constraint.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Utilization {
     /// Fraction of time bounded by compute.
     pub compute: f64,
@@ -116,10 +121,13 @@ pub fn device_summary(dev: &DeviceConfig) -> String {
 }
 
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n {
+    if s.chars().count() <= n {
         s.to_string()
     } else {
-        format!("{}…", &s[..n.saturating_sub(1)])
+        // Take whole chars: byte-slicing panics mid-codepoint on
+        // non-ASCII kernel names.
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
     }
 }
 
@@ -141,7 +149,11 @@ mod tests {
                 Backend::Integer,
                 4,
                 160,
-                BlockCost { mac_ops: macs, dram_sectors: sectors, shared_bytes: 0 },
+                BlockCost {
+                    mac_ops: macs,
+                    dram_sectors: sectors,
+                    shared_bytes: 0,
+                },
             ),
         );
         st
@@ -150,11 +162,17 @@ mod tests {
     #[test]
     fn bottleneck_classification() {
         let compute_bound = stage_with(1e7, 1);
-        assert_eq!(Bottleneck::of(&compute_bound.kernels[0]), Bottleneck::Compute);
+        assert_eq!(
+            Bottleneck::of(&compute_bound.kernels[0]),
+            Bottleneck::Compute
+        );
         let dram_bound = stage_with(1.0, 1 << 22);
         assert_eq!(Bottleneck::of(&dram_bound.kernels[0]), Bottleneck::Dram);
         let overhead_bound = stage_with(1.0, 1);
-        assert_eq!(Bottleneck::of(&overhead_bound.kernels[0]), Bottleneck::Overhead);
+        assert_eq!(
+            Bottleneck::of(&overhead_bound.kernels[0]),
+            Bottleneck::Overhead
+        );
     }
 
     #[test]
@@ -178,6 +196,22 @@ mod tests {
     }
 
     #[test]
+    fn truncate_handles_multibyte_names() {
+        // Regression: `&s[..n-1]` sliced bytes and panicked when the cut
+        // landed inside a multi-byte char.
+        let name = "ntt.bufferfly·größe·φ·大规模·12345678901234567890";
+        let t = truncate(name, 36);
+        assert!(t.chars().count() <= 36, "{t}");
+        assert!(t.ends_with('…'));
+        assert_eq!(truncate("короткий", 36), "короткий");
+        // Exercise the render path end to end with a non-ASCII kernel name.
+        let mut st = stage_with(1e6, 100);
+        st.kernels[0].name = name.to_string();
+        let text = render_stage(&st);
+        assert!(text.contains("größe"));
+    }
+
+    #[test]
     fn device_summary_mentions_name() {
         let s = device_summary(&v100());
         assert!(s.contains("V100") && s.contains("80 SMs"));
@@ -190,7 +224,11 @@ mod tests {
             Backend::FpLib,
             6,
             320,
-            BlockCost { mac_ops: 5e5, dram_sectors: 2048, shared_bytes: 4096 },
+            BlockCost {
+                mac_ops: 5e5,
+                dram_sectors: 2048,
+                shared_bytes: 4096,
+            },
         );
         let a = simulate_kernel(&dev, &spec).time_ns;
         let b = simulate_kernel(&dev, &spec).time_ns;

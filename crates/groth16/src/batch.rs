@@ -32,8 +32,7 @@ where
 {
     /// Prepares a verification key.
     pub fn new(vk: VerifyingKey<P>) -> Self {
-        let alpha_beta =
-            final_exponentiation::<P>(&miller_loop::<P>(&vk.alpha_g1, &vk.beta_g2));
+        let alpha_beta = final_exponentiation::<P>(&miller_loop::<P>(&vk.alpha_g1, &vk.beta_g2));
         Self { vk, alpha_beta }
     }
 
@@ -96,15 +95,15 @@ where
         }
         // e(A,B)^r = e(r·A, B).
         let ra = proof.a.mul(r).to_affine();
-        f = f * miller_loop::<P>(&ra, &proof.b);
+        f *= miller_loop::<P>(&ra, &proof.b);
         acc_sum = acc_sum.add(&acc.mul(r));
         c_sum = c_sum.add(&proof.c.mul(r));
         alpha_scale += *r;
     }
     let alpha_side = Projective::<P::G1>::from_affine_mul(&vk.alpha_g1, &alpha_scale);
-    f = f * miller_loop::<P>(&alpha_side.to_affine().neg(), &vk.beta_g2);
-    f = f * miller_loop::<P>(&acc_sum.to_affine().neg(), &vk.gamma_g2);
-    f = f * miller_loop::<P>(&c_sum.to_affine().neg(), &vk.delta_g2);
+    f *= miller_loop::<P>(&alpha_side.to_affine().neg(), &vk.beta_g2);
+    f *= miller_loop::<P>(&acc_sum.to_affine().neg(), &vk.gamma_g2);
+    f *= miller_loop::<P>(&c_sum.to_affine().neg(), &vk.delta_g2);
     final_exponentiation::<P>(&f) == Gt::<P>::one()
 }
 
@@ -160,13 +159,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn make_proofs(n: usize, seed: u64) -> (VerifyingKey<Bn254>, Vec<(Proof<Bn254>, Vec<Fr>)>) {
+    type ProofBatch = Vec<(Proof<Bn254>, Vec<Fr>)>;
+
+    fn make_proofs(n: usize, seed: u64) -> (VerifyingKey<Bn254>, ProofBatch) {
         let mut rng = StdRng::seed_from_u64(seed);
         // One circuit (x·y = out), different statements per proof.
         let ntt = GzkpNtt::auto::<Fr>(v100());
         let msm1 = GzkpMsm::new(v100());
         let msm2 = GzkpMsm::new(v100());
-        let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm1, msm_g2: &msm2 };
+        let engines = ProverEngines::<Bn254> {
+            ntt: &ntt,
+            msm_g1: &msm1,
+            msm_g2: &msm2,
+        };
         // Setup once with a template circuit (the key depends on structure,
         // not the assignment).
         let template = circuit(3, 4);
@@ -199,7 +204,10 @@ mod tests {
         let (vk, items) = make_proofs(2, 1);
         let pvk = PreparedVerifyingKey::new(vk.clone());
         for (proof, inputs) in &items {
-            assert_eq!(pvk.verify(proof, inputs), verify::<Bn254>(&vk, proof, inputs));
+            assert_eq!(
+                pvk.verify(proof, inputs),
+                verify::<Bn254>(&vk, proof, inputs)
+            );
             assert!(pvk.verify(proof, inputs));
             assert!(!pvk.verify(proof, &[inputs[0] + Fr::one()]));
         }

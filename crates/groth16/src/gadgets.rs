@@ -201,7 +201,8 @@ impl<F: PrimeField> crate::r1cs::Circuit<F> for MerkleMembership<F> {
                 LinearCombination::from_var(acc.0).add_term(sib_var, -F::one()),
                 LinearCombination::from_var(right_var).add_term(sib_var, -F::one()),
             );
-            acc = mimc_compress_gadget(cs, (left_var, left_val), (right_var, right_val), &constants);
+            acc =
+                mimc_compress_gadget(cs, (left_var, left_val), (right_var, right_val), &constants);
         }
         // acc == root
         cs.enforce(
@@ -269,7 +270,12 @@ mod tests {
         let path: Vec<Fr254> = (0..8).map(|_| Fr254::random(&mut rng)).collect();
         let directions: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
         let root = MerkleMembership::compute_root(leaf, &path, &directions, &constants);
-        let circuit = MerkleMembership { leaf, path, directions, root };
+        let circuit = MerkleMembership {
+            leaf,
+            path,
+            directions,
+            root,
+        };
         let mut cs = ConstraintSystem::new();
         assert!(circuit.synthesize(&mut cs).is_ok());
     }

@@ -55,8 +55,8 @@ pub mod r1cs;
 pub mod setup;
 pub mod verify;
 
-pub use prove::{prove, prove_plan, Proof, ProveReport, ProverEngines};
+pub use batch::{batch_verify, proof_from_bytes, proof_to_bytes, PreparedVerifyingKey};
+pub use prove::{prove, prove_plan, prove_with_telemetry, Proof, ProveReport, ProverEngines};
 pub use r1cs::{Circuit, ConstraintSystem, LinearCombination, SynthesisError, Variable};
 pub use setup::{setup, ProvingKey, VerifyingKey};
-pub use batch::{batch_verify, proof_from_bytes, proof_to_bytes, PreparedVerifyingKey};
 pub use verify::verify;

@@ -4,7 +4,7 @@
 //! configuration (Best-CPU, BG, GZKP, ablations) runs through the same
 //! code path.
 
-use crate::qap::{poly_stage, QapWitness};
+use crate::qap::{poly_stage, poly_stage_traced, QapWitness};
 use crate::r1cs::{ConstraintSystem, SynthesisError};
 use crate::setup::ProvingKey;
 use gzkp_curves::pairing::PairingConfig;
@@ -13,6 +13,7 @@ use gzkp_ff::Field;
 use gzkp_gpu_sim::StageReport;
 use gzkp_msm::{MsmEngine, ScalarVec};
 use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_telemetry::{self as telemetry, NoopSink, TelemetrySink};
 use rand::Rng;
 
 /// A Groth16 proof: two G1 points and one G2 point (<1 KB — the
@@ -45,7 +46,7 @@ pub struct ProverEngines<'a, P: PairingConfig> {
 }
 
 /// Timing record of one proof generation, split by the paper's two stages.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ProveReport {
     /// POLY-stage simulated report (7 NTTs).
     pub poly: StageReport,
@@ -83,13 +84,42 @@ pub fn prove<P: PairingConfig, R: Rng + ?Sized>(
     engines: &ProverEngines<'_, P>,
     rng: &mut R,
 ) -> Result<(Proof<P>, ProveReport), SynthesisError> {
+    prove_with_telemetry(cs, pk, engines, rng, &NoopSink)
+}
+
+/// [`prove`] with structured telemetry: the run is wrapped in a `prove`
+/// span containing a `poly` span (seven `ntt[i]` children) and an `msm`
+/// span (`a`, `b_g1`, `b_g2`, `h`, `l` children), each carrying kernel
+/// reports, counter rollups, and — for engines that expose them — bucket
+/// statistics. With the default [`NoopSink`] every hook is a single
+/// branch, so [`prove`] simply delegates here.
+///
+/// # Errors
+///
+/// Fails when the system is unsatisfied or exceeds the NTT domain.
+///
+/// # Panics
+///
+/// Panics if the proving key does not match the constraint system shape.
+pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
+    cs: &ConstraintSystem<P::Fr>,
+    pk: &ProvingKey<P>,
+    engines: &ProverEngines<'_, P>,
+    rng: &mut R,
+    sink: &dyn TelemetrySink,
+) -> Result<(Proof<P>, ProveReport), SynthesisError> {
     cs.is_satisfied()?;
     assert_eq!(pk.a_query.len(), cs.num_variables(), "key/circuit mismatch");
+
+    let _prove_span = telemetry::span(sink, "prove");
 
     // --- POLY stage: h = (A·B − C)/Z through seven NTTs (§5.2). ---
     let qap = QapWitness::from_r1cs(cs)?;
     assert_eq!(pk.domain_size, qap.domain.size, "key domain mismatch");
-    let poly = poly_stage(&qap, engines.ntt);
+    let poly = {
+        let _poly_span = telemetry::span(sink, "poly");
+        poly_stage_traced(&qap, engines.ntt, sink)
+    };
 
     // --- MSM stage: five MSMs (§5.2). ---
     let z = cs.full_assignment();
@@ -98,6 +128,7 @@ pub fn prove<P: PairingConfig, R: Rng + ?Sized>(
     let h_trim = &poly.h[..pk.h_query.len()];
     let h_scalars = ScalarVec::from_field(h_trim);
 
+    let _msm_span = telemetry::span(sink, "msm");
     let mut msm_report = StageReport::new("MSM");
     let mut take = |run: gzkp_msm::MsmRun<P::G1>, label: &str| {
         for mut k in run.report.kernels {
@@ -106,33 +137,37 @@ pub fn prove<P: PairingConfig, R: Rng + ?Sized>(
         }
         run.result
     };
+    let msm_g1 = |points: &[Affine<P::G1>], scalars: &ScalarVec, span: &str| {
+        let guard = telemetry::span(sink, span);
+        let run = engines.msm_g1.msm_traced(points, scalars, sink);
+        drop(guard);
+        run
+    };
 
-    let a_sum = take(engines.msm_g1.msm(&pk.a_query, &z_scalars), "a_query");
-    let b_g1_sum = take(engines.msm_g1.msm(&pk.b_g1_query, &z_scalars), "b_g1");
-    let h_sum = take(engines.msm_g1.msm(&pk.h_query, &h_scalars), "h_query");
-    let l_sum = take(engines.msm_g1.msm(&pk.l_query, &aux_scalars), "l_query");
-    let b_g2_run = engines.msm_g2.msm(&pk.b_g2_query, &z_scalars);
+    let a_sum = take(msm_g1(&pk.a_query, &z_scalars, "a"), "a_query");
+    let b_g1_sum = take(msm_g1(&pk.b_g1_query, &z_scalars, "b_g1"), "b_g1");
+    let h_sum = take(msm_g1(&pk.h_query, &h_scalars, "h"), "h_query");
+    let l_sum = take(msm_g1(&pk.l_query, &aux_scalars, "l"), "l_query");
+    let b_g2_run = {
+        let _g2_span = telemetry::span(sink, "b_g2");
+        engines.msm_g2.msm_traced(&pk.b_g2_query, &z_scalars, sink)
+    };
     for mut k in b_g2_run.report.kernels {
         k.name = format!("b_g2.{}", k.name);
         msm_report.kernels.push(k);
     }
     let b_g2_sum = b_g2_run.result;
+    drop(_msm_span);
 
     // Blinding factors (zero-knowledge).
     let r = P::Fr::random(rng);
     let s = P::Fr::random(rng);
 
     // A = α + Σ z·a_query + r·δ
-    let a = a_sum
-        .add_mixed(&pk.alpha_g1)
-        .add(&pk.delta_g1.mul(&r));
+    let a = a_sum.add_mixed(&pk.alpha_g1).add(&pk.delta_g1.mul(&r));
     // B = β + Σ z·b_query + s·δ (in G2; and its G1 shadow for C)
-    let b_g2 = b_g2_sum
-        .add_mixed(&pk.beta_g2)
-        .add(&pk.delta_g2.mul(&s));
-    let b_g1 = b_g1_sum
-        .add_mixed(&pk.beta_g1)
-        .add(&pk.delta_g1.mul(&s));
+    let b_g2 = b_g2_sum.add_mixed(&pk.beta_g2).add(&pk.delta_g2.mul(&s));
+    let b_g1 = b_g1_sum.add_mixed(&pk.beta_g1).add(&pk.delta_g1.mul(&s));
     // C = Σ_aux z·l_query + Σ h·h_query + s·A + r·B₁ − r·s·δ
     let c = l_sum
         .add(&h_sum)
@@ -146,7 +181,10 @@ pub fn prove<P: PairingConfig, R: Rng + ?Sized>(
             b: b_g2.to_affine(),
             c: c.to_affine(),
         },
-        ProveReport { poly: poly.report, msm: msm_report },
+        ProveReport {
+            poly: poly.report,
+            msm: msm_report,
+        },
     ))
 }
 
@@ -179,5 +217,8 @@ pub fn prove_plan<P: PairingConfig>(
     take(engines.msm_g1.plan(&aux_scalars), "l_query");
     take(engines.msm_g2.plan(&z_scalars), "b_g2");
 
-    Ok(ProveReport { poly: poly.report, msm: msm_report })
+    Ok(ProveReport {
+        poly: poly.report,
+        msm: msm_report,
+    })
 }

@@ -11,6 +11,7 @@ use gzkp_ff::PrimeField;
 use gzkp_gpu_sim::StageReport;
 use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_ntt::{CpuNtt, Direction, Radix2Domain};
+use gzkp_telemetry::{self as telemetry, NoopSink, TelemetrySink};
 
 /// The constraint-matrix evaluations `⟨A_i, z⟩, ⟨B_i, z⟩, ⟨C_i, z⟩` padded
 /// to the evaluation domain.
@@ -64,19 +65,35 @@ pub fn poly_stage<F: PrimeField>(
     qap: &QapWitness<F>,
     engine: &dyn GpuNttEngine<F>,
 ) -> PolyOutput<F> {
+    poly_stage_traced(qap, engine, &NoopSink)
+}
+
+/// [`poly_stage`] with telemetry: each of the seven NTTs runs inside its
+/// own `ntt[i]` span on `sink`, carrying the kernel reports and counters
+/// the engine emits.
+pub fn poly_stage_traced<F: PrimeField>(
+    qap: &QapWitness<F>,
+    engine: &dyn GpuNttEngine<F>,
+    sink: &dyn TelemetrySink,
+) -> PolyOutput<F> {
     let d = &qap.domain;
     let mut report = StageReport::new("POLY");
     let mut a = qap.a.clone();
     let mut b = qap.b.clone();
     let mut c = qap.c.clone();
 
+    let mut ntt_index = 0u32;
     let mut run = |data: &mut [F], dir: Direction, coset: bool, into: bool| {
         // Coset entry/exit scaling is a cheap pointwise kernel; fold its
         // cost into the NTT report as fixed work.
         if coset && into {
             d.coset_scale(data);
         }
-        let r = engine.transform(d, data, dir);
+        let name = format!("ntt[{ntt_index}]");
+        ntt_index += 1;
+        let guard = telemetry::span(sink, &name);
+        let r = engine.transform_traced(d, data, dir, sink);
+        drop(guard);
         for k in r.kernels {
             report.kernels.push(k);
         }
@@ -110,7 +127,6 @@ pub fn poly_stage<F: PrimeField>(
         .collect();
     // 7: coset INTT of h.
     run(&mut h, Direction::Inverse, true, false);
-    drop(run);
     report.add_fixed("pointwise(ab-c)/Z", d.size as f64 * 0.5);
 
     PolyOutput { h, report }
@@ -129,7 +145,10 @@ pub fn poly_stage_cpu<F: PrimeField>(qap: &QapWitness<F>) -> Vec<F> {
     ntt.coset_forward(d, &mut a);
     ntt.coset_forward(d, &mut b);
     ntt.coset_forward(d, &mut c);
-    let zg_inv = d.eval_vanishing(d.coset_gen).inverse().expect("nonzero off domain");
+    let zg_inv = d
+        .eval_vanishing(d.coset_gen)
+        .inverse()
+        .expect("nonzero off domain");
     let mut h: Vec<F> = a
         .iter()
         .zip(&b)

@@ -31,12 +31,16 @@ impl<F: PrimeField> LinearCombination<F> {
 
     /// A single variable with coefficient one.
     pub fn from_var(v: Variable) -> Self {
-        Self { terms: vec![(v.0, F::one())] }
+        Self {
+            terms: vec![(v.0, F::one())],
+        }
     }
 
     /// A constant value (coefficient on the one-variable).
     pub fn from_const(c: F) -> Self {
-        Self { terms: vec![(0, c)] }
+        Self {
+            terms: vec![(0, c)],
+        }
     }
 
     /// Adds `coeff · var` to the combination.

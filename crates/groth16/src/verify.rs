@@ -5,7 +5,7 @@
 use crate::prove::Proof;
 use crate::setup::VerifyingKey;
 use gzkp_curves::pairing::{multi_pairing, PairingConfig};
- 
+
 use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
 use gzkp_ff::Field;
 

@@ -22,14 +22,21 @@ pub struct CpuMsm {
 
 impl Default for CpuMsm {
     fn default() -> Self {
-        Self { window: None, parallel: true, device: cpu_xeon() }
+        Self {
+            window: None,
+            parallel: true,
+            device: cpu_xeon(),
+        }
     }
 }
 
 impl CpuMsm {
     /// Single-threaded variant (reference in tests).
     pub fn serial() -> Self {
-        Self { parallel: false, ..Self::default() }
+        Self {
+            parallel: false,
+            ..Self::default()
+        }
     }
 
     fn k_for(&self, n: usize) -> u32 {
@@ -90,7 +97,11 @@ impl CpuMsm {
 
 impl<C: CurveParams> MsmEngine<C> for CpuMsm {
     fn name(&self) -> String {
-        if self.parallel { "Best-CPU".into() } else { "CPU-serial".into() }
+        if self.parallel {
+            "Best-CPU".into()
+        } else {
+            "CPU-serial".into()
+        }
     }
 
     fn msm(&self, points: &[Affine<C>], scalars: &ScalarVec) -> MsmRun<C> {
@@ -117,7 +128,10 @@ impl<C: CurveParams> MsmEngine<C> for CpuMsm {
             acc = acc.add(w);
         }
         let report = <Self as MsmEngine<C>>::plan(self, scalars);
-        MsmRun { result: acc, report }
+        MsmRun {
+            result: acc,
+            report,
+        }
     }
 
     fn plan(&self, scalars: &ScalarVec) -> StageReport {
@@ -183,7 +197,7 @@ mod tests {
     fn all_zero_scalars_give_identity() {
         let mut rng = StdRng::seed_from_u64(13);
         let pts = random_points::<G1Config, _>(4, &mut rng);
-        let sv = ScalarVec::from_field(&vec![Fr::zero(); 4]);
+        let sv = ScalarVec::from_field(&[Fr::zero(); 4]);
         assert!(CpuMsm::serial().msm(&pts, &sv).result.is_identity());
     }
 
@@ -195,7 +209,11 @@ mod tests {
         let sv = ScalarVec::from_field(&scalars);
         let expect = naive_msm(&pts, &sv);
         for k in [1u32, 3, 8, 13, 16] {
-            let e = CpuMsm { window: Some(k), parallel: false, device: cpu_xeon() };
+            let e = CpuMsm {
+                window: Some(k),
+                parallel: false,
+                device: cpu_xeon(),
+            };
             assert_eq!(e.msm(&pts, &sv).result, expect, "k={k}");
         }
     }

@@ -5,6 +5,7 @@ use gzkp_curves::{Affine, CurveParams, Projective};
 use gzkp_ff::Field;
 use gzkp_gpu_sim::device::{field_add_macs, field_mul_macs};
 use gzkp_gpu_sim::kernel::StageReport;
+use gzkp_telemetry::{emit_stage, TelemetrySink};
 
 /// Result of a functional MSM run: the inner product and the simulated
 /// execution report.
@@ -48,6 +49,29 @@ pub trait MsmEngine<C: CurveParams>: Send + Sync {
     /// "-" rows are MINA exceeding V100 memory).
     fn fits_in_memory(&self, n: usize, device_mem: u64) -> bool {
         self.memory_bytes(n) <= device_mem
+    }
+
+    /// [`Self::msm`] plus telemetry: per-kernel reports, rolled-up
+    /// MAC/DRAM counters, and the engine's peak simulated device memory
+    /// flow into `sink`. Engines with richer internal state (e.g.
+    /// [`crate::GzkpMsm`]'s bucket loads) override this to add PADD/PDBL
+    /// counts and occupancy histograms. With a disabled sink
+    /// (`gzkp_telemetry::NoopSink`) this is one branch on top of `msm`.
+    fn msm_traced(
+        &self,
+        points: &[Affine<C>],
+        scalars: &ScalarVec,
+        sink: &dyn TelemetrySink,
+    ) -> MsmRun<C> {
+        let run = self.msm(points, scalars);
+        if sink.enabled() {
+            emit_stage(sink, &run.report);
+            sink.value(
+                gzkp_telemetry::counters::PEAK_DEVICE_BYTES,
+                self.memory_bytes(points.len()) as f64,
+            );
+        }
+        run
     }
 }
 
@@ -152,8 +176,7 @@ mod tests {
     fn bucket_reduce_matches_definition() {
         let mut rng = StdRng::seed_from_u64(1);
         let pts = random_points::<G1Config, _>(5, &mut rng);
-        let buckets: Vec<Projective<G1Config>> =
-            pts.iter().map(|p| p.to_projective()).collect();
+        let buckets: Vec<Projective<G1Config>> = pts.iter().map(|p| p.to_projective()).collect();
         let reduced = bucket_reduce(&buckets);
         let mut expect = Projective::<G1Config>::identity();
         for (j, b) in buckets.iter().enumerate() {

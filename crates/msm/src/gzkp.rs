@@ -71,12 +71,19 @@ impl GzkpMsm {
     /// The "GZKP-no-LB" ablation: bucket-based consolidation without load
     /// balancing, integer backend.
     pub fn no_load_balance(device: DeviceConfig) -> Self {
-        Self { load_balance: false, backend: Backend::Integer, ..Self::new(device) }
+        Self {
+            load_balance: false,
+            backend: Backend::Integer,
+            ..Self::new(device)
+        }
     }
 
     /// The "GZKP-no-LB w. lib" ablation.
     pub fn no_load_balance_with_lib(device: DeviceConfig) -> Self {
-        Self { load_balance: false, ..Self::new(device) }
+        Self {
+            load_balance: false,
+            ..Self::new(device)
+        }
     }
 
     fn k_for(&self, n: usize) -> u32 {
@@ -92,7 +99,8 @@ impl GzkpMsm {
         let cost = CurveCost::of::<C>();
         let budget = (self.device.global_mem_bytes as f64 * 0.8) as u64;
         let inputs = n as u64
-            * (cost.affine_bytes() + <C::Scalar as PrimeField>::MODULUS_BITS.div_ceil(64) as u64 * 8)
+            * (cost.affine_bytes()
+                + <C::Scalar as PrimeField>::MODULUS_BITS.div_ceil(64) as u64 * 8)
             + n as u64 * 8; // p_index (built per window batch, streamed)
         let left = budget.saturating_sub(inputs).max(1);
         // Level 0 is the input vector itself; only extra levels cost memory.
@@ -121,8 +129,7 @@ impl GzkpMsm {
         let levels = Self::levels(windows, m);
         let mut out = Vec::with_capacity(levels);
         out.push(points.to_vec());
-        let mut current: Vec<Projective<C>> =
-            points.iter().map(|p| p.to_projective()).collect();
+        let mut current: Vec<Projective<C>> = points.iter().map(|p| p.to_projective()).collect();
         for _ in 1..levels {
             for p in current.iter_mut() {
                 for _ in 0..(m * k) {
@@ -148,7 +155,7 @@ impl GzkpMsm {
                 if d != 0 {
                     let e = &mut loads[(d - 1) as usize];
                     e.0 += 1;
-                    if (t as u32) % m != 0 {
+                    if !(t as u32).is_multiple_of(m) {
                         e.1 += k as u64;
                     }
                 }
@@ -399,6 +406,46 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
         MsmRun { result, report }
     }
 
+    fn msm_traced(
+        &self,
+        points: &[Affine<C>],
+        scalars: &ScalarVec,
+        sink: &dyn gzkp_telemetry::TelemetrySink,
+    ) -> MsmRun<C> {
+        let run = self.msm(points, scalars);
+        if sink.enabled() {
+            gzkp_telemetry::emit_stage(sink, &run.report);
+            // The engine's internal bucket-load profile gives the exact
+            // point-operation counts and the Figure 6 occupancy shape.
+            let n = points.len();
+            let k = self.k_for(n);
+            let windows = scalars.num_windows(k);
+            let m = self.interval_for::<C>(n, windows);
+            let loads = Self::bucket_loads(scalars, k, m);
+            let entries: u64 = loads.iter().map(|l| l.0).sum();
+            let dbls: u64 = loads.iter().map(|l| l.1).sum();
+            let buckets = loads.len() as u64;
+            use gzkp_telemetry::counters;
+            // One mixed PADD per merged entry + the running-sum reduction's
+            // 2(m−1) full PADDs over 2^k − 1 buckets.
+            sink.counter(counters::MSM_PADD, (entries + 2 * (buckets - 1)) as f64);
+            sink.counter(counters::MSM_PDBL, dbls as f64);
+            sink.counter(
+                counters::MSM_OCCUPIED_BUCKETS,
+                loads.iter().filter(|l| l.0 > 0).count() as f64,
+            );
+            sink.histogram(
+                "bucket_occupancy",
+                &gzkp_telemetry::log2_histogram(loads.iter().map(|l| l.0)),
+            );
+            sink.value(
+                counters::PEAK_DEVICE_BYTES,
+                MsmEngine::<C>::memory_bytes(self, n) as f64,
+            );
+        }
+        run
+    }
+
     fn plan(&self, scalars: &ScalarVec) -> StageReport {
         let n = scalars.len();
         let k = self.k_for(n);
@@ -440,7 +487,10 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
 pub fn profile_window_size<C: CurveParams>(device: &DeviceConfig, n: usize) -> u32 {
     let mut best = (f64::INFINITY, default_window_size(n));
     for k in 6..=18u32 {
-        let engine = GzkpMsm { window: Some(k), ..GzkpMsm::new(device.clone()) };
+        let engine = GzkpMsm {
+            window: Some(k),
+            ..GzkpMsm::new(device.clone())
+        };
         let t = MsmEngine::<C>::plan_dense(&engine, n).total_ns();
         if t < best.0 {
             best = (t, k);
@@ -514,7 +564,10 @@ mod tests {
             })
             .collect();
         let sv = ScalarVec::from_field(&scalars);
-        let lb = GzkpMsm { backend: Backend::Integer, ..GzkpMsm::new(v100()) };
+        let lb = GzkpMsm {
+            backend: Backend::Integer,
+            ..GzkpMsm::new(v100())
+        };
         let no_lb = GzkpMsm::no_load_balance(v100());
         let t_lb = MsmEngine::<G1Config>::plan(&lb, &sv).total_ns();
         let t_no = MsmEngine::<G1Config>::plan(&no_lb, &sv).total_ns();

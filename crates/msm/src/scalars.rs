@@ -23,7 +23,12 @@ impl ScalarVec {
         for s in scalars {
             limbs.extend(s.to_limbs());
         }
-        Self { limbs, per_scalar, bits: F::MODULUS_BITS, n: scalars.len() }
+        Self {
+            limbs,
+            per_scalar,
+            bits: F::MODULUS_BITS,
+            n: scalars.len(),
+        }
     }
 
     /// Builds directly from raw canonical limbs (testing, synthetic data).
@@ -34,7 +39,12 @@ impl ScalarVec {
     pub fn from_raw(limbs: Vec<u64>, per_scalar: usize, bits: u32) -> Self {
         assert_eq!(limbs.len() % per_scalar, 0);
         let n = limbs.len() / per_scalar;
-        Self { limbs, per_scalar, bits, n }
+        Self {
+            limbs,
+            per_scalar,
+            bits,
+            n,
+        }
     }
 
     /// Number of scalars.
@@ -158,7 +168,7 @@ mod tests {
         let s = Fr254::random(&mut rng);
         let sv = ScalarVec::from_field(&[s]);
         for k in [4u32, 7, 13, 16] {
-            let mut acc = vec![0u64; 5];
+            let mut acc = [0u64; 5];
             for t in (0..sv.num_windows(k)).rev() {
                 // acc = acc * 2^k + digit
                 let mut carry = 0u128;

@@ -52,7 +52,9 @@ impl SignedGzkpMsm {
     }
 
     fn k_of(&self, n: usize) -> u32 {
-        self.inner.window.unwrap_or_else(|| crate::scalars::default_window_size(n))
+        self.inner
+            .window
+            .unwrap_or_else(|| crate::scalars::default_window_size(n))
     }
 
     /// Per-bucket `(entries, doublings)` over the halved signed range.
@@ -64,7 +66,7 @@ impl SignedGzkpMsm {
                 if d != 0 {
                     let e = &mut loads[(d.unsigned_abs() - 1) as usize];
                     e.0 += 1;
-                    if (t as u32) % m != 0 {
+                    if !(t as u32).is_multiple_of(m) {
                         e.1 += k as u64;
                     }
                 }
@@ -89,9 +91,7 @@ impl<C: CurveParams> MsmEngine<C> for SignedGzkpMsm {
         let pre = self.inner.preprocess(points, k, m, windows);
 
         // Precompute the digit matrix once (windows+1 digits per scalar).
-        let digits: Vec<Vec<i64>> = (0..n)
-            .map(|i| Self::signed_digits(scalars, i, k))
-            .collect();
+        let digits: Vec<Vec<i64>> = (0..n).map(|i| Self::signed_digits(scalars, i, k)).collect();
 
         let mut buckets = vec![Projective::<C>::identity(); 1usize << (k - 1)];
         let mut temp: Vec<Projective<C>> = Vec::new();
@@ -117,7 +117,11 @@ impl<C: CurveParams> MsmEngine<C> for SignedGzkpMsm {
                 let idx = (d.unsigned_abs() - 1) as usize;
                 let add_point = |slot: &mut Projective<C>, negate: bool| {
                     if m == 1 {
-                        let p = if negate { pre[level][i].neg() } else { pre[level][i] };
+                        let p = if negate {
+                            pre[level][i].neg()
+                        } else {
+                            pre[level][i]
+                        };
                         *slot = slot.add_mixed(&p);
                     } else {
                         let p = if negate { temp[i].neg() } else { temp[i] };
@@ -149,8 +153,8 @@ impl<C: CurveParams> MsmEngine<C> for SignedGzkpMsm {
         let m = self.inner.interval_for::<C>(n, windows);
         // Dense digits spread uniformly over the halved bucket range.
         let buckets = 1usize << (k - 1);
-        let entries = (n as f64 * windows as f64 * (1.0 - 1.0 / (1u64 << k) as f64)) as u64
-            / buckets as u64;
+        let entries =
+            (n as f64 * windows as f64 * (1.0 - 1.0 / (1u64 << k) as f64)) as u64 / buckets as u64;
         let dbl = (entries as f64 * k as f64 * (m as f64 - 1.0) / m as f64) as u64;
         self.inner
             .stage::<C>(n, k, windows, &vec![(entries, dbl); buckets])
@@ -186,7 +190,7 @@ mod tests {
             let half = 1i64 << (k - 1);
             assert!(digits.iter().all(|&d| (-half..=half).contains(&d)));
             // Reconstruct: Σ d·2^{tk} via i128 accumulation per limb window.
-            let mut acc = vec![0i128; 6];
+            let mut acc = [0i128; 6];
             for (t, &d) in digits.iter().enumerate() {
                 let bit = t * k as usize;
                 acc[bit / 64] += (d as i128) << (bit % 64);

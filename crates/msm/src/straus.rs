@@ -38,7 +38,11 @@ pub struct StrausMsm {
 impl StrausMsm {
     /// Stock configuration (k = 5, integer backend).
     pub fn new(device: DeviceConfig) -> Self {
-        Self { device, backend: Backend::Integer, window: 5 }
+        Self {
+            device,
+            backend: Backend::Integer,
+            window: 5,
+        }
     }
 
     fn table_entries(&self) -> u64 {
@@ -79,13 +83,11 @@ impl StrausMsm {
         let chunk = (n / (2 * dev.num_sms as usize)).clamp(256, 4096);
         let blocks_n = n.div_ceil(chunk);
         let per_block = BlockCost {
-            mac_ops: (windows as f64
-                * (chunk as f64 * cost.padd() + k as f64 * cost.pdbl())
+            mac_ops: (windows as f64 * (chunk as f64 * cost.padd() + k as f64 * cost.pdbl())
                 + chunk as f64 * cost.padd())
                 * SERIAL_CHAIN_PENALTY,
             // Random table gathers: one sector per coordinate word group.
-            dram_sectors: windows as u64 * chunk as u64 * cost.affine_bytes()
-                / dev.sector_bytes
+            dram_sectors: windows as u64 * chunk as u64 * cost.affine_bytes() / dev.sector_bytes
                 * 4, // ×4 gather amplification
             shared_bytes: 0,
         };
@@ -144,7 +146,10 @@ impl<C: CurveParams> MsmEngine<C> for StrausMsm {
             }
         }
         let report = self.stage::<C>(n, windows);
-        MsmRun { result: acc, report }
+        MsmRun {
+            result: acc,
+            report,
+        }
     }
 
     fn plan(&self, scalars: &ScalarVec) -> StageReport {

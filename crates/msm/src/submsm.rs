@@ -52,7 +52,12 @@ pub struct SubMsmPippenger {
 impl SubMsmPippenger {
     /// Stock configuration.
     pub fn new(device: DeviceConfig) -> Self {
-        Self { device, backend: Backend::Integer, window: None, chunk: None }
+        Self {
+            device,
+            backend: Backend::Integer,
+            window: None,
+            chunk: None,
+        }
     }
 
     fn k_for(&self, n: usize) -> u32 {
@@ -151,11 +156,10 @@ impl<C: CurveParams> MsmEngine<C> for SubMsmPippenger {
             let mut loads = vec![0u64; windows];
             for (t, load) in loads.iter_mut().enumerate() {
                 let mut buckets = vec![Projective::<C>::identity(); (1usize << k) - 1];
-                for i in lo..hi {
+                for (i, point) in points.iter().enumerate().take(hi).skip(lo) {
                     let d = scalars.window(i, t, k);
                     if d != 0 {
-                        buckets[(d - 1) as usize] =
-                            buckets[(d - 1) as usize].add_mixed(&points[i]);
+                        buckets[(d - 1) as usize] = buckets[(d - 1) as usize].add_mixed(point);
                         *load += 1;
                     }
                 }
@@ -172,7 +176,10 @@ impl<C: CurveParams> MsmEngine<C> for SubMsmPippenger {
             acc = acc.add(w);
         }
         let report = self.stage::<C>(n, k, windows, &unit_loads);
-        MsmRun { result: acc, report }
+        MsmRun {
+            result: acc,
+            report,
+        }
     }
 
     fn plan(&self, scalars: &ScalarVec) -> StageReport {

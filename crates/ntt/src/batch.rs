@@ -8,8 +8,8 @@
 //! reaches shared memory; the butterfly math here is common — which is also
 //! what guarantees both engines are bit-identical to the CPU reference.
 
-use crate::domain::{bit_reverse_permute, Radix2Domain};
 use crate::cpu::Direction;
+use crate::domain::{bit_reverse_permute, Radix2Domain};
 use gzkp_ff::PrimeField;
 
 /// One batch of iterations: `[start, start + iters)`.
@@ -101,7 +101,7 @@ pub fn group_butterflies<F: PrimeField>(
                 let w = tw[tw_idx];
                 let t = buf[j + half] * w;
                 buf[j + half] = buf[j] - t;
-                buf[j] = buf[j] + t;
+                buf[j] += t;
             }
         }
     }
@@ -150,9 +150,21 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(b[0], Batch { start: 0, iters: 8 });
         assert_eq!(b[1], Batch { start: 8, iters: 8 });
-        assert_eq!(b[2], Batch { start: 16, iters: 4 });
+        assert_eq!(
+            b[2],
+            Batch {
+                start: 16,
+                iters: 4
+            }
+        );
         let b18 = fixed_batches(18, 8);
-        assert_eq!(b18[2], Batch { start: 16, iters: 2 }); // the 2-thread case
+        assert_eq!(
+            b18[2],
+            Batch {
+                start: 16,
+                iters: 2
+            }
+        ); // the 2-thread case
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub struct CpuNtt {
 
 impl Default for CpuNtt {
     fn default() -> Self {
-        Self { mode: TwiddleMode::Precomputed, parallel: false }
+        Self {
+            mode: TwiddleMode::Precomputed,
+            parallel: false,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl CpuNtt {
 
     /// libsnark-like configuration (recomputed twiddles, parallel).
     pub fn libsnark_like() -> Self {
-        Self { mode: TwiddleMode::Recompute, parallel: true }
+        Self {
+            mode: TwiddleMode::Recompute,
+            parallel: true,
+        }
     }
 
     /// In-place NTT over the domain.
@@ -129,7 +135,7 @@ impl CpuNtt {
                     let w = tw[j * step];
                     let t = block[j + half] * w;
                     block[j + half] = block[j] - t;
-                    block[j] = block[j] + t;
+                    block[j] += t;
                 }
             };
             if self.parallel && n >= 1 << 14 {
@@ -154,7 +160,7 @@ impl CpuNtt {
                 for j in 0..half {
                     let t = block[j + half] * w;
                     block[j + half] = block[j] - t;
-                    block[j] = block[j] + t;
+                    block[j] += t;
                     w *= w_len;
                 }
             };
@@ -197,23 +203,35 @@ mod tests {
         let coeffs = random_vec::<Fr254>(256, 2);
         let mut a = coeffs.clone();
         let mut b = coeffs;
-        CpuNtt { mode: TwiddleMode::Precomputed, parallel: false }
-            .transform(&d, &mut a, Direction::Forward);
-        CpuNtt { mode: TwiddleMode::Recompute, parallel: false }
-            .transform(&d, &mut b, Direction::Forward);
+        CpuNtt {
+            mode: TwiddleMode::Precomputed,
+            parallel: false,
+        }
+        .transform(&d, &mut a, Direction::Forward);
+        CpuNtt {
+            mode: TwiddleMode::Recompute,
+            parallel: false,
+        }
+        .transform(&d, &mut b, Direction::Forward);
         assert_eq!(a, b);
     }
 
     #[test]
     fn parallel_matches_sequential() {
-        let d = Radix2Domain::<Fr254>::new(1 << 14, ).unwrap();
+        let d = Radix2Domain::<Fr254>::new(1 << 14).unwrap();
         let coeffs = random_vec::<Fr254>(1 << 14, 3);
         let mut a = coeffs.clone();
         let mut b = coeffs;
-        CpuNtt { mode: TwiddleMode::Precomputed, parallel: false }
-            .transform(&d, &mut a, Direction::Forward);
-        CpuNtt { mode: TwiddleMode::Precomputed, parallel: true }
-            .transform(&d, &mut b, Direction::Forward);
+        CpuNtt {
+            mode: TwiddleMode::Precomputed,
+            parallel: false,
+        }
+        .transform(&d, &mut a, Direction::Forward);
+        CpuNtt {
+            mode: TwiddleMode::Precomputed,
+            parallel: true,
+        }
+        .transform(&d, &mut b, Direction::Forward);
         assert_eq!(a, b);
     }
 

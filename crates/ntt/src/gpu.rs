@@ -20,6 +20,7 @@ use gzkp_ff::PrimeField;
 use gzkp_gpu_sim::device::{field_add_macs, field_mul_macs, Backend, DeviceConfig};
 use gzkp_gpu_sim::kernel::{BlockCost, KernelSpec, StageReport};
 use gzkp_gpu_sim::memory::strided_phase_sectors;
+use gzkp_telemetry::{counters as telemetry_counters, emit_stage, TelemetrySink};
 
 /// Host-side synchronization cost the baseline pays per kernel: bellperson
 /// drives each shuffle/butterfly batch from the host with a device sync in
@@ -39,6 +40,28 @@ pub trait GpuNttEngine<F: PrimeField>: Send + Sync {
     /// Analytic cost for an `2^log_n` transform without touching data
     /// (large-scale sweeps; identical cost model as [`Self::transform`]).
     fn cost(&self, log_n: u32) -> StageReport;
+
+    /// [`Self::transform`] plus telemetry: kernels, rolled-up MAC/DRAM
+    /// counters, and the butterfly field-multiplication count flow into
+    /// `sink`. With a disabled sink (`gzkp_telemetry::NoopSink`) this is
+    /// one branch on top of `transform`.
+    fn transform_traced(
+        &self,
+        domain: &Radix2Domain<F>,
+        data: &mut [F],
+        dir: Direction,
+        sink: &dyn TelemetrySink,
+    ) -> StageReport {
+        let report = self.transform(domain, data, dir);
+        if sink.enabled() {
+            emit_stage(sink, &report);
+            // Each of the log N iterations performs N/2 butterflies of one
+            // field multiplication.
+            let muls = domain.log_n as f64 * (domain.size as f64) / 2.0;
+            sink.counter(telemetry_counters::NTT_FIELD_MULS, muls);
+        }
+        report
+    }
 }
 
 /// Words (64-bit limbs) per element for field `F`.
@@ -89,7 +112,11 @@ pub struct BaselineGpuNtt {
 impl BaselineGpuNtt {
     /// Stock configuration on the given device.
     pub fn new(device: DeviceConfig) -> Self {
-        Self { device, backend: Backend::Integer, batch_iters: 8 }
+        Self {
+            device,
+            backend: Backend::Integer,
+            batch_iters: 8,
+        }
     }
 
     /// Enables the optimized finite-field library ("BG w. lib").
@@ -224,7 +251,12 @@ impl GzkpNtt {
             }
             b -= 1;
         }
-        Self { device, backend: Backend::FpLib, batch_iters: b, groups_per_block: g.max(1) as u32 }
+        Self {
+            device,
+            backend: Backend::FpLib,
+            batch_iters: b,
+            groups_per_block: g.max(1) as u32,
+        }
     }
 
     /// The "GZKP-no-GM-shuffle" ablation (Fig. 8): shuffle-less layout but
@@ -264,7 +296,8 @@ fn build_gzkp_specs(engine: &GzkpNtt, log_n: u32, m: usize) -> Vec<KernelSpec> {
         let gsize = batch.group_size();
         // Grow G for short batches to keep block size constant.
         let target_elems = (engine.groups_per_block as usize) << engine.batch_iters;
-        let g = (target_elems / gsize).max(engine.groups_per_block as usize)
+        let g = (target_elems / gsize)
+            .max(engine.groups_per_block as usize)
             .min(batch.stride().max(1).max(engine.groups_per_block as usize));
         let elems_per_block = (g * gsize).min(n);
         let blocks = (n / elems_per_block).max(1);

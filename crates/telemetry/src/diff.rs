@@ -1,0 +1,249 @@
+//! Trace comparison: walks two span trees in parallel and flags stages
+//! whose simulated time regressed beyond a threshold. This is the logic
+//! behind `zkprof diff`; it lives here so it is unit-testable without the
+//! CLI.
+
+use crate::trace::{Trace, TraceNode};
+use std::fmt::Write as _;
+
+/// Time delta of one span present in both traces.
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// Slash-joined span path (`"prove/msm/b_g2"`).
+    pub path: String,
+    /// Simulated ns in the baseline trace.
+    pub base_ns: f64,
+    /// Simulated ns in the candidate trace.
+    pub new_ns: f64,
+}
+
+impl StageDelta {
+    /// `new / base`; 1.0 when the baseline is zero-time.
+    pub fn ratio(&self) -> f64 {
+        if self.base_ns <= 0.0 {
+            1.0
+        } else {
+            self.new_ns / self.base_ns
+        }
+    }
+
+    /// Whether this span slowed down more than `threshold` (fractional:
+    /// 0.05 = 5%).
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio() > 1.0 + threshold
+    }
+}
+
+/// Full comparison of two traces.
+#[derive(Debug)]
+pub struct TraceDiff {
+    /// Per-span deltas, pre-order.
+    pub deltas: Vec<StageDelta>,
+    /// Span paths present in exactly one trace (path, in_baseline).
+    pub unmatched: Vec<(String, bool)>,
+    /// The regression threshold the diff was taken at.
+    pub threshold: f64,
+}
+
+impl TraceDiff {
+    /// Spans that slowed down beyond the threshold.
+    pub fn regressions(&self) -> Vec<&StageDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold))
+            .collect()
+    }
+
+    /// True when any span regressed or the trees have different shapes
+    /// (a vanished stage must not read as a win).
+    pub fn is_regression(&self) -> bool {
+        !self.regressions().is_empty() || !self.unmatched.is_empty()
+    }
+
+    /// Human-readable table, one line per span.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>12} {:>12} {:>8}  status",
+            "span", "base(ms)", "new(ms)", "ratio"
+        );
+        for d in &self.deltas {
+            let status = if d.regressed(self.threshold) {
+                "REGRESSED"
+            } else if d.ratio() < 1.0 - self.threshold {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<32} {:>12.3} {:>12.3} {:>8.3}  {}",
+                d.path,
+                d.base_ns / 1e6,
+                d.new_ns / 1e6,
+                d.ratio(),
+                status
+            );
+        }
+        for (path, in_base) in &self.unmatched {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>47}",
+                path,
+                if *in_base {
+                    "MISSING in new trace"
+                } else {
+                    "ONLY in new trace"
+                }
+            );
+        }
+        let regs = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{} spans compared, {} regressed (threshold {:.1}%)",
+            self.deltas.len(),
+            regs,
+            self.threshold * 100.0
+        );
+        out
+    }
+}
+
+/// Compares two traces with a fractional regression `threshold`
+/// (0.05 = a span may be up to 5% slower before it counts).
+pub fn diff_traces(base: &Trace, new: &Trace, threshold: f64) -> TraceDiff {
+    let mut diff = TraceDiff {
+        deltas: Vec::new(),
+        unmatched: Vec::new(),
+        threshold,
+    };
+    walk(&base.root, &new.root, "", &mut diff);
+    diff
+}
+
+fn walk(base: &TraceNode, new: &TraceNode, prefix: &str, out: &mut TraceDiff) {
+    for b_child in &base.children {
+        let path = if prefix.is_empty() {
+            b_child.name.clone()
+        } else {
+            format!("{prefix}/{}", b_child.name)
+        };
+        match new.child(&b_child.name) {
+            Some(n_child) => {
+                out.deltas.push(StageDelta {
+                    path: path.clone(),
+                    base_ns: b_child.time_ns,
+                    new_ns: n_child.time_ns,
+                });
+                walk(b_child, n_child, &path, out);
+            }
+            None => out.unmatched.push((path, true)),
+        }
+    }
+    for n_child in &new.children {
+        if new
+            .children
+            .iter()
+            .filter(|c| c.name == n_child.name)
+            .count()
+            > 1
+        {
+            continue; // duplicate names matched positionally above is out of scope
+        }
+        if base.child(&n_child.name).is_none() {
+            let path = if prefix.is_empty() {
+                n_child.name.clone()
+            } else {
+                format!("{prefix}/{}", n_child.name)
+            };
+            out.unmatched.push((path, false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SCHEMA_VERSION;
+
+    fn leaf(name: &str, ns: f64) -> TraceNode {
+        TraceNode {
+            time_ns: ns,
+            ..TraceNode::new(name)
+        }
+    }
+
+    fn trace_with(times: &[(&str, f64)]) -> Trace {
+        let mut root = TraceNode::new("root");
+        let mut prove = TraceNode::new("prove");
+        for (name, ns) in times {
+            prove.children.push(leaf(name, *ns));
+        }
+        prove.time_ns = times.iter().map(|(_, ns)| ns).sum();
+        root.time_ns = prove.time_ns;
+        root.children.push(prove);
+        Trace {
+            schema_version: SCHEMA_VERSION,
+            tool: "gzkp".into(),
+            device: "V100".into(),
+            root,
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_regressions() {
+        let t = trace_with(&[("poly", 1e6), ("msm", 5e6)]);
+        let d = diff_traces(&t, &t, 0.05);
+        assert!(!d.is_regression());
+        assert_eq!(d.deltas.len(), 3); // prove, poly, msm
+        assert!(d.deltas.iter().all(|x| (x.ratio() - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn slowdown_beyond_threshold_regresses() {
+        let base = trace_with(&[("poly", 1e6), ("msm", 5e6)]);
+        let slow = trace_with(&[("poly", 1e6), ("msm", 5.6e6)]);
+        let d = diff_traces(&base, &slow, 0.05);
+        assert!(d.is_regression());
+        let regs = d.regressions();
+        // Both "prove" (aggregate) and "msm" regressed.
+        assert!(regs.iter().any(|r| r.path == "prove/msm"));
+        assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let base = trace_with(&[("msm", 5e6)]);
+        let slow = trace_with(&[("msm", 5.2e6)]);
+        assert!(!diff_traces(&base, &slow, 0.05).is_regression());
+        // The same delta fails a tighter threshold.
+        assert!(diff_traces(&base, &slow, 0.01).is_regression());
+    }
+
+    #[test]
+    fn shape_mismatch_is_flagged() {
+        let base = trace_with(&[("poly", 1e6), ("msm", 5e6)]);
+        let missing = trace_with(&[("poly", 1e6)]);
+        let d = diff_traces(&base, &missing, 0.5);
+        assert!(d.is_regression());
+        assert!(d
+            .unmatched
+            .iter()
+            .any(|(p, in_base)| p == "prove/msm" && *in_base));
+        let d2 = diff_traces(&missing, &base, 0.5);
+        assert!(d2
+            .unmatched
+            .iter()
+            .any(|(p, in_base)| p == "prove/msm" && !in_base));
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let base = trace_with(&[("msm", 5e6)]);
+        let fast = trace_with(&[("msm", 2e6)]);
+        let d = diff_traces(&base, &fast, 0.05);
+        assert!(!d.is_regression());
+        assert!(d.render().contains("improved"));
+    }
+}

@@ -1,0 +1,385 @@
+//! # gzkp-telemetry — structured prover observability
+//!
+//! The GZKP reproduction's engines already compute detailed cost models
+//! ([`gzkp_gpu_sim::KernelReport`]); until now they only surfaced them as
+//! return values and ad-hoc text tables. This crate adds a structured
+//! telemetry layer on top:
+//!
+//! * [`TelemetrySink`] — the hook trait engines and the prover accept.
+//!   The default implementation ([`NoopSink`]) does nothing and costs one
+//!   `enabled()` branch per stage, so un-instrumented runs stay free.
+//! * [`TraceRecorder`] — a sink that builds a span *tree*
+//!   (`prove → poly → ntt[i]`, `prove → msm → {a, b_g1, b_g2, h, l}`)
+//!   with per-span kernels, counters (field muls, PADD/PDBL, DRAM
+//!   sectors), value gauges (peak device memory), and histograms
+//!   (bucket occupancy).
+//! * [`Trace`] — the versioned, serde-serializable form written to
+//!   `gzkp-trace.json`; [`Trace::from_json`] rejects schema mismatches.
+//! * [`diff`] — span-tree comparison with a regression threshold, the
+//!   engine behind `zkprof diff`.
+//!
+//! No external tracing framework is used — spans here measure *simulated*
+//! nanoseconds from the cost model, not wall clock, so a recorder is just
+//! a tree builder behind a mutex.
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod trace;
+
+pub use diff::{diff_traces, StageDelta, TraceDiff};
+pub use trace::{render_trace, Histogram, Trace, TraceError, TraceNode, SCHEMA_VERSION};
+
+use gzkp_gpu_sim::kernel::{KernelReport, StageReport};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Sink trait + no-op default
+// ---------------------------------------------------------------------------
+
+/// Receiver of telemetry events from engines and the prover.
+///
+/// All methods have no-op defaults; implementors override what they
+/// consume. Instrumented call sites must guard non-trivial event
+/// preparation with [`TelemetrySink::enabled`] so disabled sinks cost a
+/// single predictable branch.
+pub trait TelemetrySink: Send + Sync {
+    /// Whether this sink records anything. Call sites skip event
+    /// construction when `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a nested span; subsequent events attach to it until the
+    /// matching [`TelemetrySink::span_end`].
+    fn span_start(&self, _name: &str) {}
+
+    /// Closes the innermost span (the name is advisory, for debugging).
+    fn span_end(&self, _name: &str) {}
+
+    /// Adds `delta` to the named counter of the current span.
+    fn counter(&self, _name: &str, _delta: f64) {}
+
+    /// Records a gauge on the current span; repeated reports keep the max
+    /// (used for peaks, e.g. simulated device memory).
+    fn value(&self, _name: &str, _v: f64) {}
+
+    /// Attaches a named histogram (`(bucket_label, count)` pairs) to the
+    /// current span.
+    fn histogram(&self, _name: &str, _buckets: &[(u64, u64)]) {}
+
+    /// Attaches one simulated kernel execution to the current span.
+    fn kernel(&self, _report: &KernelReport) {}
+}
+
+/// The zero-cost default sink: records nothing, reports `enabled() ==
+/// false` so call sites skip event preparation entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+/// RAII guard that closes a span on drop, keeping start/end balanced even
+/// on early returns.
+pub struct SpanGuard<'a> {
+    sink: &'a dyn TelemetrySink,
+    name: &'a str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.span_end(self.name);
+    }
+}
+
+/// Opens a span and returns the guard that closes it.
+pub fn span<'a>(sink: &'a dyn TelemetrySink, name: &'a str) -> SpanGuard<'a> {
+    sink.span_start(name);
+    SpanGuard { sink, name }
+}
+
+// ---------------------------------------------------------------------------
+// Shared emit helpers
+// ---------------------------------------------------------------------------
+
+/// Standard counter names (kept in one place so producers and `zkprof`
+/// agree).
+pub mod counters {
+    /// 64-bit multiply-accumulate equivalents (the simulator's compute
+    /// unit; field multiplications dominate it).
+    pub const MAC_OPS: &str = "mac_ops";
+    /// DRAM sectors moved.
+    pub const DRAM_SECTORS: &str = "dram_sectors";
+    /// Field multiplications performed by NTT butterflies.
+    pub const NTT_FIELD_MULS: &str = "ntt.field_muls";
+    /// Point additions in the MSM (mixed + full).
+    pub const MSM_PADD: &str = "msm.padd";
+    /// Point doublings in the MSM (on-the-fly checkpoint weights).
+    pub const MSM_PDBL: &str = "msm.pdbl";
+    /// Peak simulated device memory, bytes (a gauge, kept as max).
+    pub const PEAK_DEVICE_BYTES: &str = "device.peak_bytes";
+    /// Non-empty buckets in the MSM's consolidated bucket space.
+    pub const MSM_OCCUPIED_BUCKETS: &str = "msm.occupied_buckets";
+}
+
+/// Feeds one simulated stage into the sink: every kernel report, plus the
+/// rolled-up [`counters::MAC_OPS`] and [`counters::DRAM_SECTORS`].
+pub fn emit_stage(sink: &dyn TelemetrySink, stage: &StageReport) {
+    let mut macs = 0.0;
+    let mut sectors = 0u64;
+    for k in &stage.kernels {
+        sink.kernel(k);
+        macs += k.mac_ops;
+        sectors += k.dram_sectors;
+    }
+    sink.counter(counters::MAC_OPS, macs);
+    sink.counter(counters::DRAM_SECTORS, sectors as f64);
+}
+
+/// Builds a power-of-two histogram of `values`: bucket label `b` counts
+/// values in `[2^b, 2^{b+1})`; label 0 additionally counts zeros.
+pub fn log2_histogram(values: impl Iterator<Item = u64>) -> Vec<(u64, u64)> {
+    let mut counts: Vec<u64> = Vec::new();
+    for v in values {
+        let bucket = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        if counts.len() <= bucket {
+            counts.resize(bucket + 1, 0);
+        }
+        counts[bucket] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(b, c)| (b as u64, c))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The recording sink
+// ---------------------------------------------------------------------------
+
+/// A [`TelemetrySink`] that builds the span tree of one prover run and
+/// produces a [`Trace`].
+///
+/// Interior mutability (a `std::sync::Mutex`) keeps the sink usable
+/// through `&dyn TelemetrySink`; events are tree edits, so contention is
+/// negligible next to the work being traced.
+pub struct TraceRecorder {
+    inner: Mutex<RecorderState>,
+    device: String,
+}
+
+struct RecorderState {
+    root: TraceNode,
+    /// Child-index path from the root to the currently open span.
+    path: Vec<usize>,
+}
+
+impl TraceRecorder {
+    /// Fresh recorder; `device` labels the trace (e.g. `"V100"`).
+    pub fn new(device: impl Into<String>) -> Self {
+        Self {
+            inner: Mutex::new(RecorderState {
+                root: TraceNode::new("root"),
+                path: Vec::new(),
+            }),
+            device: device.into(),
+        }
+    }
+
+    fn with_current<R>(&self, f: impl FnOnce(&mut TraceNode) -> R) -> R {
+        let mut st = self.inner.lock().unwrap();
+        let st = &mut *st;
+        let mut node = &mut st.root;
+        for &i in &st.path {
+            node = &mut node.children[i];
+        }
+        f(node)
+    }
+
+    /// Consumes the recorder into a versioned [`Trace`], filling every
+    /// span's `time_ns` from its kernels and children.
+    pub fn finish(self) -> Trace {
+        let mut st = self.inner.into_inner().unwrap();
+        fn fixup(node: &mut TraceNode) -> f64 {
+            let own: f64 = node.kernels.iter().map(|k| k.time_ns).sum();
+            let children: f64 = node.children.iter_mut().map(fixup).sum();
+            node.time_ns = own + children;
+            node.time_ns
+        }
+        fixup(&mut st.root);
+        Trace {
+            schema_version: SCHEMA_VERSION,
+            tool: "gzkp".to_string(),
+            device: self.device,
+            root: st.root,
+        }
+    }
+}
+
+impl TelemetrySink for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_start(&self, name: &str) {
+        let mut st = self.inner.lock().unwrap();
+        let st = &mut *st;
+        let mut node = &mut st.root;
+        for &i in &st.path {
+            node = &mut node.children[i];
+        }
+        node.children.push(TraceNode::new(name));
+        let idx = node.children.len() - 1;
+        st.path.push(idx);
+    }
+
+    fn span_end(&self, _name: &str) {
+        let mut st = self.inner.lock().unwrap();
+        st.path.pop();
+    }
+
+    fn counter(&self, name: &str, delta: f64) {
+        self.with_current(|n| {
+            if let Some(c) = n.counters.iter_mut().find(|(k, _)| k == name) {
+                c.1 += delta;
+            } else {
+                n.counters.push((name.to_string(), delta));
+            }
+        });
+    }
+
+    fn value(&self, name: &str, v: f64) {
+        self.with_current(|n| {
+            if let Some(c) = n.values.iter_mut().find(|(k, _)| k == name) {
+                c.1 = c.1.max(v);
+            } else {
+                n.values.push((name.to_string(), v));
+            }
+        });
+    }
+
+    fn histogram(&self, name: &str, buckets: &[(u64, u64)]) {
+        self.with_current(|n| {
+            n.histograms.push(Histogram {
+                name: name.to_string(),
+                buckets: buckets.to_vec(),
+            });
+        });
+    }
+
+    fn kernel(&self, report: &KernelReport) {
+        self.with_current(|n| n.kernels.push(report.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_gpu_sim::device::{v100, Backend};
+    use gzkp_gpu_sim::kernel::{simulate_kernel, BlockCost, KernelSpec};
+
+    fn sample_kernel(name: &str) -> KernelReport {
+        let dev = v100();
+        let spec = KernelSpec::uniform(
+            name,
+            256,
+            0,
+            Backend::Integer,
+            4,
+            80,
+            BlockCost {
+                mac_ops: 1e5,
+                dram_sectors: 64,
+                shared_bytes: 0,
+            },
+        );
+        simulate_kernel(&dev, &spec)
+    }
+
+    #[test]
+    fn recorder_builds_span_tree() {
+        let rec = TraceRecorder::new("V100");
+        {
+            let _prove = span(&rec, "prove");
+            {
+                let _poly = span(&rec, "poly");
+                for i in 0..3 {
+                    let name = format!("ntt[{i}]");
+                    let _ntt = span(&rec, &name);
+                    rec.kernel(&sample_kernel("butterfly.0"));
+                    rec.counter(counters::MAC_OPS, 1e5 * 80.0);
+                }
+            }
+            {
+                let _msm = span(&rec, "msm");
+                let _a = span(&rec, "a");
+                rec.kernel(&sample_kernel("gzkp.point-merge"));
+                rec.value(counters::PEAK_DEVICE_BYTES, 1e9);
+                rec.value(counters::PEAK_DEVICE_BYTES, 5e8); // max is kept
+                rec.histogram("bucket_occupancy", &[(0, 10), (3, 5)]);
+            }
+        }
+        let trace = rec.finish();
+        let poly = trace.find(&["prove", "poly"]).unwrap();
+        assert_eq!(poly.children.len(), 3);
+        assert!(poly.time_ns > 0.0);
+        let ntt1 = trace.find(&["prove", "poly", "ntt[1]"]).unwrap();
+        assert_eq!(ntt1.counter(counters::MAC_OPS), Some(8e6));
+        let a = trace.find(&["prove", "msm", "a"]).unwrap();
+        assert_eq!(a.value(counters::PEAK_DEVICE_BYTES), Some(1e9));
+        assert_eq!(a.histograms.len(), 1);
+        // Parent time aggregates children.
+        let prove = trace.find(&["prove"]).unwrap();
+        assert!((prove.time_ns - (poly.time_ns + a.time_ns)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counters_accumulate_and_values_max() {
+        let rec = TraceRecorder::new("d");
+        rec.counter("x", 1.0);
+        rec.counter("x", 2.5);
+        rec.value("peak", 3.0);
+        rec.value("peak", 2.0);
+        let t = rec.finish();
+        assert_eq!(t.root.counter("x"), Some(3.5));
+        assert_eq!(t.root.value("peak"), Some(3.0));
+    }
+
+    #[test]
+    fn emit_stage_rolls_up() {
+        let rec = TraceRecorder::new("d");
+        let mut stage = gzkp_gpu_sim::kernel::StageReport::new("s");
+        stage.kernels.push(sample_kernel("k1"));
+        stage.kernels.push(sample_kernel("k2"));
+        emit_stage(&rec, &stage);
+        let t = rec.finish();
+        assert_eq!(t.root.kernels.len(), 2);
+        assert_eq!(t.root.counter(counters::MAC_OPS), Some(2.0 * 80.0 * 1e5));
+        assert_eq!(
+            t.root.counter(counters::DRAM_SECTORS),
+            Some(2.0 * 80.0 * 64.0)
+        );
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let h = log2_histogram([0u64, 1, 1, 2, 3, 8, 9, 1024].into_iter());
+        // zeros+ones land in bucket 0; 2..3 in bucket 1; 8..9 in 3; 1024 in 10.
+        assert_eq!(h, vec![(0, 3), (1, 2), (3, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        // And all events are accepted without effect.
+        NoopSink.span_start("x");
+        NoopSink.counter("c", 1.0);
+        NoopSink.span_end("x");
+    }
+}

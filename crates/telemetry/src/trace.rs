@@ -1,0 +1,385 @@
+//! The versioned machine-readable trace: the span tree a
+//! [`crate::TraceRecorder`] produces, its JSON form (`gzkp-trace.json`),
+//! and the text rendering `zkprof render` prints.
+
+use gzkp_gpu_sim::kernel::{KernelReport, StageReport};
+use gzkp_gpu_sim::report::{render_stage, utilization};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Version of the on-disk trace schema. Bump when [`Trace`]/[`TraceNode`]
+/// change shape; [`Trace::from_json`] rejects mismatches so stale traces
+/// fail loudly instead of mis-parsing.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A named histogram attached to a span (e.g. MSM bucket occupancy:
+/// label = log2 bucket-size class, count = buckets in that class).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Histogram name.
+    pub name: String,
+    /// `(bucket_label, count)` pairs, sparse.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// One span in the trace tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceNode {
+    /// Span name (`"prove"`, `"poly"`, `"ntt[3]"`, `"b_g2"`, …).
+    pub name: String,
+    /// Simulated nanoseconds covered by this span (own kernels plus all
+    /// children; filled by [`crate::TraceRecorder::finish`]).
+    pub time_ns: f64,
+    /// Kernel executions recorded directly on this span.
+    pub kernels: Vec<KernelReport>,
+    /// Additive counters (`mac_ops`, `msm.padd`, …).
+    pub counters: Vec<(String, f64)>,
+    /// Max-kept gauges (`device.peak_bytes`, …).
+    pub values: Vec<(String, f64)>,
+    /// Histograms attached to this span.
+    pub histograms: Vec<Histogram>,
+    /// Nested spans, in open order.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Fresh empty span.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            time_ns: 0.0,
+            kernels: Vec::new(),
+            counters: Vec::new(),
+            values: Vec::new(),
+            histograms: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Looks up an additive counter by name.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// First child with the given name.
+    pub fn child(&self, name: &str) -> Option<&TraceNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Sums a counter over this span and all descendants.
+    pub fn counter_deep(&self, name: &str) -> f64 {
+        self.counter(name).unwrap_or(0.0)
+            + self
+                .children
+                .iter()
+                .map(|c| c.counter_deep(name))
+                .sum::<f64>()
+    }
+
+    /// This span's kernels as a [`StageReport`] (for the text tables).
+    pub fn as_stage(&self) -> StageReport {
+        StageReport {
+            name: self.name.clone(),
+            kernels: self.kernels.clone(),
+        }
+    }
+}
+
+/// Errors loading a trace from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The JSON did not parse or did not match the trace shape.
+    Parse(String),
+    /// The trace was written by a different schema version.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Version this build expects.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parse(e) => write!(f, "trace parse error: {e}"),
+            TraceError::SchemaVersion { found, expected } => write!(
+                f,
+                "trace schema version {found} is not supported (expected {expected}); \
+                 re-generate the trace with this build"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A complete prover trace: the versioned envelope around the span tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// On-disk schema version; see [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Producing tool (`"gzkp"`).
+    pub tool: String,
+    /// Device label the run simulated (e.g. `"V100"`).
+    pub device: String,
+    /// The span tree. The root itself is synthetic; real spans start at
+    /// its children.
+    pub root: TraceNode,
+}
+
+impl Trace {
+    /// Wraps a finished span tree in the current-schema envelope.
+    pub fn new(tool: impl Into<String>, device: impl Into<String>, root: TraceNode) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            tool: tool.into(),
+            device: device.into(),
+            root,
+        }
+    }
+
+    /// Walks the span tree by child names from the root.
+    pub fn find(&self, path: &[&str]) -> Option<&TraceNode> {
+        let mut node = &self.root;
+        for name in path {
+            node = node.child(name)?;
+        }
+        Some(node)
+    }
+
+    /// Pretty JSON for `gzkp-trace.json`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialization is infallible")
+    }
+
+    /// Parses and version-checks a trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::SchemaVersion`] when the file was written by another
+    /// schema version; [`TraceError::Parse`] for malformed input. The
+    /// version is checked *before* full decoding so a future schema fails
+    /// with the right message rather than a field error.
+    pub fn from_json(text: &str) -> Result<Self, TraceError> {
+        let value = serde_json::parse_value(text).map_err(|e| TraceError::Parse(e.to_string()))?;
+        let found = value
+            .get("schema_version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| TraceError::Parse("missing schema_version".into()))?;
+        if found != SCHEMA_VERSION as u64 {
+            return Err(TraceError::SchemaVersion {
+                found,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        serde::from_value(value).map_err(|e| TraceError::Parse(e.0))
+    }
+
+    /// Writes `self` as pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a trace file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are reported as [`TraceError::Parse`].
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> Result<Self, TraceError> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| TraceError::Parse(format!("{}: {e}", path.as_ref().display())))?;
+        Self::from_json(&text)
+    }
+}
+
+/// Renders a trace as indented span lines plus, for spans that executed
+/// kernels, the existing per-kernel text tables of
+/// [`gzkp_gpu_sim::report::render_stage`].
+pub fn render_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: tool={} device={} schema=v{}",
+        trace.tool, trace.device, trace.schema_version
+    );
+    for child in &trace.root.children {
+        render_node(&mut out, child, 0);
+    }
+    out
+}
+
+fn render_node(out: &mut String, node: &TraceNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let _ = writeln!(
+        out,
+        "{indent}{:<24} {:>12.3} ms",
+        node.name,
+        node.time_ns / 1e6
+    );
+    for (name, v) in &node.counters {
+        let _ = writeln!(out, "{indent}  · {name} = {v:.0}");
+    }
+    for (name, v) in &node.values {
+        let _ = writeln!(out, "{indent}  · {name} = {v:.0} (peak)");
+    }
+    for h in &node.histograms {
+        let total: u64 = h.buckets.iter().map(|(_, c)| c).sum();
+        let _ = writeln!(out, "{indent}  · histogram {} ({total} items):", h.name);
+        for (bucket, count) in &h.buckets {
+            let _ = writeln!(out, "{indent}      2^{bucket:<2} {count:>8}");
+        }
+    }
+    if !node.kernels.is_empty() {
+        let stage = node.as_stage();
+        let u = utilization(&stage);
+        for line in render_stage(&stage).lines() {
+            let _ = writeln!(out, "{indent}  {line}");
+        }
+        let _ = writeln!(
+            out,
+            "{indent}  bound: compute {:.0}%  dram {:.0}%  shared {:.0}%  overhead {:.0}%",
+            u.compute * 100.0,
+            u.dram * 100.0,
+            u.shared * 100.0,
+            u.overhead * 100.0
+        );
+    }
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counters, emit_stage, span, TelemetrySink, TraceRecorder};
+    use gzkp_gpu_sim::device::{v100, Backend};
+    use gzkp_gpu_sim::kernel::{BlockCost, KernelSpec};
+
+    fn sample_trace() -> Trace {
+        let rec = TraceRecorder::new("V100");
+        let dev = v100();
+        let _p = span(&rec, "prove");
+        {
+            let _poly = span(&rec, "poly");
+            let mut stage = StageReport::new("POLY");
+            stage.run(
+                &dev,
+                &KernelSpec::uniform(
+                    "butterfly.0",
+                    256,
+                    0,
+                    Backend::FpLib,
+                    4,
+                    160,
+                    BlockCost {
+                        mac_ops: 5e4,
+                        dram_sectors: 128,
+                        shared_bytes: 1024,
+                    },
+                ),
+            );
+            emit_stage(&rec, &stage);
+            rec.counter(counters::NTT_FIELD_MULS, 1e6);
+        }
+        {
+            let _msm = span(&rec, "msm");
+            rec.histogram("bucket_occupancy", &[(0, 7), (4, 2)]);
+            rec.value(counters::PEAK_DEVICE_BYTES, 2.5e9);
+        }
+        drop(_p);
+        rec.finish()
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_trace() {
+        let t = sample_trace();
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.device, t.device);
+        let (a, b) = (
+            t.find(&["prove", "poly"]).unwrap(),
+            back.find(&["prove", "poly"]).unwrap(),
+        );
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        assert_eq!(a.kernels[0].name, b.kernels[0].name);
+        assert_eq!(a.kernels[0].time_ns, b.kernels[0].time_ns);
+        assert_eq!(a.kernels[0].dram_sectors, b.kernels[0].dram_sectors);
+        assert_eq!(a.counters, b.counters);
+        let (ma, mb) = (
+            t.find(&["prove", "msm"]).unwrap(),
+            back.find(&["prove", "msm"]).unwrap(),
+        );
+        assert_eq!(ma.histograms, mb.histograms);
+        assert_eq!(ma.values, mb.values);
+        assert_eq!(ma.time_ns, mb.time_ns);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let t = sample_trace();
+        let json = t.to_json();
+        let future = json.replacen(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+            1,
+        );
+        assert_ne!(json, future, "version field must be present in the JSON");
+        match Trace::from_json(&future) {
+            Err(TraceError::SchemaVersion {
+                found: 999,
+                expected,
+            }) => {
+                assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => panic!("expected schema-version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        assert!(matches!(Trace::from_json("{"), Err(TraceError::Parse(_))));
+        assert!(matches!(
+            Trace::from_json("{\"no_version\": true}"),
+            Err(TraceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn render_shows_spans_and_tables() {
+        let t = sample_trace();
+        let text = render_trace(&t);
+        assert!(text.contains("prove"));
+        assert!(text.contains("poly"));
+        assert!(text.contains("butterfly.0"));
+        assert!(text.contains("bucket_occupancy"));
+        assert!(text.contains("ntt.field_muls"));
+        assert!(text.contains("bound:"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("gzkp-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.write_to(&path).unwrap();
+        let back = Trace::read_from(&path).unwrap();
+        assert_eq!(back.root.children.len(), t.root.children.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -8,14 +8,42 @@ use crate::{SparsityProfile, WorkloadSpec};
 pub fn zksnark_apps() -> Vec<WorkloadSpec> {
     // Application witnesses carry substantial bound-check structure, but
     // less extreme than Zcash's; a moderate sparse profile.
-    let app_profile = SparsityProfile { frac_zero: 0.25, frac_one: 0.30, frac_small: 0.15 };
+    let app_profile = SparsityProfile {
+        frac_zero: 0.25,
+        frac_one: 0.30,
+        frac_small: 0.15,
+    };
     vec![
-        WorkloadSpec { name: "AES", vector_size: 16383, sparsity: app_profile },
-        WorkloadSpec { name: "SHA-256", vector_size: 32767, sparsity: app_profile },
-        WorkloadSpec { name: "RSAEnc", vector_size: 98303, sparsity: app_profile },
-        WorkloadSpec { name: "RSASigVer", vector_size: 131071, sparsity: app_profile },
-        WorkloadSpec { name: "Merkle-Tree", vector_size: 294911, sparsity: app_profile },
-        WorkloadSpec { name: "Auction", vector_size: 557055, sparsity: app_profile },
+        WorkloadSpec {
+            name: "AES",
+            vector_size: 16383,
+            sparsity: app_profile,
+        },
+        WorkloadSpec {
+            name: "SHA-256",
+            vector_size: 32767,
+            sparsity: app_profile,
+        },
+        WorkloadSpec {
+            name: "RSAEnc",
+            vector_size: 98303,
+            sparsity: app_profile,
+        },
+        WorkloadSpec {
+            name: "RSASigVer",
+            vector_size: 131071,
+            sparsity: app_profile,
+        },
+        WorkloadSpec {
+            name: "Merkle-Tree",
+            vector_size: 294911,
+            sparsity: app_profile,
+        },
+        WorkloadSpec {
+            name: "Auction",
+            vector_size: 557055,
+            sparsity: app_profile,
+        },
     ]
 }
 

@@ -37,14 +37,20 @@ pub struct SparsityProfile {
 
 impl SparsityProfile {
     /// Dense uniform scalars (the Tables 5–8 synthetic microbenchmarks).
-    pub const DENSE: SparsityProfile =
-        SparsityProfile { frac_zero: 0.0, frac_one: 0.0, frac_small: 0.0 };
+    pub const DENSE: SparsityProfile = SparsityProfile {
+        frac_zero: 0.0,
+        frac_one: 0.0,
+        frac_small: 0.0,
+    };
 
     /// The sparse profile of real zkSNARK witnesses (Zcash-class): heavy in
     /// 0/1 from boolean and range gadgets. Calibrated so the cross-window
     /// bucket-occupancy spread lands near the paper's Figure 6 (~2.85×).
-    pub const SPARSE: SparsityProfile =
-        SparsityProfile { frac_zero: 0.20, frac_one: 0.15, frac_small: 0.10 };
+    pub const SPARSE: SparsityProfile = SparsityProfile {
+        frac_zero: 0.20,
+        frac_one: 0.15,
+        frac_small: 0.10,
+    };
 
     /// Samples one scalar from the profile.
     pub fn sample<F: PrimeField, R: Rng + ?Sized>(&self, rng: &mut R) -> F {

@@ -2,15 +2,19 @@
 //! parameterized R1CS circuits for end-to-end prover runs.
 
 use crate::{SparsityProfile, WorkloadSpec};
+use gzkp_ff::PrimeField;
 use gzkp_groth16::gadgets::{alloc_boolean, mimc_constants, mimc_gadget};
 use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
-use gzkp_ff::PrimeField;
 use rand::Rng;
 
 /// A dense synthetic workload at scale `n` (the "synthetic data generated
 /// by libsnark" of §5.1).
 pub fn dense(n: usize) -> WorkloadSpec {
-    WorkloadSpec { name: "dense-synthetic", vector_size: n, sparsity: SparsityProfile::DENSE }
+    WorkloadSpec {
+        name: "dense-synthetic",
+        vector_size: n,
+        sparsity: SparsityProfile::DENSE,
+    }
 }
 
 /// Builds a satisfied R1CS instance with approximately `target_constraints`
@@ -92,6 +96,9 @@ mod tests {
             .iter()
             .filter(|v| v.is_zero() || **v == Fr254::one())
             .count();
-        assert!(trivial * 5 > cs.aux_assignment.len(), "want ≥20% trivial witnesses");
+        assert!(
+            trivial * 5 > cs.aux_assignment.len(),
+            "want ≥20% trivial witnesses"
+        );
     }
 }

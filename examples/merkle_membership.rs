@@ -33,7 +33,12 @@ fn main() {
     println!("tree depth {TREE_DEPTH}, public root = {root}");
 
     // Synthesize the circuit.
-    let circuit = MerkleMembership { leaf, path, directions, root };
+    let circuit = MerkleMembership {
+        leaf,
+        path,
+        directions,
+        root,
+    };
     let mut cs = ConstraintSystem::new();
     circuit.synthesize(&mut cs).expect("satisfiable");
     println!(
@@ -47,7 +52,11 @@ fn main() {
     let ntt = GzkpNtt::auto::<Fr>(v100());
     let msm = GzkpMsm::new(v100());
     let msm_g2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm, msm_g2: &msm_g2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm,
+        msm_g2: &msm_g2,
+    };
     let t0 = std::time::Instant::now();
     let (proof, report) = prove(&cs, &pk, &engines, &mut rng).expect("prove");
     println!(

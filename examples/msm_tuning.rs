@@ -18,7 +18,10 @@ fn main() {
 
     println!("{:<8} {:>12} {:>14}", "window", "time (ms)", "memory (GB)");
     for k in (8..=18).step_by(2) {
-        let e = GzkpMsm { window: Some(k), ..GzkpMsm::new(v100()) };
+        let e = GzkpMsm {
+            window: Some(k),
+            ..GzkpMsm::new(v100())
+        };
         let t = MsmEngine::<G1Config>::plan_dense(&e, n).total_ms();
         let m = MsmEngine::<G1Config>::memory_bytes(&e, n) as f64 / (1u64 << 30) as f64;
         println!("{:<8} {:>12.3} {:>14.2}", format!("k={k}"), t, m);

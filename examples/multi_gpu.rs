@@ -45,5 +45,8 @@ fn main() {
     println!("\n{:<22} {:>12}", "configuration", "time (ms)");
     println!("{:<22} {:>12.2}", "1x V100", single);
     println!("{:<22} {:>12.2}", "4x V100", quad);
-    println!("\nscaling: {:.2}x with 4 cards (paper Table 4 reports ~2.1x)", single / quad);
+    println!(
+        "\nscaling: {:.2}x with 4 cards (paper Table 4 reports ~2.1x)",
+        single / quad
+    );
 }

@@ -11,9 +11,10 @@ use gzkp_curves::bn254::{Bn254, Fr};
 use gzkp_ff::Field;
 use gzkp_gpu_sim::v100;
 use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
-use gzkp_groth16::{prove, setup, verify, ProverEngines};
+use gzkp_groth16::{prove_with_telemetry, setup, verify, ProverEngines};
 use gzkp_msm::GzkpMsm;
 use gzkp_ntt::GzkpNtt;
+use gzkp_telemetry::TraceRecorder;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,18 +40,37 @@ fn main() {
 
     // 2. Trusted setup.
     let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
-    println!("setup done: {} a-query points, domain {}", pk.a_query.len(), pk.domain_size);
+    println!(
+        "setup done: {} a-query points, domain {}",
+        pk.a_query.len(),
+        pk.domain_size
+    );
 
-    // 3. Prove with the GZKP engines on the simulated V100.
+    // 3. Prove with the GZKP engines on the simulated V100, recording a
+    //    structured trace of the run as we go.
     let ntt = GzkpNtt::auto::<Fr>(v100());
     let msm = GzkpMsm::new(v100());
     let msm_g2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm, msm_g2: &msm_g2 };
-    let (proof, report) = prove(&cs, &pk, &engines, &mut rng).expect("prove");
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm,
+        msm_g2: &msm_g2,
+    };
+    let recorder = TraceRecorder::new(v100().name);
+    let (proof, report) =
+        prove_with_telemetry(&cs, &pk, &engines, &mut rng, &recorder).expect("prove");
     println!(
         "proof generated: POLY {:.3} ms + MSM {:.3} ms (simulated V100)",
         report.poly_ms(),
         report.msm_ms()
+    );
+
+    // Persist the trace for `zkprof render` / `zkprof diff`.
+    let trace = recorder.finish();
+    trace.write_to("gzkp-trace.json").expect("write trace");
+    println!(
+        "trace written to gzkp-trace.json (schema v{})",
+        gzkp_telemetry::SCHEMA_VERSION
     );
 
     // 4. Verify (real pairings, real milliseconds).

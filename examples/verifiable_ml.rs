@@ -97,7 +97,8 @@ fn build_circuit(
     // the 40-bit range check is the inequality proof.
     let margin_u64 = {
         let dot: u64 = weights.iter().zip(features).map(|(w, x)| w * x).sum();
-        dot.checked_sub(threshold).expect("model must clear the threshold")
+        dot.checked_sub(threshold)
+            .expect("model must clear the threshold")
     };
     let (margin_var, _) = alloc_ranged(&mut cs, margin_u64, 40);
     cs.enforce(
@@ -131,7 +132,11 @@ fn main() {
     let ntt = GzkpNtt::auto::<Fr>(v100());
     let msm = GzkpMsm::new(v100());
     let msm2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm, msm_g2: &msm2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm,
+        msm_g2: &msm2,
+    };
     let (proof, report) = prove(&cs, &pk, &engines, &mut rng).expect("prove");
     println!(
         "proved: POLY {:.2} ms + MSM {:.2} ms (simulated V100)",
@@ -144,6 +149,10 @@ fn main() {
     println!("verified: the committed model scores ≥ {threshold} on this input");
 
     // A different commitment (different model) must not verify.
-    assert!(!verify::<Bn254>(&vk, &proof, &[commitment + Fr::one(), Fr::from_u64(threshold)]));
+    assert!(!verify::<Bn254>(
+        &vk,
+        &proof,
+        &[commitment + Fr::one(), Fr::from_u64(threshold)]
+    ));
     println!("forged model commitment correctly rejected");
 }

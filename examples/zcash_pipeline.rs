@@ -16,9 +16,7 @@ mod gzkp_bench_shim {
     pub use gzkp_curves::bls12_381::{G1Config, G2Config};
     pub use gzkp_ff::fields::Fr381;
     pub use gzkp_gpu_sim::v100;
-    pub use gzkp_msm::{
-        bucket_histogram, CpuMsm, GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger,
-    };
+    pub use gzkp_msm::{bucket_histogram, CpuMsm, GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger};
     pub use gzkp_ntt::gpu::GpuNttEngine;
     pub use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
     pub use gzkp_workloads::zcash::zcash_workloads;
@@ -47,7 +45,10 @@ fn main() {
     let busy: Vec<u64> = hist[1..].iter().copied().filter(|&c| c > 0).collect();
     let max = *busy.iter().max().unwrap();
     let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
-    println!("bucket skew: max {max} vs mean {mean:.0} ({:.2}x)", max as f64 / mean);
+    println!(
+        "bucket skew: max {max} vs mean {mean:.0} ({:.2}x)",
+        max as f64 / mean
+    );
 
     let log_n = w.domain_size().trailing_zeros();
     let dev = v100();
@@ -66,9 +67,21 @@ fn main() {
     let msm_bg = msm_stage_ms(&bg, &bg, &sparse, &dense);
     let msm_gz = msm_stage_ms(&gz, &gz, &sparse, &dense);
 
-    println!("\n{:<12} {:>12} {:>12} {:>12}", "stage", "Best-CPU", "bellperson", "GZKP");
-    println!("{:<12} {:>12.2} {:>12.2} {:>12.2}", "POLY (ms)", f64::NAN, poly_bg, poly_gz);
-    println!("{:<12} {:>12.2} {:>12.2} {:>12.2}", "MSM (ms)", msm_cpu, msm_bg, msm_gz);
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12}",
+        "stage", "Best-CPU", "bellperson", "GZKP"
+    );
+    println!(
+        "{:<12} {:>12.2} {:>12.2} {:>12.2}",
+        "POLY (ms)",
+        f64::NAN,
+        poly_bg,
+        poly_gz
+    );
+    println!(
+        "{:<12} {:>12.2} {:>12.2} {:>12.2}",
+        "MSM (ms)", msm_cpu, msm_bg, msm_gz
+    );
     let total_bg = poly_bg + msm_bg;
     let total_gz = poly_gz + msm_gz;
     println!(

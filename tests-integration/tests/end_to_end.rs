@@ -42,7 +42,11 @@ fn roundtrip_with_engines<P: PairingConfig>(
     let mut rng = StdRng::seed_from_u64(seed);
     let cs = mul_circuit::<P>(221, 13, 17);
     let (pk, vk) = setup::<P, _>(&cs, &mut rng).unwrap();
-    let engines = ProverEngines::<P> { ntt, msm_g1, msm_g2 };
+    let engines = ProverEngines::<P> {
+        ntt,
+        msm_g1,
+        msm_g2,
+    };
     let (proof, report) = prove(&cs, &pk, &engines, &mut rng).unwrap();
     assert!(report.total_ms() > 0.0);
     assert!(verify::<P>(&vk, &proof, &[P::Fr::from_u64(221)]));
@@ -102,7 +106,12 @@ fn merkle_membership_proof_bn254() {
     let path: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
     let directions = vec![true, false, false, true];
     let root = MerkleMembership::compute_root(leaf, &path, &directions, &constants);
-    let circuit = MerkleMembership { leaf, path, directions, root };
+    let circuit = MerkleMembership {
+        leaf,
+        path,
+        directions,
+        root,
+    };
     let mut cs = ConstraintSystem::new();
     circuit.synthesize(&mut cs).unwrap();
 
@@ -110,7 +119,11 @@ fn merkle_membership_proof_bn254() {
     let ntt = GzkpNtt::auto::<Fr>(v100());
     let msm1 = GzkpMsm::new(v100());
     let msm2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm1, msm_g2: &msm2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm1,
+        msm_g2: &msm2,
+    };
     let (proof, _) = prove(&cs, &pk, &engines, &mut rng).unwrap();
     assert!(verify::<Bn254>(&vk, &proof, &[root]));
     assert!(!verify::<Bn254>(&vk, &proof, &[root + Fr::one()]));
@@ -125,7 +138,11 @@ fn unsatisfied_circuit_cannot_prove() {
     let ntt = GzkpNtt::auto::<gzkp_curves::bn254::Fr>(v100());
     let msm1 = GzkpMsm::new(v100());
     let msm2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm1, msm_g2: &msm2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm1,
+        msm_g2: &msm2,
+    };
     assert!(prove(&cs, &pk, &engines, &mut rng).is_err());
     let _ = &mut cs;
 }
@@ -137,7 +154,11 @@ fn prove_plan_reports_both_stages() {
     let ntt = GzkpNtt::auto::<gzkp_curves::bn254::Fr>(v100());
     let msm1 = GzkpMsm::new(v100());
     let msm2 = GzkpMsm::new(v100());
-    let engines = ProverEngines::<Bn254> { ntt: &ntt, msm_g1: &msm1, msm_g2: &msm2 };
+    let engines = ProverEngines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm1,
+        msm_g2: &msm2,
+    };
     let report = prove_plan(&cs, &engines).unwrap();
     assert!(report.poly_ms() > 0.0);
     assert!(report.msm_ms() > 0.0);

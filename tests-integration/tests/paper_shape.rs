@@ -68,12 +68,28 @@ fn msm_speedup_bands() {
 fn straus_oom_crossover() {
     let s_v100 = StrausMsm::new(v100());
     let gz = GzkpMsm::new(v100());
-    assert!(MsmEngine::<t753::G1Config>::fits_in_memory(&s_v100, 1 << 22, v100().global_mem_bytes));
-    assert!(!MsmEngine::<t753::G1Config>::fits_in_memory(&s_v100, 1 << 24, v100().global_mem_bytes));
+    assert!(MsmEngine::<t753::G1Config>::fits_in_memory(
+        &s_v100,
+        1 << 22,
+        v100().global_mem_bytes
+    ));
+    assert!(!MsmEngine::<t753::G1Config>::fits_in_memory(
+        &s_v100,
+        1 << 24,
+        v100().global_mem_bytes
+    ));
     let s_ti = StrausMsm::new(gtx1080ti());
-    assert!(!MsmEngine::<t753::G1Config>::fits_in_memory(&s_ti, 1 << 22, gtx1080ti().global_mem_bytes));
+    assert!(!MsmEngine::<t753::G1Config>::fits_in_memory(
+        &s_ti,
+        1 << 22,
+        gtx1080ti().global_mem_bytes
+    ));
     for log_n in [22u32, 24, 26] {
-        assert!(MsmEngine::<t753::G1Config>::fits_in_memory(&gz, 1 << log_n, v100().global_mem_bytes));
+        assert!(MsmEngine::<t753::G1Config>::fits_in_memory(
+            &gz,
+            1 << log_n,
+            v100().global_mem_bytes
+        ));
     }
 }
 
@@ -83,10 +99,18 @@ fn straus_oom_crossover() {
 fn sparsity_widens_the_gap() {
     let mut rng = StdRng::seed_from_u64(99);
     let n = 1 << 16;
-    let dense = WorkloadSpec { name: "d", vector_size: n, sparsity: SparsityProfile::DENSE }
-        .sparse_scalar_vec::<Fr381, _>(&mut rng);
-    let sparse = WorkloadSpec { name: "s", vector_size: n, sparsity: SparsityProfile::SPARSE }
-        .sparse_scalar_vec::<Fr381, _>(&mut rng);
+    let dense = WorkloadSpec {
+        name: "d",
+        vector_size: n,
+        sparsity: SparsityProfile::DENSE,
+    }
+    .sparse_scalar_vec::<Fr381, _>(&mut rng);
+    let sparse = WorkloadSpec {
+        name: "s",
+        vector_size: n,
+        sparsity: SparsityProfile::SPARSE,
+    }
+    .sparse_scalar_vec::<Fr381, _>(&mut rng);
     let bg = SubMsmPippenger::new(v100());
     let gz = GzkpMsm::new(v100());
     let gap = |sv: &ScalarVec| {
@@ -119,8 +143,8 @@ fn fig8_ablation_ordering() {
 fn fig10_ablation_ordering() {
     let n = 1 << 20;
     let t = |e: &GzkpMsm| MsmEngine::<bls12_381::G1Config>::plan_dense(e, n).total_ns();
-    let bg = MsmEngine::<bls12_381::G1Config>::plan_dense(&SubMsmPippenger::new(v100()), n)
-        .total_ns();
+    let bg =
+        MsmEngine::<bls12_381::G1Config>::plan_dense(&SubMsmPippenger::new(v100()), n).total_ns();
     let no_lb = t(&GzkpMsm::no_load_balance(v100()));
     let no_lb_lib = t(&GzkpMsm::no_load_balance_with_lib(v100()));
     let full = t(&GzkpMsm::new(v100()));

@@ -1,0 +1,138 @@
+//! `zkprof` — render and diff GZKP prover traces.
+//!
+//! ```text
+//! zkprof render <trace.json>
+//! zkprof diff <base.json> <new.json> [--threshold <fraction>]
+//! ```
+//!
+//! `render` pretty-prints the span tree of a `gzkp-trace.json` with the
+//! same per-stage kernel tables the benches print. `diff` compares two
+//! traces span-by-span and exits with status 1 when any stage slowed
+//! down by more than the threshold (default 5%) or the span trees no
+//! longer line up — so it can gate CI on performance regressions.
+
+use std::process::ExitCode;
+
+use gzkp_telemetry::{diff_traces, render_trace, Trace, TraceError};
+
+const DEFAULT_THRESHOLD: f64 = 0.05;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  zkprof render <trace.json>\n  zkprof diff <base.json> <new.json> [--threshold <fraction>]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Trace, ExitCode> {
+    match Trace::read_from(path) {
+        Ok(t) => Ok(t),
+        Err(TraceError::SchemaVersion { found, expected }) => {
+            eprintln!("zkprof: {path}: trace schema v{found}, this tool reads v{expected}");
+            Err(ExitCode::from(2))
+        }
+        Err(e) => {
+            eprintln!("zkprof: {path}: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") => {
+            let [_, path] = args.as_slice() else {
+                return usage();
+            };
+            let trace = match load(path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            print!("{}", render_trace(&trace));
+            ExitCode::SUCCESS
+        }
+        Some("diff") => {
+            let (paths, threshold) = match parse_diff_args(&args[1..]) {
+                Some(v) => v,
+                None => return usage(),
+            };
+            let base = match load(&paths.0) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let new = match load(&paths.1) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let diff = diff_traces(&base, &new, threshold);
+            print!("{}", diff.render());
+            if diff.is_regression() {
+                eprintln!(
+                    "zkprof: regression: {} stage(s) slower than {:.1}% and/or shape mismatch",
+                    diff.regressions().len(),
+                    threshold * 100.0
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Parses `<base> <new> [--threshold <fraction>]`.
+fn parse_diff_args(rest: &[String]) -> Option<((String, String), f64)> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threshold" {
+            threshold = it.next()?.parse().ok()?;
+            if !threshold.is_finite() || threshold < 0.0 {
+                return None;
+            }
+        } else if arg.starts_with("--") {
+            return None;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [base, new] = paths.as_slice() else {
+        return None;
+    };
+    Some((((*base).clone(), (*new).clone()), threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn diff_args_default_threshold() {
+        let ((b, n), t) = parse_diff_args(&s(&["a.json", "b.json"])).unwrap();
+        assert_eq!(b, "a.json");
+        assert_eq!(n, "b.json");
+        assert_eq!(t, DEFAULT_THRESHOLD);
+    }
+
+    #[test]
+    fn diff_args_explicit_threshold() {
+        let (_, t) = parse_diff_args(&s(&["a.json", "b.json", "--threshold", "0.25"])).unwrap();
+        assert_eq!(t, 0.25);
+    }
+
+    #[test]
+    fn diff_args_rejects_bad_input() {
+        assert!(parse_diff_args(&s(&["a.json"])).is_none());
+        assert!(parse_diff_args(&s(&["a.json", "b.json", "c.json"])).is_none());
+        assert!(parse_diff_args(&s(&["a.json", "b.json", "--bogus"])).is_none());
+        assert!(parse_diff_args(&s(&["a.json", "b.json", "--threshold", "-1"])).is_none());
+        assert!(parse_diff_args(&s(&["a.json", "b.json", "--threshold", "nan"])).is_none());
+    }
+}

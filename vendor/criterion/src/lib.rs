@@ -1,0 +1,163 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io (see
+//! `vendor/README.md`). This harness keeps the same source syntax —
+//! groups, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — and prints one
+//! `group/name  <median ns>/iter` line per benchmark. There is no
+//! statistical analysis, HTML report, or baseline storage; each bench
+//! runs a short warm-up then a capped measurement loop so the whole
+//! suite stays fast enough for CI smoke runs.
+//!
+//! Set `GZKP_BENCH_MS=<n>` to change the per-benchmark measurement
+//! budget (default 50 ms).
+
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    let ms = std::env::var("GZKP_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(50);
+    Duration::from_millis(ms)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Id with an explicit function name and parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for source compatibility; sampling here is time-budgeted,
+    /// not count-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { median_ns: None };
+        f(&mut b);
+        self.report(&id.into(), b.median_ns);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher { median_ns: None };
+        f(&mut b, input);
+        self.report(&id.0, b.median_ns);
+    }
+
+    /// Ends the group (prints nothing extra; lines were printed as run).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, median_ns: Option<f64>) {
+        match median_ns {
+            Some(ns) => println!("{}/{}  {:.1} ns/iter", self.name, id, ns),
+            None => println!("{}/{}  (no measurement)", self.name, id),
+        }
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then batched timing until
+    /// the per-benchmark budget elapses; records the median batch rate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration from a single timed call.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let deadline = Instant::now() + budget();
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a function running each listed benchmark with one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("GZKP_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1u64 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

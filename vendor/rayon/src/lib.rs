@@ -1,0 +1,145 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io (see
+//! `vendor/README.md`). This crate provides `into_par_iter`,
+//! `par_iter_mut`, and `par_chunks_mut` with the same call syntax,
+//! executed on scoped `std::thread` workers pulling from a shared queue.
+//! Work items are materialized eagerly (no splitting/stealing), which is
+//! fine for the coarse-grained loops in this workspace: per-window MSM
+//! sums and per-chunk NTT butterflies.
+
+use std::sync::Mutex;
+
+/// Number of worker threads used for parallel loops.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn run_parallel<I: Send, F: Fn(I) + Sync>(items: Vec<I>, f: F) {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let item = queue.lock().unwrap().next();
+                match item {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// An eagerly-materialized "parallel" iterator.
+pub struct ParIter<T>(Vec<T>);
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item across worker threads.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_parallel(self.0, f);
+    }
+
+    /// Maps every item across worker threads, preserving order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        let slots: Vec<Mutex<Option<U>>> = (0..self.0.len()).map(|_| Mutex::new(None)).collect();
+        let indexed: Vec<(usize, T)> = self.0.into_iter().enumerate().collect();
+        run_parallel(indexed, |(i, item)| {
+            *slots[i].lock().unwrap() = Some(f(item));
+        });
+        ParIter(
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("map slot filled"))
+                .collect(),
+        )
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
+    }
+
+    /// Sums the (already computed) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.0.into_iter().sum()
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for every iterable.
+pub trait IntoParallelIterator {
+    /// Item type of the parallel iterator.
+    type Item: Send;
+    /// Materializes the items for parallel consumption.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter(self.into_iter().collect())
+    }
+}
+
+/// Parallel mutable access to slices (`par_iter_mut`, `par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel counterpart of `iter_mut`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel counterpart of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter(self.iter_mut().collect())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter(self.chunks_mut(chunk_size).collect())
+    }
+}
+
+/// The traits user code glob-imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0u64..100).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunks_mutate_everything() {
+        let mut data = vec![1u32; 1000];
+        data.par_chunks_mut(7).for_each(|c| {
+            for v in c {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn iter_mut_mutates_everything() {
+        let mut data = [0u8; 64];
+        data.par_iter_mut().for_each(|v| *v = 9);
+        assert!(data.iter().all(|&v| v == 9));
+    }
+}

@@ -1,0 +1,208 @@
+//! Deserialization half of the simplified data model: everything reduces
+//! to consuming a [`Value`] tree.
+
+use crate::Value;
+
+/// Deserialization errors, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+/// Concrete error of the value-based deserializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A source of one deserialized value.
+///
+/// Real serde drives visitors; this stand-in asks implementors to hand
+/// over a fully-parsed [`Value`] tree instead.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Yields the parsed tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types that can deserialize themselves.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializer over an already-built [`Value`] tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.0)
+    }
+}
+
+fn reborrow<E: Error>(e: DeError) -> E {
+    E::custom(e.0)
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| D::Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let n: i64 = match d.take_value()? {
+                    Value::U64(u) => i64::try_from(u)
+                        .map_err(|_| D::Error::custom("integer out of range"))?,
+                    Value::I64(i) => i,
+                    _ => return Err(D::Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(n).map_err(|_| D::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()?
+            .as_f64()
+            .ok_or_else(|| D::Error::custom("expected number"))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            _ => Err(D::Error::custom("expected bool")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            _ => Err(D::Error::custom("expected string")),
+        }
+    }
+}
+
+/// `&'static str` support for config structs (e.g. device names): the
+/// parsed string is interned by leaking. Only small, long-lived config
+/// strings in this workspace deserialize through this impl.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+// --- composite impls -------------------------------------------------------
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => crate::from_value(v).map(Some).map_err(reborrow),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| crate::from_value(v).map_err(reborrow))
+                .collect(),
+            _ => Err(D::Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Copy + Default, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        if v.len() != N {
+            return Err(D::Error::custom("wrong array length"));
+        }
+        let mut out = [T::default(); N];
+        out.copy_from_slice(&v);
+        Ok(out)
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let items = match d.take_value()? {
+                    Value::Seq(items) => items,
+                    _ => return Err(D::Error::custom("expected tuple sequence")),
+                };
+                if items.len() != $len {
+                    return Err(D::Error::custom("wrong tuple length"));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    {
+                        let _ = $idx;
+                        crate::from_value::<$name>(it.next().unwrap()).map_err(reborrow)?
+                    },
+                )+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (T0.0 ; 1)
+    (T0.0, T1.1 ; 2)
+    (T0.0, T1.1, T2.2 ; 3)
+    (T0.0, T1.1, T2.2, T3.3 ; 4)
+    (T0.0, T1.1, T2.2, T3.3, T4.4 ; 5)
+}

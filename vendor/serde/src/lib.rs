@@ -1,0 +1,98 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io (see
+//! `vendor/README.md`), so this crate implements a *simplified* serde data
+//! model that keeps the workspace's existing `serde` call sites compiling
+//! unchanged:
+//!
+//! * [`Serialize`] / [`Deserialize`] traits with the real signatures
+//!   (`fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`),
+//!   so hand-written impls (field elements, curve points) work verbatim;
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   stand-in (non-generic structs with named fields and unit-variant
+//!   enums — everything the workspace derives);
+//! * a self-describing [`Value`] tree as the single interchange format.
+//!
+//! Unlike real serde there is no zero-copy visitor machinery: serializers
+//! reduce to "produce a [`Value`]" and deserializers to "consume a
+//! [`Value`]". `serde_json` (also vendored) prints and parses that tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// Self-describing data tree: the interchange format of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Map with insertion order preserved (stable JSON output).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric content as `f64`, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(v) => Some(v as f64),
+            Value::I64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric content as `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string content, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes any [`Serialize`] type to a [`Value`] tree (infallible for
+/// the value-based serializers of this stand-in).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ser::ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserializes any [`Deserialize`] type from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, de::DeError> {
+    T::deserialize(de::ValueDeserializer(value))
+}

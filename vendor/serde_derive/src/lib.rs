@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Supports exactly the shapes this workspace derives:
+//!
+//! * non-generic structs with named fields → serialized as a map keyed by
+//!   field name;
+//! * non-generic enums with unit variants only → serialized as the
+//!   variant-name string.
+//!
+//! Anything else (tuple structs, generics, data-carrying variants, serde
+//! attributes) produces a compile error naming the limitation, so misuse
+//! is loud rather than silently wrong. Parsing is done directly over the
+//! token stream — `syn`/`quote` are not available offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Struct name + named fields.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute groups and visibility modifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected `struct` or `enum`, found `{kind}`"));
+    }
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive stand-in: generic type `{name}` is not supported; \
+                 write a manual impl"
+            ));
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "serde_derive stand-in: `{name}` must have a braced body \
+                 (tuple/unit structs unsupported), found {other:?}"
+            ))
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Shape::Struct(name, parse_named_fields(body)?))
+    } else {
+        Ok(Shape::Enum(name, parse_unit_variants(body)?))
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}` (tuple structs unsupported), \
+                     found {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything until a top-level comma, tracking
+        // angle-bracket depth (`<`/`>` are plain puncts, not groups).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive stand-in: enum variant `{variant}` must be a unit \
+                     variant, found {other:?}"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]` — map-of-fields for structs, name string for
+/// unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("__m.push(({f:?}.to_string(), ::serde::to_value(&self.{f})));\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serializer.serialize_value(::serde::Value::Map(__m))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                         -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                         let __s = match self {{ {arms} }};\n\
+                         serializer.serialize_value(::serde::Value::Str(__s.to_string()))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]` — counterpart of the serialize derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {{\n\
+                             let __v = __map.iter().find(|(k, _)| k == {f:?})\n\
+                                 .map(|(_, v)| v.clone())\n\
+                                 .ok_or_else(|| <D::Error as ::serde::de::Error>::custom(\n\
+                                     concat!(\"missing field `\", {f:?}, \"`\")))?;\n\
+                             ::serde::from_value(__v)\n\
+                                 .map_err(|e| <D::Error as ::serde::de::Error>::custom(\n\
+                                     format!(\"field `{{}}`: {{}}\", {f:?}, e)))?\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let __map = match deserializer.take_value()? {{\n\
+                             ::serde::Value::Map(m) => m,\n\
+                             _ => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                                 concat!(\"expected map for \", {name:?}))),\n\
+                         }};\n\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> ::core::result::Result<Self, D::Error> {{\n\
+                         let __s = match deserializer.take_value()? {{\n\
+                             ::serde::Value::Str(s) => s,\n\
+                             _ => return Err(<D::Error as ::serde::de::Error>::custom(\n\
+                                 concat!(\"expected string for \", {name:?}))),\n\
+                         }};\n\
+                         match __s.as_str() {{\n\
+                             {arms}\
+                             other => Err(<D::Error as ::serde::de::Error>::custom(\n\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
