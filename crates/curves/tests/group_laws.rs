@@ -104,6 +104,45 @@ proptest! {
 }
 
 #[test]
+fn batch_affine_pairs_match_projective_addition() {
+    use gzkp_curves::group::{batch_add_affine_pairs, Affine};
+    fn check<C: CurveParams>() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = random_points::<C, _>(16, &mut rng);
+        let mut ps: Vec<Affine<C>> = Vec::new();
+        let mut qs: Vec<Affine<C>> = Vec::new();
+        // Generic pairs.
+        for i in 0..8 {
+            ps.push(pts[i]);
+            qs.push(pts[i + 8]);
+        }
+        // Special cases: doubling, cancellation, identity on either side.
+        ps.push(pts[0]);
+        qs.push(pts[0]);
+        ps.push(pts[1]);
+        qs.push(pts[1].to_projective().neg().to_affine());
+        ps.push(Affine::identity());
+        qs.push(pts[2]);
+        ps.push(pts[3]);
+        qs.push(Affine::identity());
+        ps.push(Affine::identity());
+        qs.push(Affine::identity());
+        let (sums, amortized) = batch_add_affine_pairs(&ps, &qs);
+        for ((p, q), s) in ps.iter().zip(&qs).zip(&sums) {
+            let expect = p.to_projective().add_mixed(q).to_affine();
+            assert_eq!(*s, expect, "{} batch-affine pair", C::NAME);
+        }
+        // 8 generic chords + 1 tangent needed an inversion each; the
+        // cancellation and identity pairs are trivial.
+        assert_eq!(amortized, 9, "{} amortized count", C::NAME);
+    }
+    check::<bn254::G1Config>();
+    check::<bn254::G2Config>();
+    check::<bls12_381::G1Config>();
+    check::<t753::G1Config>();
+}
+
+#[test]
 fn batch_normalize_handles_identity_mix() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut pts: Vec<Projective<bn254::G1Config>> =

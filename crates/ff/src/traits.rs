@@ -162,6 +162,14 @@ pub trait PrimeField: Field + PartialOrd + Ord {
 /// assert!(v[1].is_zero());
 /// ```
 pub fn batch_inverse<F: Field>(values: &mut [F]) {
+    batch_inverse_count(values);
+}
+
+/// [`batch_inverse`] that also reports how many non-zero entries were
+/// inverted — i.e. how many individual field inversions Montgomery's
+/// trick amortized into the single one performed here. The MSM's
+/// batch-affine accumulator feeds the count into its savings telemetry.
+pub fn batch_inverse_count<F: Field>(values: &mut [F]) -> usize {
     // Prefix products of the non-zero entries.
     let mut prod = Vec::with_capacity(values.len());
     let mut acc = F::one();
@@ -171,9 +179,10 @@ pub fn batch_inverse<F: Field>(values: &mut [F]) {
             acc *= *v;
         }
     }
+    let inverted = prod.len();
     let mut inv = match acc.inverse() {
         Some(i) => i,
-        None => return, // all zero
+        None => return 0, // all zero
     };
     for v in values.iter_mut().rev() {
         if v.is_zero() {
@@ -184,4 +193,5 @@ pub fn batch_inverse<F: Field>(values: &mut [F]) {
         inv *= *v;
         *v = new_v;
     }
+    inverted
 }

@@ -123,6 +123,43 @@ proptest! {
     }
 
     #[test]
+    fn batch_inverse_matches_elementwise(seed in any::<u64>(), n in 0usize..40) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals: Vec<Fr254> = (0..n).map(|_| Fr254::random(&mut rng)).collect();
+        let mut batched = vals.clone();
+        let count = gzkp_ff::batch_inverse_count(&mut batched);
+        prop_assert_eq!(count, vals.iter().filter(|v| !v.is_zero()).count());
+        for (orig, inv) in vals.iter().zip(&batched) {
+            match orig.inverse() {
+                Some(expect) => prop_assert_eq!(*inv, expect),
+                None => prop_assert!(inv.is_zero()),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inverse_leaves_zeros(seed in any::<u64>(), mask in any::<u32>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Zero out a random subset of 32 entries; they must stay zero and
+        // must not perturb their neighbours.
+        let vals: Vec<Fr254> = (0..32)
+            .map(|i| if mask >> i & 1 == 1 { Fr254::zero() } else { Fr254::random(&mut rng) })
+            .collect();
+        let mut batched = vals.clone();
+        let count = gzkp_ff::batch_inverse_count(&mut batched);
+        prop_assert_eq!(count, vals.iter().filter(|v| !v.is_zero()).count());
+        for (orig, inv) in vals.iter().zip(&batched) {
+            if orig.is_zero() {
+                prop_assert!(inv.is_zero());
+            } else {
+                prop_assert_eq!(*orig * *inv, Fr254::one());
+            }
+        }
+    }
+
+    #[test]
     fn window_extraction_consistent(a in arb_bigint4(), k in 1usize..17, t in 0usize..40) {
         // bits_at must match a shift-and-mask reference via dynmont.
         let start = t * k;

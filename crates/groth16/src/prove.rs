@@ -15,6 +15,7 @@ use gzkp_msm::{MsmEngine, ScalarVec};
 use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_telemetry::{self as telemetry, NoopSink, TelemetrySink};
 use rand::Rng;
+use rayon::prelude::*;
 
 /// A Groth16 proof: two G1 points and one G2 point (<1 KB — the
 /// succinctness property of §2.1).
@@ -130,6 +131,39 @@ pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
 
     let _msm_span = telemetry::span(sink, "msm");
     let mut msm_report = StageReport::new("MSM");
+
+    // The five MSMs are independent once POLY finishes, so they execute
+    // concurrently; the span tree and kernel-report order stay exactly
+    // as in the sequential prover because telemetry is emitted after
+    // the join (the recorder tracks a single span path). Each MSM's
+    // internal parallelism self-serializes when nested, so the thread
+    // pool is shared rather than oversubscribed.
+    let g1_jobs: [(&[Affine<P::G1>], &ScalarVec); 4] = [
+        (&pk.a_query, &z_scalars),
+        (&pk.b_g1_query, &z_scalars),
+        (&pk.h_query, &h_scalars),
+        (&pk.l_query, &aux_scalars),
+    ];
+    enum MsmOut<P: PairingConfig> {
+        G1(gzkp_msm::MsmRun<P::G1>),
+        G2(gzkp_msm::MsmRun<P::G2>),
+    }
+    let mut outs: Vec<MsmOut<P>> = (0..5usize)
+        .into_par_iter()
+        .map(|j| {
+            if j < 4 {
+                let (points, scalars) = g1_jobs[j];
+                MsmOut::G1(engines.msm_g1.msm(points, scalars))
+            } else {
+                MsmOut::G2(engines.msm_g2.msm(&pk.b_g2_query, &z_scalars))
+            }
+        })
+        .collect();
+
+    let b_g2_run = match outs.pop() {
+        Some(MsmOut::G2(run)) => run,
+        _ => unreachable!("fifth job is the G2 MSM"),
+    };
     let mut take = |run: gzkp_msm::MsmRun<P::G1>, label: &str| {
         for mut k in run.report.kernels {
             k.name = format!("{label}.{}", k.name);
@@ -137,21 +171,35 @@ pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
         }
         run.result
     };
-    let msm_g1 = |points: &[Affine<P::G1>], scalars: &ScalarVec, span: &str| {
-        let guard = telemetry::span(sink, span);
-        let run = engines.msm_g1.msm_traced(points, scalars, sink);
-        drop(guard);
-        run
+    let spans = [
+        ("a", "a_query"),
+        ("b_g1", "b_g1"),
+        ("h", "h_query"),
+        ("l", "l_query"),
+    ];
+    let mut g1_sums = Vec::with_capacity(4);
+    for (out, (span, label)) in outs.into_iter().zip(spans) {
+        let MsmOut::G1(run) = out else {
+            unreachable!("first four jobs are G1 MSMs")
+        };
+        let (points, scalars) = g1_jobs[g1_sums.len()];
+        {
+            let _span = telemetry::span(sink, span);
+            engines
+                .msm_g1
+                .emit_msm_telemetry(points, scalars, &run, sink);
+        }
+        g1_sums.push(take(run, label));
+    }
+    let [a_sum, b_g1_sum, h_sum, l_sum] = g1_sums[..] else {
+        unreachable!("four G1 sums")
     };
-
-    let a_sum = take(msm_g1(&pk.a_query, &z_scalars, "a"), "a_query");
-    let b_g1_sum = take(msm_g1(&pk.b_g1_query, &z_scalars, "b_g1"), "b_g1");
-    let h_sum = take(msm_g1(&pk.h_query, &h_scalars, "h"), "h_query");
-    let l_sum = take(msm_g1(&pk.l_query, &aux_scalars, "l"), "l_query");
-    let b_g2_run = {
+    {
         let _g2_span = telemetry::span(sink, "b_g2");
-        engines.msm_g2.msm_traced(&pk.b_g2_query, &z_scalars, sink)
-    };
+        engines
+            .msm_g2
+            .emit_msm_telemetry(&pk.b_g2_query, &z_scalars, &b_g2_run, sink);
+    }
     for mut k in b_g2_run.report.kernels {
         k.name = format!("b_g2.{}", k.name);
         msm_report.kernels.push(k);

@@ -2,7 +2,8 @@
 //! class): window-serial, bucket accumulation with mixed additions, running
 //! -sum reduction, optionally window-parallel across cores.
 
-use crate::engine::{bucket_reduce, CurveCost, MsmEngine, MsmRun};
+use crate::batch_affine::{accumulate_batch_affine, BatchAffineStats};
+use crate::engine::{bucket_reduce, CurveCost, MsmEngine, MsmRun, MsmStats};
 use crate::scalars::{default_window_size, ScalarVec};
 use gzkp_curves::{Affine, CurveParams, Projective};
 use gzkp_gpu_sim::device::{cpu_xeon, Backend, DeviceConfig};
@@ -16,6 +17,9 @@ pub struct CpuMsm {
     pub window: Option<u32>,
     /// Use all cores (window-parallel), as libsnark's multicore prover does.
     pub parallel: bool,
+    /// Batch-affine bucket accumulation (Montgomery-batched inversions);
+    /// `false` keeps the classic mixed Jacobian additions.
+    pub batch_affine: bool,
     /// Host model used by the cost reports.
     pub device: DeviceConfig,
 }
@@ -25,16 +29,19 @@ impl Default for CpuMsm {
         Self {
             window: None,
             parallel: true,
+            batch_affine: true,
             device: cpu_xeon(),
         }
     }
 }
 
 impl CpuMsm {
-    /// Single-threaded variant (reference in tests).
+    /// Single-threaded variant with classic mixed additions (reference
+    /// in tests and the pre-optimization baseline).
     pub fn serial() -> Self {
         Self {
             parallel: false,
+            batch_affine: false,
             ..Self::default()
         }
     }
@@ -45,11 +52,26 @@ impl CpuMsm {
 
     /// One window's bucket accumulation + reduction.
     fn window_sum<C: CurveParams>(
+        &self,
         points: &[Affine<C>],
         scalars: &ScalarVec,
         t: usize,
         k: u32,
-    ) -> Projective<C> {
+    ) -> (Projective<C>, BatchAffineStats) {
+        let mut stats = BatchAffineStats::default();
+        if self.batch_affine {
+            let mut buckets = vec![Affine::<C>::identity(); (1usize << k) - 1];
+            let entries: Vec<(u32, u32)> = (0..points.len())
+                .filter_map(|i| {
+                    let d = scalars.window(i, t, k);
+                    (d != 0).then(|| ((d - 1) as u32, i as u32))
+                })
+                .collect();
+            accumulate_batch_affine(&mut buckets, points, &entries, &mut stats);
+            let projective: Vec<Projective<C>> =
+                buckets.iter().map(Affine::to_projective).collect();
+            return (bucket_reduce(&projective), stats);
+        }
         let mut buckets = vec![Projective::<C>::identity(); (1usize << k) - 1];
         for (i, p) in points.iter().enumerate() {
             let d = scalars.window(i, t, k);
@@ -57,7 +79,7 @@ impl CpuMsm {
                 buckets[(d - 1) as usize] = buckets[(d - 1) as usize].add_mixed(p);
             }
         }
-        bucket_reduce(&buckets)
+        (bucket_reduce(&buckets), stats)
     }
 
     fn stage<C: CurveParams>(&self, n: usize, nonzero_per_window: &[u64]) -> StageReport {
@@ -109,19 +131,24 @@ impl<C: CurveParams> MsmEngine<C> for CpuMsm {
         let n = points.len();
         let k = self.k_for(n);
         let windows = scalars.num_windows(k);
-        let window_sums: Vec<Projective<C>> = if self.parallel {
+        let window_sums: Vec<(Projective<C>, BatchAffineStats)> = if self.parallel {
             (0..windows)
                 .into_par_iter()
-                .map(|t| Self::window_sum(points, scalars, t, k))
+                .map(|t| self.window_sum(points, scalars, t, k))
                 .collect()
         } else {
             (0..windows)
-                .map(|t| Self::window_sum(points, scalars, t, k))
+                .map(|t| self.window_sum(points, scalars, t, k))
                 .collect()
         };
+        let mut stats = MsmStats::default();
+        for (_, s) in &window_sums {
+            stats.batch_padds += s.padds;
+            stats.batch_inversions += s.inversions;
+        }
         // Window reduction: fold from the top, k doublings per step.
         let mut acc = Projective::<C>::identity();
-        for w in window_sums.iter().rev() {
+        for (w, _) in window_sums.iter().rev() {
             for _ in 0..k {
                 acc = acc.double();
             }
@@ -131,6 +158,7 @@ impl<C: CurveParams> MsmEngine<C> for CpuMsm {
         MsmRun {
             result: acc,
             report,
+            stats,
         }
     }
 
@@ -212,7 +240,7 @@ mod tests {
             let e = CpuMsm {
                 window: Some(k),
                 parallel: false,
-                device: cpu_xeon(),
+                ..CpuMsm::default()
             };
             assert_eq!(e.msm(&pts, &sv).result, expect, "k={k}");
         }

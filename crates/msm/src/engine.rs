@@ -15,6 +15,27 @@ pub struct MsmRun<C: CurveParams> {
     pub result: Projective<C>,
     /// Simulated time breakdown.
     pub report: StageReport,
+    /// Work counters from the run (zero for engines without batch-affine
+    /// accumulation).
+    pub stats: MsmStats,
+}
+
+/// Aggregate work counters an engine collects while running, surfaced
+/// through telemetry by [`MsmEngine::emit_msm_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsmStats {
+    /// Affine PADDs performed through Montgomery-batched rounds.
+    pub batch_padds: u64,
+    /// Field inversions actually executed by the batch accumulator.
+    pub batch_inversions: u64,
+}
+
+impl MsmStats {
+    /// Field inversions amortized away by batching (each batched PADD
+    /// would otherwise need its own inversion).
+    pub fn inversions_saved(&self) -> u64 {
+        self.batch_padds.saturating_sub(self.batch_inversions)
+    }
 }
 
 /// A multi-scalar-multiplication engine.
@@ -51,19 +72,23 @@ pub trait MsmEngine<C: CurveParams>: Send + Sync {
         self.memory_bytes(n) <= device_mem
     }
 
-    /// [`Self::msm`] plus telemetry: per-kernel reports, rolled-up
-    /// MAC/DRAM counters, and the engine's peak simulated device memory
-    /// flow into `sink`. Engines with richer internal state (e.g.
-    /// [`crate::GzkpMsm`]'s bucket loads) override this to add PADD/PDBL
-    /// counts and occupancy histograms. With a disabled sink
-    /// (`gzkp_telemetry::NoopSink`) this is one branch on top of `msm`.
-    fn msm_traced(
+    /// Emits the telemetry for a finished [`Self::msm`] run: per-kernel
+    /// reports, rolled-up MAC/DRAM counters, and the engine's peak
+    /// simulated device memory. Engines with richer internal state
+    /// (e.g. [`crate::GzkpMsm`]'s bucket loads) override this to add
+    /// PADD/PDBL counts and occupancy histograms.
+    ///
+    /// Split from [`Self::msm_traced`] so concurrent MSMs can compute in
+    /// parallel and emit into the (single-span-path) recorder
+    /// sequentially once they are all joined.
+    fn emit_msm_telemetry(
         &self,
         points: &[Affine<C>],
         scalars: &ScalarVec,
+        run: &MsmRun<C>,
         sink: &dyn TelemetrySink,
-    ) -> MsmRun<C> {
-        let run = self.msm(points, scalars);
+    ) {
+        let _ = scalars;
         if sink.enabled() {
             emit_stage(sink, &run.report);
             sink.value(
@@ -71,6 +96,19 @@ pub trait MsmEngine<C: CurveParams>: Send + Sync {
                 self.memory_bytes(points.len()) as f64,
             );
         }
+    }
+
+    /// [`Self::msm`] plus [`Self::emit_msm_telemetry`]. With a disabled
+    /// sink (`gzkp_telemetry::NoopSink`) this is one branch on top of
+    /// `msm`.
+    fn msm_traced(
+        &self,
+        points: &[Affine<C>],
+        scalars: &ScalarVec,
+        sink: &dyn TelemetrySink,
+    ) -> MsmRun<C> {
+        let run = self.msm(points, scalars);
+        self.emit_msm_telemetry(points, scalars, &run, sink);
         run
     }
 }

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch_affine;
 pub mod cpu;
 pub mod engine;
 pub mod gzkp;
@@ -41,8 +42,9 @@ pub mod signed;
 pub mod straus;
 pub mod submsm;
 
+pub use batch_affine::{accumulate_batch_affine, BatchAffineStats};
 pub use cpu::CpuMsm;
-pub use engine::{bucket_reduce, naive_msm, CurveCost, MsmEngine, MsmRun};
+pub use engine::{bucket_reduce, naive_msm, CurveCost, MsmEngine, MsmRun, MsmStats};
 pub use gzkp::{profile_window_size, GzkpMsm};
 pub use scalars::{bucket_histogram, default_window_size, window_loads, ScalarVec};
 pub use signed::SignedGzkpMsm;

@@ -134,7 +134,11 @@ impl<C: CurveParams> MsmEngine<C> for SignedGzkpMsm {
         let result = bucket_reduce(&buckets);
         let loads = self.signed_loads(scalars, k, m);
         let report = self.inner.stage::<C>(n, k, windows, &loads);
-        MsmRun { result, report }
+        MsmRun {
+            result,
+            report,
+            stats: Default::default(),
+        }
     }
 
     fn plan(&self, scalars: &ScalarVec) -> StageReport {

@@ -149,6 +149,7 @@ impl<C: CurveParams> MsmEngine<C> for StrausMsm {
         MsmRun {
             result: acc,
             report,
+            stats: Default::default(),
         }
     }
 

@@ -179,6 +179,7 @@ impl<C: CurveParams> MsmEngine<C> for SubMsmPippenger {
         MsmRun {
             result: acc,
             report,
+            stats: Default::default(),
         }
     }
 

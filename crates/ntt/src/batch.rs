@@ -11,6 +11,11 @@
 use crate::cpu::Direction;
 use crate::domain::{bit_reverse_permute, Radix2Domain};
 use gzkp_ff::PrimeField;
+use rayon::prelude::*;
+
+/// Transforms below this size run single-threaded: the butterfly work of
+/// a tiny batch would not cover the fork/join overhead.
+const PAR_MIN_LEN: usize = 1 << 12;
 
 /// One batch of iterations: `[start, start + iters)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,23 +61,38 @@ pub fn fixed_batches(log_n: u32, max_iters: u32) -> Vec<Batch> {
 
 /// Processes every group of one batch functionally (gather → local
 /// butterflies → scatter). `tw` is the half-size twiddle table.
+///
+/// The `outer`-element blocks are the batch's independent groups
+/// (§2.2's shuffle-less decomposition): no butterfly crosses a block
+/// boundary and the twiddle index depends only on the intra-block
+/// position, so large batches fan the blocks out across cores. Each
+/// block runs the identical math either way — bit-identical results at
+/// any thread count.
 pub fn process_batch<F: PrimeField>(data: &mut [F], tw: &[F], batch: Batch) {
     let n = data.len();
-    let gsize = batch.group_size();
-    let stride = batch.stride();
     let outer = 1usize << (batch.start + batch.iters); // group period
-    let mut buf = vec![F::zero(); gsize];
-    for base in (0..n).step_by(outer) {
-        for l in 0..stride {
-            // Gather the group (h = base/outer, l).
-            for (j, slot) in buf.iter_mut().enumerate() {
-                *slot = data[base + j * stride + l];
-            }
-            group_butterflies(&mut buf, tw, n, batch.start, batch.iters, l);
-            // Scatter back.
-            for (j, slot) in buf.iter().enumerate() {
-                data[base + j * stride + l] = *slot;
-            }
+    if n >= PAR_MIN_LEN && n > outer {
+        data.par_chunks_mut(outer)
+            .for_each(|block| process_block(block, tw, n, batch));
+    } else {
+        for block in data.chunks_mut(outer) {
+            process_block(block, tw, n, batch);
+        }
+    }
+}
+
+/// One group period of [`process_batch`]: gathers each strided group of
+/// the block, applies the fused butterflies, scatters back.
+fn process_block<F: PrimeField>(block: &mut [F], tw: &[F], n: usize, batch: Batch) {
+    let stride = batch.stride();
+    let mut buf = vec![F::zero(); batch.group_size()];
+    for l in 0..stride {
+        for (j, slot) in buf.iter_mut().enumerate() {
+            *slot = block[j * stride + l];
+        }
+        group_butterflies(&mut buf, tw, n, batch.start, batch.iters, l);
+        for (j, slot) in buf.iter().enumerate() {
+            block[j * stride + l] = *slot;
         }
     }
 }
@@ -129,8 +149,16 @@ pub fn batched_transform<F: PrimeField>(
     }
     if dir == Direction::Inverse {
         let s = domain.size_inv;
-        for v in data.iter_mut() {
-            *v *= s;
+        if data.len() >= PAR_MIN_LEN {
+            data.par_chunks_mut(PAR_MIN_LEN).for_each(|chunk| {
+                for v in chunk {
+                    *v *= s;
+                }
+            });
+        } else {
+            for v in data.iter_mut() {
+                *v *= s;
+            }
         }
     }
 }

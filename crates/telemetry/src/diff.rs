@@ -1,7 +1,12 @@
 //! Trace comparison: walks two span trees in parallel and flags stages
-//! whose simulated time regressed beyond a threshold. This is the logic
-//! behind `zkprof diff`; it lives here so it is unit-testable without the
-//! CLI.
+//! whose simulated time regressed beyond a threshold — and, on matched
+//! spans, gates the recorded work counters (PADD counts, batch-inversion
+//! savings, …) and histograms (bucket occupancy) the same way. Counters
+//! measure work performed, so an *increase* is a regression; a counter
+//! that vanishes from the new trace is flagged too (lost instrumentation
+//! must not read as a win), while a brand-new counter is informational.
+//! This is the logic behind `zkprof diff`; it lives here so it is
+//! unit-testable without the CLI.
 
 use crate::trace::{Trace, TraceNode};
 use std::fmt::Write as _;
@@ -34,6 +39,60 @@ impl StageDelta {
     }
 }
 
+/// Work-counter delta on one span present in both traces.
+#[derive(Debug, Clone)]
+pub struct CounterDelta {
+    /// Slash-joined span path of the owning span.
+    pub path: String,
+    /// Counter name (`"msm.padd"`, `"serial [ms]"`, …).
+    pub name: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+}
+
+impl CounterDelta {
+    /// `new / base`; 1.0 when both are zero, `+inf` when work appeared
+    /// on a previously zero counter.
+    pub fn ratio(&self) -> f64 {
+        if self.base == 0.0 {
+            if self.new == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.new / self.base
+        }
+    }
+
+    /// Counters count work, so *growing* beyond the threshold regresses.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.ratio() > 1.0 + threshold
+    }
+}
+
+/// Histogram comparison on one span present in both traces: the worst
+/// per-bucket count growth across the union of bucket labels (a label
+/// missing on one side counts as zero there).
+#[derive(Debug, Clone)]
+pub struct HistogramDelta {
+    /// Slash-joined span path of the owning span.
+    pub path: String,
+    /// Histogram name (`"bucket_occupancy"`, …).
+    pub name: String,
+    /// Max over buckets of `new_count / base_count`.
+    pub max_ratio: f64,
+}
+
+impl HistogramDelta {
+    /// Whether any bucket's count grew beyond the threshold.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.max_ratio > 1.0 + threshold
+    }
+}
+
 /// Full comparison of two traces.
 #[derive(Debug)]
 pub struct TraceDiff {
@@ -41,6 +100,14 @@ pub struct TraceDiff {
     pub deltas: Vec<StageDelta>,
     /// Span paths present in exactly one trace (path, in_baseline).
     pub unmatched: Vec<(String, bool)>,
+    /// Per-counter deltas of matched spans.
+    pub counter_deltas: Vec<CounterDelta>,
+    /// Per-histogram deltas of matched spans.
+    pub histogram_deltas: Vec<HistogramDelta>,
+    /// Counters/histograms present on exactly one side of a matched
+    /// span (`"path: name"`, in_baseline). `in_baseline == true` means
+    /// instrumentation vanished — gated as a regression.
+    pub counter_unmatched: Vec<(String, bool)>,
     /// The regression threshold the diff was taken at.
     pub threshold: f64,
 }
@@ -54,10 +121,30 @@ impl TraceDiff {
             .collect()
     }
 
-    /// True when any span regressed or the trees have different shapes
-    /// (a vanished stage must not read as a win).
+    /// Counters whose work grew beyond the threshold.
+    pub fn counter_regressions(&self) -> Vec<&CounterDelta> {
+        self.counter_deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold))
+            .collect()
+    }
+
+    /// Histograms with a bucket count growing beyond the threshold.
+    pub fn histogram_regressions(&self) -> Vec<&HistogramDelta> {
+        self.histogram_deltas
+            .iter()
+            .filter(|d| d.regressed(self.threshold))
+            .collect()
+    }
+
+    /// True when any span or counter regressed, the trees have different
+    /// shapes, or instrumentation vanished (neither must read as a win).
     pub fn is_regression(&self) -> bool {
-        !self.regressions().is_empty() || !self.unmatched.is_empty()
+        !self.regressions().is_empty()
+            || !self.unmatched.is_empty()
+            || !self.counter_regressions().is_empty()
+            || !self.histogram_regressions().is_empty()
+            || self.counter_unmatched.iter().any(|(_, in_base)| *in_base)
     }
 
     /// Human-readable table, one line per span.
@@ -98,12 +185,56 @@ impl TraceDiff {
                 }
             );
         }
+        // Counters/histograms: print only the interesting ones (the
+        // prover emits hundreds that stay flat).
+        for d in &self.counter_deltas {
+            if d.regressed(self.threshold) || d.ratio() < 1.0 - self.threshold {
+                let status = if d.regressed(self.threshold) {
+                    "REGRESSED"
+                } else {
+                    "improved"
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>12.0} {:>12.0} {:>8.3}  {} [counter {}]",
+                    d.path,
+                    d.base,
+                    d.new,
+                    d.ratio(),
+                    status,
+                    d.name
+                );
+            }
+        }
+        for d in &self.histogram_deltas {
+            if d.regressed(self.threshold) {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>26} {:>8.3}  REGRESSED [histogram {}]",
+                    d.path, "", d.max_ratio, d.name
+                );
+            }
+        }
+        for (what, in_base) in &self.counter_unmatched {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>47}",
+                what,
+                if *in_base {
+                    "counter MISSING in new trace"
+                } else {
+                    "counter ONLY in new trace"
+                }
+            );
+        }
         let regs = self.regressions().len();
         let _ = writeln!(
             out,
-            "{} spans compared, {} regressed (threshold {:.1}%)",
+            "{} spans compared, {} regressed; {} counters compared, {} regressed (threshold {:.1}%)",
             self.deltas.len(),
             regs,
+            self.counter_deltas.len() + self.histogram_deltas.len(),
+            self.counter_regressions().len() + self.histogram_regressions().len(),
             self.threshold * 100.0
         );
         out
@@ -116,6 +247,9 @@ pub fn diff_traces(base: &Trace, new: &Trace, threshold: f64) -> TraceDiff {
     let mut diff = TraceDiff {
         deltas: Vec::new(),
         unmatched: Vec::new(),
+        counter_deltas: Vec::new(),
+        histogram_deltas: Vec::new(),
+        counter_unmatched: Vec::new(),
         threshold,
     };
     walk(&base.root, &new.root, "", &mut diff);
@@ -136,6 +270,7 @@ fn walk(base: &TraceNode, new: &TraceNode, prefix: &str, out: &mut TraceDiff) {
                     base_ns: b_child.time_ns,
                     new_ns: n_child.time_ns,
                 });
+                compare_metrics(b_child, n_child, &path, out);
                 walk(b_child, n_child, &path, out);
             }
             None => out.unmatched.push((path, true)),
@@ -158,6 +293,82 @@ fn walk(base: &TraceNode, new: &TraceNode, prefix: &str, out: &mut TraceDiff) {
                 format!("{prefix}/{}", n_child.name)
             };
             out.unmatched.push((path, false));
+        }
+    }
+}
+
+/// Compares the counters and histograms of one matched span pair.
+fn compare_metrics(base: &TraceNode, new: &TraceNode, path: &str, out: &mut TraceDiff) {
+    for (name, base_v) in &base.counters {
+        match new.counter(name) {
+            Some(new_v) => out.counter_deltas.push(CounterDelta {
+                path: path.to_string(),
+                name: name.clone(),
+                base: *base_v,
+                new: new_v,
+            }),
+            None => out
+                .counter_unmatched
+                .push((format!("{path}: {name}"), true)),
+        }
+    }
+    for (name, _) in &new.counters {
+        if new.counters.iter().filter(|(k, _)| k == name).count() > 1 {
+            continue;
+        }
+        if base.counter(name).is_none() {
+            out.counter_unmatched
+                .push((format!("{path}: {name}"), false));
+        }
+    }
+    for b_hist in &base.histograms {
+        match new.histograms.iter().find(|h| h.name == b_hist.name) {
+            Some(n_hist) => {
+                let mut max_ratio: f64 = if b_hist.buckets.is_empty() && n_hist.buckets.is_empty() {
+                    1.0
+                } else {
+                    0.0
+                };
+                let labels: std::collections::BTreeSet<u64> = b_hist
+                    .buckets
+                    .iter()
+                    .chain(&n_hist.buckets)
+                    .map(|(l, _)| *l)
+                    .collect();
+                for label in labels {
+                    let get = |h: &crate::trace::Histogram| {
+                        h.buckets
+                            .iter()
+                            .find(|(l, _)| *l == label)
+                            .map_or(0, |(_, c)| *c)
+                    };
+                    let (b, n) = (get(b_hist), get(n_hist));
+                    let r = if b == 0 {
+                        if n == 0 {
+                            1.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        n as f64 / b as f64
+                    };
+                    max_ratio = max_ratio.max(r);
+                }
+                out.histogram_deltas.push(HistogramDelta {
+                    path: path.to_string(),
+                    name: b_hist.name.clone(),
+                    max_ratio,
+                });
+            }
+            None => out
+                .counter_unmatched
+                .push((format!("{path}: {}", b_hist.name), true)),
+        }
+    }
+    for n_hist in &new.histograms {
+        if !base.histograms.iter().any(|h| h.name == n_hist.name) {
+            out.counter_unmatched
+                .push((format!("{path}: {}", n_hist.name), false));
         }
     }
 }
@@ -236,6 +447,64 @@ mod tests {
             .unmatched
             .iter()
             .any(|(p, in_base)| p == "prove/msm" && !in_base));
+    }
+
+    fn trace_with_counter(ns: f64, counters: &[(&str, f64)]) -> Trace {
+        let mut t = trace_with(&[("msm", ns)]);
+        t.root.children[0].children[0].counters =
+            counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        t
+    }
+
+    #[test]
+    fn counter_growth_beyond_threshold_regresses() {
+        let base = trace_with_counter(5e6, &[("msm.padd", 1000.0)]);
+        let grown = trace_with_counter(5e6, &[("msm.padd", 1300.0)]);
+        let d = diff_traces(&base, &grown, 0.25);
+        assert!(d.is_regression());
+        assert_eq!(d.counter_regressions().len(), 1);
+        assert!(d.render().contains("counter msm.padd"));
+        // Within threshold passes; shrinking work is an improvement.
+        assert!(!diff_traces(&base, &grown, 0.5).is_regression());
+        assert!(!diff_traces(&grown, &base, 0.25).is_regression());
+    }
+
+    #[test]
+    fn vanished_counter_regresses_new_counter_is_informational() {
+        let base = trace_with_counter(5e6, &[("msm.padd", 1000.0)]);
+        let bare = trace_with_counter(5e6, &[]);
+        let d = diff_traces(&base, &bare, 0.25);
+        assert!(d.is_regression(), "lost instrumentation must not pass");
+        assert!(d.render().contains("counter MISSING"));
+        let d2 = diff_traces(&bare, &base, 0.25);
+        assert!(!d2.is_regression(), "a brand-new counter is fine");
+        assert!(d2.render().contains("counter ONLY in new trace"));
+    }
+
+    #[test]
+    fn histogram_bucket_growth_regresses() {
+        use crate::trace::Histogram;
+        let mut base = trace_with(&[("msm", 5e6)]);
+        let mut grown = trace_with(&[("msm", 5e6)]);
+        base.root.children[0].children[0].histograms = vec![Histogram {
+            name: "bucket_occupancy".into(),
+            buckets: vec![(1, 100), (2, 50)],
+        }];
+        grown.root.children[0].children[0].histograms = vec![Histogram {
+            name: "bucket_occupancy".into(),
+            buckets: vec![(1, 100), (2, 80)],
+        }];
+        let d = diff_traces(&base, &grown, 0.25);
+        assert!(d.is_regression());
+        assert_eq!(d.histogram_regressions().len(), 1);
+        // Identical histograms pass.
+        assert!(!diff_traces(&base, &base, 0.25).is_regression());
+        // A count appearing in a previously empty bucket is flagged too.
+        grown.root.children[0].children[0].histograms[0]
+            .buckets
+            .push((7, 1));
+        let d3 = diff_traces(&base, &grown, 10.0);
+        assert!(d3.is_regression());
     }
 
     #[test]

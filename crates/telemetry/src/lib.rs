@@ -120,6 +120,12 @@ pub mod counters {
     pub const PEAK_DEVICE_BYTES: &str = "device.peak_bytes";
     /// Non-empty buckets in the MSM's consolidated bucket space.
     pub const MSM_OCCUPIED_BUCKETS: &str = "msm.occupied_buckets";
+    /// Field inversions performed by the batch-affine accumulator (one
+    /// per Montgomery-batched reduction round).
+    pub const MSM_BATCH_INVERSIONS: &str = "msm.batch_inversions";
+    /// Field inversions amortized away by Montgomery batching: affine
+    /// PADDs that shared a batched inversion instead of paying their own.
+    pub const MSM_BATCH_INV_SAVED: &str = "msm.batch_inv_saved";
 }
 
 /// Feeds one simulated stage into the sink: every kernel report, plus the

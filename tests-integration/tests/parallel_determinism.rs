@@ -1,0 +1,104 @@
+//! Parallel-prover determinism: the optimized prover (lock-free thread
+//! pool, batch-affine bucket accumulation, cached preprocessing,
+//! concurrent MSMs) produces *bit-identical* proofs to the serial
+//! pre-PR reference at every thread count.
+//!
+//! Everything lives in ONE test function: the thread count is driven by
+//! the `GZKP_THREADS` env override, and env mutation must stay
+//! sequential within the test binary.
+
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{bls12_381, bn254, random_points, t753};
+use gzkp_ff::fields::Fr753;
+use gzkp_ff::Field;
+use gzkp_gpu_sim::v100;
+use gzkp_groth16::{prove, setup, ConstraintSystem, Proof, ProverEngines, ProvingKey};
+use gzkp_msm::{GzkpMsm, MsmEngine, ScalarVec};
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{Direction, GzkpNtt, Radix2Domain};
+use gzkp_workloads::synthetic::synthetic_circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one proof with either the optimized or the serial-reference
+/// engine configuration. The rng seed is fixed and the blinding factors
+/// are drawn after the MSM stage, so equal proofs mean equal MSM/NTT
+/// outputs bit for bit.
+fn proof_with<P: PairingConfig>(
+    cs: &ConstraintSystem<P::Fr>,
+    pk: &ProvingKey<P>,
+    optimized: bool,
+) -> Proof<P> {
+    let (g1, g2) = if optimized {
+        (GzkpMsm::new(v100()), GzkpMsm::new(v100()))
+    } else {
+        (
+            GzkpMsm::serial_reference(v100()),
+            GzkpMsm::serial_reference(v100()),
+        )
+    };
+    let ntt = GzkpNtt::auto::<P::Fr>(v100());
+    let engines = ProverEngines::<P> {
+        ntt: &ntt,
+        msm_g1: &g1,
+        msm_g2: &g2,
+    };
+    let mut rng = StdRng::seed_from_u64(99);
+    prove(cs, pk, &engines, &mut rng).expect("prove").0
+}
+
+/// Serial-vs-parallel prover check for one pairing curve across worker
+/// counts 1, 2, and 4 (via the `GZKP_THREADS` override).
+fn check_curve<P: PairingConfig>(constraints: usize) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let cs = synthetic_circuit::<P::Fr, _>(constraints, &mut rng);
+    let (pk, _vk) = setup::<P, _>(&cs, &mut rng).expect("setup");
+
+    std::env::set_var("GZKP_THREADS", "1");
+    let reference = proof_with::<P>(&cs, &pk, false);
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("GZKP_THREADS", threads);
+        let got = proof_with::<P>(&cs, &pk, true);
+        assert!(
+            got == reference,
+            "parallel proof diverged at GZKP_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("GZKP_THREADS");
+}
+
+/// MSM + NTT determinism on the pairing-less 753-bit curve.
+fn check_t753() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let pts = random_points::<t753::G1Config, _>(257, &mut rng);
+    let scalars: Vec<Fr753> = (0..257).map(|_| Fr753::random(&mut rng)).collect();
+    let sv = ScalarVec::from_field(&scalars);
+    let domain = Radix2Domain::<Fr753>::new(1 << 8).expect("domain");
+    let coeffs: Vec<Fr753> = (0..domain.size).map(|_| Fr753::random(&mut rng)).collect();
+
+    std::env::set_var("GZKP_THREADS", "1");
+    let msm_ref = GzkpMsm::serial_reference(v100()).msm(&pts, &sv).result;
+    let mut ntt_ref = coeffs.clone();
+    GzkpNtt::auto::<Fr753>(v100()).transform(&domain, &mut ntt_ref, Direction::Forward);
+
+    for threads in ["1", "2", "4"] {
+        std::env::set_var("GZKP_THREADS", threads);
+        let got = GzkpMsm::new(v100()).msm(&pts, &sv).result;
+        assert_eq!(
+            got.to_affine(),
+            msm_ref.to_affine(),
+            "t753 MSM diverged at GZKP_THREADS={threads}"
+        );
+        let mut data = coeffs.clone();
+        GzkpNtt::auto::<Fr753>(v100()).transform(&domain, &mut data, Direction::Forward);
+        assert_eq!(data, ntt_ref, "t753 NTT diverged at GZKP_THREADS={threads}");
+    }
+    std::env::remove_var("GZKP_THREADS");
+}
+
+#[test]
+fn parallel_prover_is_bit_identical_to_serial() {
+    check_curve::<bn254::Bn254>(1 << 6);
+    check_curve::<bls12_381::Bls12_381>(1 << 5);
+    check_t753();
+}

@@ -1,0 +1,110 @@
+//! Property tests for the vendored `rayon` stub's new combinators:
+//! `reduce`/`fold` and `par_chunks` must agree with their sequential
+//! counterparts on arbitrary inputs — including non-commutative (but
+//! associative) operators, which pin the chunk-order guarantee the
+//! deterministic prover relies on.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+fn rand_vec(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+fn rand_words(len: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let w = rng.gen_range(0usize..4);
+            (0..w)
+                .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reduce_matches_sequential_sum(len in 0usize..200, seed in 0u64..1000) {
+        let xs = rand_vec(len, seed);
+        let par: u64 = xs
+            .clone()
+            .into_par_iter()
+            .reduce(|| 0u64, |a, b| a.wrapping_add(b));
+        let seq = xs.iter().fold(0u64, |a, b| a.wrapping_add(*b));
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn reduce_preserves_chunk_order(len in 0usize..120, seed in 0u64..1000) {
+        // String concatenation is associative but not commutative: any
+        // chunk reordering or double-count would change the result.
+        let xs = rand_words(len, seed);
+        let par = xs
+            .clone()
+            .into_par_iter()
+            .reduce(String::new, |a, b| a + &b);
+        let seq: String = xs.concat();
+        prop_assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn fold_partials_cover_every_item_once(len in 0usize..200, seed in 0u64..1000) {
+        let xs = rand_vec(len, seed);
+        let partials: Vec<(u64, u64)> = xs
+            .clone()
+            .into_par_iter()
+            .fold(|| (0u64, 0u64), |(n, s), x| (n + 1, s.wrapping_add(x)))
+            .collect();
+        let total_n: u64 = partials.iter().map(|(n, _)| n).sum();
+        let total_s = partials.iter().fold(0u64, |a, (_, s)| a.wrapping_add(*s));
+        prop_assert_eq!(total_n, xs.len() as u64);
+        prop_assert_eq!(total_s, xs.iter().fold(0u64, |a, x| a.wrapping_add(*x)));
+    }
+
+    #[test]
+    fn par_chunks_partition_the_slice(
+        len in 0usize..300,
+        seed in 0u64..1000,
+        chunk in 1usize..40,
+    ) {
+        let xs = rand_vec(len, seed);
+        let chunks: Vec<Vec<u64>> = xs
+            .par_chunks(chunk)
+            .map(<[u64]>::to_vec)
+            .collect();
+        // Concatenating the chunks in order reproduces the input exactly.
+        let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+        prop_assert_eq!(&flat, &xs);
+        // Every chunk but the last has exactly `chunk` elements.
+        for (i, c) in chunks.iter().enumerate() {
+            if i + 1 < chunks.len() {
+                prop_assert_eq!(c.len(), chunk);
+            } else {
+                prop_assert!(!c.is_empty() && c.len() <= chunk);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_map_preserves_order(len in 0usize..200, seed in 0u64..1000) {
+        let xs = rand_vec(len, seed);
+        let got: Vec<(usize, u64)> = xs
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| (i, x.wrapping_mul(2)))
+            .collect();
+        let expect: Vec<(usize, u64)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x.wrapping_mul(2)))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -69,8 +69,11 @@ fn main() -> ExitCode {
             print!("{}", diff.render());
             if diff.is_regression() {
                 eprintln!(
-                    "zkprof: regression: {} stage(s) slower than {:.1}% and/or shape mismatch",
+                    "zkprof: regression: {} stage(s), {} counter(s), {} histogram(s) \
+                     beyond {:.1}% and/or shape mismatch",
                     diff.regressions().len(),
+                    diff.counter_regressions().len(),
+                    diff.histogram_regressions().len(),
                     threshold * 100.0
                 );
                 ExitCode::FAILURE

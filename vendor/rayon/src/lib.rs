@@ -2,65 +2,418 @@
 //!
 //! The build environment has no access to crates.io (see
 //! `vendor/README.md`). This crate provides `into_par_iter`,
-//! `par_iter_mut`, and `par_chunks_mut` with the same call syntax,
-//! executed on scoped `std::thread` workers pulling from a shared queue.
-//! Work items are materialized eagerly (no splitting/stealing), which is
-//! fine for the coarse-grained loops in this workspace: per-window MSM
-//! sums and per-chunk NTT butterflies.
+//! `par_iter_mut`, `par_chunks`/`par_chunks_mut`, `enumerate`, `map`,
+//! `for_each`, `fold`, and `reduce` with the same call syntax as rayon,
+//! executed by a lock-free chunked work distributor:
+//!
+//! * Work items are materialized eagerly into a contiguous buffer; a
+//!   single shared `AtomicUsize` hands out fixed-size *chunks* of indices
+//!   (`fetch_add`), so the hot path takes no lock — unlike the previous
+//!   Mutex-queue executor, which serialized every item hand-off.
+//! * Workers are a small **persistent pool** spawned on first use and
+//!   parked on a condvar between jobs; the calling thread always
+//!   participates, so a job completes even if every worker is busy.
+//! * `GZKP_THREADS` caps the concurrency of each parallel call (`1`
+//!   forces fully serial in-place execution). It is re-read per call, so
+//!   tests can vary it at runtime.
+//! * Nested parallel calls (a parallel region spawned from inside a
+//!   worker or from a participating caller) run serially in place — the
+//!   pool is never re-entered, which makes nesting deadlock-free.
+//!
+//! Determinism: chunk boundaries are a pure function of the item count
+//! and the thread cap, results are written to per-index or per-chunk
+//! slots, and `reduce`/`fold` combine partials in chunk order — so for
+//! associative operations every thread count produces identical results.
 
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of worker threads used for parallel loops.
+/// Chunks handed out per participating thread: >1 so a straggler chunk
+/// does not leave the other threads idle, small enough that the atomic
+/// hand-off stays negligible next to the work.
+const CHUNKS_PER_THREAD: usize = 4;
+
+thread_local! {
+    /// Set while this thread executes inside a parallel region (worker
+    /// threads permanently); nested parallel calls then run serially.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads a parallel call may use: the `GZKP_THREADS`
+/// environment override when set (minimum 1), else the machine's
+/// available parallelism. Re-read on every call.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = env_threads() {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-fn run_parallel<I: Send, F: Fn(I) + Sync>(items: Vec<I>, f: F) {
-    let workers = current_num_threads().min(items.len());
-    if workers <= 1 {
-        for item in items {
-            f(item);
+fn env_threads() -> Option<usize> {
+    std::env::var("GZKP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+// ---------------------------------------------------------------------------
+// The chunked executor
+// ---------------------------------------------------------------------------
+
+/// One published parallel job: a type-erased `body(start, end)` plus the
+/// atomic chunk cursor. The raw `body` pointer is only dereferenced while
+/// holding an unclaimed chunk; the publishing caller does not return
+/// until all chunks are claimed and no participant is active, which keeps
+/// the borrow alive for every dereference.
+struct Job {
+    body: *const (dyn Fn(usize, usize) + Sync),
+    len: usize,
+    chunk: usize,
+    /// Pool workers admitted to this job (the caller is always extra).
+    max_workers: usize,
+    /// Next chunk index to claim (lock-free cursor).
+    next: AtomicUsize,
+    /// Pool workers that have tried to join (admission counter).
+    entered: AtomicUsize,
+    /// Participants currently inside the drain loop.
+    active: AtomicUsize,
+    /// Set when a participant panicked; stops further body calls.
+    aborted: AtomicBool,
+    /// First panic payload, re-thrown on the calling thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+// SAFETY: the raw body pointer is only used under the completion protocol
+// described on [`Job`]; all other fields are Send + Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until the cursor is exhausted or the job
+    /// aborts. Called by the job's caller and by admitted pool workers.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let start = i.saturating_mul(self.chunk);
+            if start >= self.len || self.aborted.load(Ordering::Relaxed) {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            // SAFETY: we hold an unclaimed chunk, so the caller has not
+            // returned and the body borrow is still live.
+            unsafe { (*self.body)(start, end) };
         }
+    }
+
+    /// Exhausts the cursor without running the body (panic cleanup), so
+    /// late-arriving workers cannot claim a chunk after the caller leaves.
+    fn exhaust(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+        while self
+            .next
+            .fetch_add(1, Ordering::Relaxed)
+            .saturating_mul(self.chunk)
+            < self.len
+        {}
+    }
+
+    /// Entry point for pool workers.
+    fn run_as_worker(&self) {
+        if self.entered.fetch_add(1, Ordering::SeqCst) >= self.max_workers {
+            return;
+        }
+        self.active.fetch_add(1, Ordering::SeqCst);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.drain())) {
+            self.exhaust();
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _guard = self.idle.lock().unwrap();
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Blocks until no worker is inside the drain loop. Combined with an
+    /// exhausted cursor this guarantees no further body dereference.
+    fn wait_idle(&self) {
+        let mut guard = self.idle.lock().unwrap();
+        while self.active.load(Ordering::SeqCst) != 0 {
+            guard = self.idle_cv.wait(guard).unwrap();
+        }
+    }
+}
+
+struct PoolState {
+    generation: u64,
+    job: Option<std::sync::Arc<Job>>,
+}
+
+/// The persistent worker pool: workers park on `work_cv` and wake when a
+/// job is published. Only the latest job is broadcast; earlier jobs are
+/// always completed by their publishing caller, so dropping a broadcast
+/// is harmless.
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+impl Pool {
+    fn publish(&self, job: std::sync::Arc<Job>) {
+        let mut st = self.state.lock().unwrap();
+        st.generation += 1;
+        st.job = Some(job);
+        self.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_PARALLEL.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            while st.generation == seen {
+                st = pool.work_cv.wait(st).unwrap();
+            }
+            seen = st.generation;
+            st.job.clone()
+        };
+        if let Some(job) = job {
+            job.run_as_worker();
+        }
+    }
+}
+
+/// Lazily spawns the worker pool. Sized for the machine but kept at a
+/// minimum of three workers so `GZKP_THREADS` overrides above the core
+/// count still execute concurrently (exercised by determinism tests).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+            }),
+            work_cv: Condvar::new(),
+        }));
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().saturating_sub(1))
+            .unwrap_or(0)
+            .max(3);
+        for _ in 0..workers {
+            std::thread::Builder::new()
+                .name("gzkp-par-worker".into())
+                .spawn(move || worker_loop(pool))
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Chunk size for `len` items at the given thread cap.
+fn chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil(threads.saturating_mul(CHUNKS_PER_THREAD).max(1))
+        .max(1)
+}
+
+/// Runs `body(start, end)` over disjoint chunks covering `0..len`, using
+/// up to `threads` participants (the caller plus pool workers). Serial
+/// when `threads <= 1`, when there is a single chunk, or when already
+/// inside a parallel region (nesting never re-enters the pool).
+fn run_chunked(len: usize, chunk: usize, threads: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
         return;
     }
-    let queue = Mutex::new(items.into_iter());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let item = queue.lock().unwrap().next();
-                match item {
-                    Some(item) => f(item),
-                    None => break,
-                }
-            });
-        }
+    if threads <= 1 || chunk >= len || IN_PARALLEL.with(|f| f.get()) {
+        body(0, len);
+        return;
+    }
+    // SAFETY: layout-identical fat pointers; erases the borrow lifetime so
+    // the job can live in an Arc shared with 'static workers. The
+    // completion protocol (exhausted cursor + wait_idle) keeps every
+    // dereference inside the real borrow.
+    let body: *const (dyn Fn(usize, usize) + Sync) = unsafe {
+        std::mem::transmute::<
+            &(dyn Fn(usize, usize) + Sync),
+            *const (dyn Fn(usize, usize) + Sync + 'static),
+        >(body)
+    };
+    let job = std::sync::Arc::new(Job {
+        body,
+        len,
+        chunk,
+        max_workers: threads - 1,
+        next: AtomicUsize::new(0),
+        entered: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        aborted: AtomicBool::new(false),
+        panic: Mutex::new(None),
+        idle: Mutex::new(()),
+        idle_cv: Condvar::new(),
     });
+    pool().publish(job.clone());
+    IN_PARALLEL.with(|f| f.set(true));
+    let caller = catch_unwind(AssertUnwindSafe(|| job.drain()));
+    IN_PARALLEL.with(|f| f.set(false));
+    if caller.is_err() {
+        job.exhaust();
+    }
+    // All chunks are claimed at this point; once the workers go idle no
+    // participant can touch `body` again, so the borrow may end.
+    job.wait_idle();
+    if let Err(payload) = caller {
+        resume_unwind(payload);
+    }
+    let worker_panic = job.panic.lock().unwrap().take();
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Shared-buffer helpers (disjoint-index access, no locks)
+// ---------------------------------------------------------------------------
+
+/// Read-side view of a materialized item buffer: each index is moved out
+/// exactly once by the chunk that owns it.
+struct TakeSlice<T>(*const ManuallyDrop<T>);
+unsafe impl<T: Send> Sync for TakeSlice<T> {}
+impl<T> TakeSlice<T> {
+    /// SAFETY: each `i` must be taken at most once, `i < len`.
+    unsafe fn take(&self, i: usize) -> T {
+        ManuallyDrop::into_inner(std::ptr::read(self.0.add(i)))
+    }
+}
+
+/// Write-side view of an output buffer: each index is written exactly
+/// once by the chunk that owns it.
+struct WriteSlice<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Sync for WriteSlice<T> {}
+impl<T> WriteSlice<T> {
+    /// SAFETY: each `i` must be written at most once, `i < len`.
+    unsafe fn write(&self, i: usize, v: T) {
+        (*self.0.add(i)).write(v);
+    }
+}
+
+/// Wraps the items so a mid-job panic leaks un-taken elements instead of
+/// double-dropping the taken ones.
+fn into_taken<T>(items: Vec<T>) -> Vec<ManuallyDrop<T>> {
+    items.into_iter().map(ManuallyDrop::new).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The iterator API
+// ---------------------------------------------------------------------------
 
 /// An eagerly-materialized "parallel" iterator.
 pub struct ParIter<T>(Vec<T>);
 
 impl<T: Send> ParIter<T> {
-    /// Applies `f` to every item across worker threads.
+    /// Applies `f` to every item across the worker pool.
     pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        run_parallel(self.0, f);
+        let items = into_taken(self.0);
+        let len = items.len();
+        let threads = current_num_threads();
+        let src = TakeSlice(items.as_ptr());
+        run_chunked(len, chunk_size(len, threads), threads, &|start, end| {
+            for i in start..end {
+                // SAFETY: chunks are disjoint, each index taken once.
+                f(unsafe { src.take(i) });
+            }
+        });
     }
 
-    /// Maps every item across worker threads, preserving order.
+    /// Maps every item across the worker pool, preserving order. Each
+    /// output lands in its own pre-allocated slot — no locks.
     pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
-        let slots: Vec<Mutex<Option<U>>> = (0..self.0.len()).map(|_| Mutex::new(None)).collect();
-        let indexed: Vec<(usize, T)> = self.0.into_iter().enumerate().collect();
-        run_parallel(indexed, |(i, item)| {
-            *slots[i].lock().unwrap() = Some(f(item));
+        let items = into_taken(self.0);
+        let len = items.len();
+        let threads = current_num_threads();
+        let mut out: Vec<MaybeUninit<U>> = (0..len).map(|_| MaybeUninit::uninit()).collect();
+        let src = TakeSlice(items.as_ptr());
+        let dst = WriteSlice(out.as_mut_ptr());
+        run_chunked(len, chunk_size(len, threads), threads, &|start, end| {
+            for i in start..end {
+                // SAFETY: chunks are disjoint; index i is taken/written once.
+                unsafe { dst.write(i, f(src.take(i))) };
+            }
         });
+        // Every chunk ran to completion, so every slot is initialized.
         ParIter(
-            slots
-                .into_iter()
-                .map(|m| m.into_inner().unwrap().expect("map slot filled"))
+            out.into_iter()
+                .map(|slot| unsafe { slot.assume_init() })
                 .collect(),
         )
+    }
+
+    /// Pairs every item with its index (rayon's indexed iteration).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter(self.0.into_iter().enumerate().collect())
+    }
+
+    /// Folds each chunk of items into an accumulator seeded by
+    /// `identity`, yielding one accumulator per chunk (rayon's `fold`).
+    /// Combine them with [`ParIter::reduce`] or sequentially.
+    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        let items = into_taken(self.0);
+        let len = items.len();
+        if len == 0 {
+            return ParIter(Vec::new());
+        }
+        let threads = current_num_threads();
+        let chunk = chunk_size(len, threads);
+        let n_chunks = len.div_ceil(chunk);
+        let mut partials: Vec<MaybeUninit<Acc>> =
+            (0..n_chunks).map(|_| MaybeUninit::uninit()).collect();
+        let src = TakeSlice(items.as_ptr());
+        let dst = WriteSlice(partials.as_mut_ptr());
+        run_chunked(len, chunk, threads, &|start, end| {
+            let mut acc = identity();
+            for i in start..end {
+                // SAFETY: chunks are disjoint, each index taken once.
+                acc = fold_op(acc, unsafe { src.take(i) });
+            }
+            // SAFETY: chunk index start/chunk is owned by this call. When
+            // the executor falls back to one serial call covering 0..len,
+            // that call owns chunk 0 and the remaining slots stay unused.
+            unsafe { dst.write(start / chunk, acc) };
+        });
+        let serial_span = IN_PARALLEL.with(|f| f.get()) || threads <= 1 || chunk >= len;
+        let filled = if serial_span { 1 } else { n_chunks };
+        ParIter(
+            partials
+                .into_iter()
+                .take(filled)
+                .map(|slot| unsafe { slot.assume_init() })
+                .collect(),
+        )
+    }
+
+    /// Reduces all items with `op`, seeding each chunk with `identity`
+    /// and combining the per-chunk partials in chunk order (rayon's
+    /// `reduce`; deterministic for associative `op`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let partials = self.fold(&identity, &op).0;
+        partials.into_iter().fold(identity(), op)
     }
 
     /// Collects the (already computed) items.
@@ -92,26 +445,38 @@ where
     }
 }
 
+/// Parallel shared access to slices (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel counterpart of `chunks`.
+    fn par_chunks(&self, chunk_len: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_len: usize) -> ParIter<&[T]> {
+        ParIter(self.chunks(chunk_len).collect())
+    }
+}
+
 /// Parallel mutable access to slices (`par_iter_mut`, `par_chunks_mut`).
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel counterpart of `iter_mut`.
     fn par_iter_mut(&mut self) -> ParIter<&mut T>;
     /// Parallel counterpart of `chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    fn par_chunks_mut(&mut self, chunk_len: usize) -> ParIter<&mut [T]>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIter<&mut T> {
         ParIter(self.iter_mut().collect())
     }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
-        ParIter(self.chunks_mut(chunk_size).collect())
+    fn par_chunks_mut(&mut self, chunk_len: usize) -> ParIter<&mut [T]> {
+        ParIter(self.chunks_mut(chunk_len).collect())
     }
 }
 
 /// The traits user code glob-imports.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -141,5 +506,62 @@ mod tests {
         let mut data = [0u8; 64];
         data.par_iter_mut().for_each(|v| *v = 9);
         assert!(data.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn par_chunks_sees_every_chunk() {
+        let data: Vec<u32> = (0..100).collect();
+        let sums: Vec<u32> = data.par_chunks(7).map(|c| c.iter().sum::<u32>()).collect();
+        let expect: Vec<u32> = data.chunks(7).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let data: Vec<u64> = (1..=1000).collect();
+        let par: u64 = data
+            .clone()
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a.wrapping_add(b));
+        assert_eq!(par, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn fold_partials_cover_all_items() {
+        let data: Vec<u64> = (0..500).collect();
+        let total: u64 = data
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .collect::<Vec<u64>>()
+            .into_iter()
+            .sum();
+        assert_eq!(total, (0..500).sum::<u64>());
+    }
+
+    #[test]
+    fn enumerate_indexes_in_order() {
+        let out: Vec<(usize, char)> = "abcd".chars().into_par_iter().enumerate().collect();
+        assert_eq!(out, vec![(0, 'a'), (1, 'b'), (2, 'c'), (3, 'd')]);
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        let out: Vec<u64> = (0u64..16)
+            .into_par_iter()
+            .map(|x| (0u64..64).into_par_iter().map(|y| x + y).sum::<u64>())
+            .collect();
+        let expect: Vec<u64> = (0u64..16)
+            .map(|x| (0u64..64).map(|y| x + y).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        Vec::<u32>::new().into_par_iter().for_each(|_| panic!());
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x * 2).collect();
+        assert!(v.is_empty());
+        let r = Vec::<u64>::new().into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(r, 7);
     }
 }
