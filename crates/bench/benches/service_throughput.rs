@@ -1,0 +1,98 @@
+//! Proving-service throughput benchmark: the mixed-curve request stream
+//! of `RequestWorkload::example()` replayed sequentially (prove-in-a-loop
+//! on stock engines) versus through the `ProvingService` — the comparison
+//! the CI regression gate diffs.
+//!
+//! Like `prover_e2e`, every number is measured host wall-clock. The
+//! service must win on *work avoidance*: its byte-budgeted preprocessing
+//! store holds every class's checkpoint tables at once, while the
+//! baseline's small process-wide FIFO thrashes under the round-robin
+//! arrival order. `GZKP_THREADS=4` caps kernel-level parallelism so both
+//! sides price the same simulated-device budget.
+//!
+//! Modes: `GZKP_BENCH_SMOKE=1` replays the example workload once;
+//! the default and `GZKP_BENCH_FULL=1` scale up the per-class counts.
+
+use gzkp_bench::{speedup, Recorder};
+use gzkp_gpu_sim::device::v100;
+use gzkp_service::{prepare, run_sequential, run_service, ReplayOutcome, ServiceConfig};
+use gzkp_workloads::requests::RequestWorkload;
+
+fn scaled_example(count_scale: usize) -> RequestWorkload {
+    let mut workload = RequestWorkload::example();
+    for spec in &mut workload.requests {
+        spec.count *= count_scale;
+    }
+    workload
+}
+
+fn outcome_rows(rec: &mut Recorder, label: &str, outcome: &ReplayOutcome) {
+    rec.row(
+        label,
+        "ms",
+        vec![
+            ("total".into(), outcome.total.as_secs_f64() * 1e3),
+            ("p50".into(), outcome.percentile_ms(50.0)),
+            ("p95".into(), outcome.percentile_ms(95.0)),
+        ],
+    );
+}
+
+fn main() {
+    let smoke = std::env::var("GZKP_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let count_scale = if smoke {
+        1
+    } else if gzkp_bench::full_mode() {
+        4
+    } else {
+        2
+    };
+
+    // Same thread budget on both sides; 4 matches the repo's standard
+    // simulated-device pricing runs.
+    std::env::set_var("GZKP_THREADS", "4");
+
+    let device = v100();
+    let workload = scaled_example(count_scale);
+    let prepared = prepare(&workload, &device);
+
+    let mut rec = Recorder::new("service_throughput");
+
+    // --- Baseline: prove every request in arrival order. ---
+    let sequential = run_sequential(&prepared, &device);
+    outcome_rows(&mut rec, "sequential", &sequential);
+
+    // --- The proving service, default configuration. ---
+    let service = run_service(&prepared, ServiceConfig::default(), &device);
+    outcome_rows(&mut rec, "service", &service);
+    std::env::remove_var("GZKP_THREADS");
+
+    assert_eq!(
+        service.rejected, 0,
+        "default queue must absorb the whole workload"
+    );
+    assert_eq!(
+        service.deadline_missed, 0,
+        "no deadline misses at the default deadline"
+    );
+    assert_eq!(service.failed, 0, "no failed jobs");
+    assert_eq!(
+        sequential.proofs, service.proofs,
+        "service proofs diverged from the sequential baseline"
+    );
+
+    // Machine-independent gate row: fraction of sequential wall-clock the
+    // service needs (lower is better, so a *rise* reads as a regression).
+    let frac = service.total.as_secs_f64() / sequential.total.as_secs_f64();
+    rec.row("gate", "ratio", vec![("vs-sequential".into(), frac)]);
+    println!(
+        "throughput: sequential {:.2}/s -> service {:.2}/s ({:.2}x, {} proofs)",
+        sequential.throughput_per_s(),
+        service.throughput_per_s(),
+        speedup(sequential.total.as_secs_f64(), service.total.as_secs_f64()),
+        prepared.len()
+    );
+    rec.finish();
+}

@@ -56,7 +56,10 @@ pub mod setup;
 pub mod verify;
 
 pub use batch::{batch_verify, proof_from_bytes, proof_to_bytes, PreparedVerifyingKey};
-pub use prove::{prove, prove_plan, prove_with_telemetry, Proof, ProveReport, ProverEngines};
+pub use prove::{
+    prove, prove_msm, prove_plan, prove_poly, prove_with_telemetry, PolyArtifacts, Proof,
+    ProveReport, ProverEngines,
+};
 pub use r1cs::{Circuit, ConstraintSystem, LinearCombination, SynthesisError, Variable};
 pub use setup::{setup, ProvingKey, VerifyingKey};
 pub use verify::verify;

@@ -16,6 +16,7 @@ use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_telemetry::{self as telemetry, NoopSink, TelemetrySink};
 use rand::Rng;
 use rayon::prelude::*;
+use std::marker::PhantomData;
 
 /// A Groth16 proof: two G1 points and one G2 point (<1 KB — the
 /// succinctness property of §2.1).
@@ -109,25 +110,83 @@ pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
     rng: &mut R,
     sink: &dyn TelemetrySink,
 ) -> Result<(Proof<P>, ProveReport), SynthesisError> {
+    let _prove_span = telemetry::span(sink, "prove");
+    let poly = prove_poly(cs, pk, engines.ntt, sink)?;
+    Ok(prove_msm(pk, engines, poly, rng, sink))
+}
+
+/// Output of the POLY stage, ready to feed the MSM stage: the simulated
+/// POLY report plus the three packed scalar vectors (`z⃗`, aux, `h⃗`) the
+/// five MSMs consume. Produced by [`prove_poly`], consumed by
+/// [`prove_msm`] — splitting the prover at this boundary lets a scheduler
+/// overlap proof *i+1*'s POLY with proof *i*'s MSM phase (the software
+/// analogue of GZKP's GPU streams).
+pub struct PolyArtifacts<P: PairingConfig> {
+    /// POLY-stage simulated report (7 NTTs + pointwise kernels).
+    pub report: StageReport,
+    z_scalars: ScalarVec,
+    aux_scalars: ScalarVec,
+    h_scalars: ScalarVec,
+    _curve: PhantomData<P>,
+}
+
+/// Stage 1 of the prover: checks satisfiability, reduces R1CS → QAP, runs
+/// the seven-NTT POLY stage (inside a `poly` span on `sink`), and packs
+/// the MSM scalar vectors.
+///
+/// # Errors
+///
+/// Fails when the system is unsatisfied or exceeds the NTT domain.
+///
+/// # Panics
+///
+/// Panics if the proving key does not match the constraint system shape.
+pub fn prove_poly<P: PairingConfig>(
+    cs: &ConstraintSystem<P::Fr>,
+    pk: &ProvingKey<P>,
+    ntt: &dyn GpuNttEngine<P::Fr>,
+    sink: &dyn TelemetrySink,
+) -> Result<PolyArtifacts<P>, SynthesisError> {
     cs.is_satisfied()?;
     assert_eq!(pk.a_query.len(), cs.num_variables(), "key/circuit mismatch");
-
-    let _prove_span = telemetry::span(sink, "prove");
 
     // --- POLY stage: h = (A·B − C)/Z through seven NTTs (§5.2). ---
     let qap = QapWitness::from_r1cs(cs)?;
     assert_eq!(pk.domain_size, qap.domain.size, "key domain mismatch");
     let poly = {
         let _poly_span = telemetry::span(sink, "poly");
-        poly_stage_traced(&qap, engines.ntt, sink)
+        poly_stage_traced(&qap, ntt, sink)
     };
 
-    // --- MSM stage: five MSMs (§5.2). ---
     let z = cs.full_assignment();
-    let z_scalars = ScalarVec::from_field(&z);
-    let aux_scalars = ScalarVec::from_field(&cs.aux_assignment);
-    let h_trim = &poly.h[..pk.h_query.len()];
-    let h_scalars = ScalarVec::from_field(h_trim);
+    Ok(PolyArtifacts {
+        z_scalars: ScalarVec::from_field(&z),
+        aux_scalars: ScalarVec::from_field(&cs.aux_assignment),
+        h_scalars: ScalarVec::from_field(&poly.h[..pk.h_query.len()]),
+        report: poly.report,
+        _curve: PhantomData,
+    })
+}
+
+/// Stage 2 of the prover: the five MSMs (inside an `msm` span on `sink`),
+/// blinding, and proof assembly. The blinding factors `r`, `s` are drawn
+/// from `rng` *after* the MSMs — the same order as the monolithic
+/// [`prove`] — so a fixed seed yields bit-identical proofs through either
+/// path.
+pub fn prove_msm<P: PairingConfig, R: Rng + ?Sized>(
+    pk: &ProvingKey<P>,
+    engines: &ProverEngines<'_, P>,
+    poly: PolyArtifacts<P>,
+    rng: &mut R,
+    sink: &dyn TelemetrySink,
+) -> (Proof<P>, ProveReport) {
+    let PolyArtifacts {
+        report: poly_report,
+        z_scalars,
+        aux_scalars,
+        h_scalars,
+        _curve,
+    } = poly;
 
     let _msm_span = telemetry::span(sink, "msm");
     let mut msm_report = StageReport::new("MSM");
@@ -223,17 +282,17 @@ pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
         .add(&b_g1.mul(&r))
         .add(&pk.delta_g1.mul(&(r * s)).neg());
 
-    Ok((
+    (
         Proof {
             a: a.to_affine(),
             b: b_g2.to_affine(),
             c: c.to_affine(),
         },
         ProveReport {
-            poly: poly.report,
+            poly: poly_report,
             msm: msm_report,
         },
-    ))
+    )
 }
 
 /// Cost-only proof-generation plan: runs the POLY stage functionally (it

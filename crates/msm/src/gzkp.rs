@@ -15,14 +15,13 @@
 use crate::batch_affine::{accumulate_batch_affine, BatchAffineStats};
 use crate::engine::{bucket_reduce, CurveCost, MsmEngine, MsmRun, MsmStats};
 use crate::scalars::{default_window_size, ScalarVec};
+use crate::store::{PreKey, PreprocessStore};
 use gzkp_curves::{batch_to_affine, Affine, CurveParams, Projective};
 use gzkp_ff::PrimeField;
 use gzkp_gpu_sim::device::{Backend, DeviceConfig};
 use gzkp_gpu_sim::kernel::{BlockCost, KernelSpec, StageReport};
 use rayon::prelude::*;
-use std::any::{Any, TypeId};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use std::any::Any;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Fixed per-MSM host-side cost (driver synchronization, scalar transfer,
@@ -69,6 +68,10 @@ pub struct GzkpMsm {
     /// Reuse the checkpoint tables across MSMs over the same point
     /// vector (the paper treats preprocessing as per-application setup).
     pub cache_preprocess: bool,
+    /// Optional shared, byte-budgeted LRU table store. When set it
+    /// replaces the process-wide FIFO cache, letting a proving service
+    /// bound table memory across many proving keys explicitly.
+    pub store: Option<Arc<PreprocessStore>>,
 }
 
 /// Process-wide store for checkpoint tables, keyed by the point
@@ -86,40 +89,6 @@ fn pre_cache() -> &'static Mutex<PreCacheEntries> {
 /// (FIFO): a Groth16 proving key has four G1 vectors plus one G2.
 const PRE_CACHE_CAP: usize = 8;
 
-#[derive(PartialEq, Eq)]
-struct PreKey {
-    curve: TypeId,
-    ptr: usize,
-    len: usize,
-    k: u32,
-    m: u32,
-    windows: usize,
-    /// Guards against a freed vector's address being reused: hash of a
-    /// few sampled points.
-    fingerprint: u64,
-}
-
-impl PreKey {
-    fn of<C: CurveParams>(points: &[Affine<C>], k: u32, m: u32, windows: usize) -> Self {
-        let mut h = DefaultHasher::new();
-        points.len().hash(&mut h);
-        for idx in [0, points.len() / 2, points.len().saturating_sub(1)] {
-            if let Some(p) = points.get(idx) {
-                p.hash(&mut h);
-            }
-        }
-        Self {
-            curve: TypeId::of::<C>(),
-            ptr: points.as_ptr() as usize,
-            len: points.len(),
-            k,
-            m,
-            windows,
-            fingerprint: h.finish(),
-        }
-    }
-}
-
 impl GzkpMsm {
     /// Full GZKP configuration on a device.
     pub fn new(device: DeviceConfig) -> Self {
@@ -132,7 +101,15 @@ impl GzkpMsm {
             parallel: true,
             batch_affine: true,
             cache_preprocess: true,
+            store: None,
         }
+    }
+
+    /// Attaches a shared [`PreprocessStore`], replacing the process-wide
+    /// FIFO cache for this engine instance.
+    pub fn with_store(mut self, store: Arc<PreprocessStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// The pre-optimization serial reference: single-threaded mixed
@@ -233,6 +210,12 @@ impl GzkpMsm {
     ) -> Arc<Vec<Vec<Affine<C>>>> {
         if !self.cache_preprocess {
             return Arc::new(self.preprocess(points, k, m, windows));
+        }
+        if let Some(store) = &self.store {
+            let key = PreKey::of(points, k, m, windows);
+            let levels = Self::levels(windows, m) as u64;
+            let bytes = levels * points.len() as u64 * CurveCost::of::<C>().affine_bytes();
+            return store.get_or_insert(key, bytes, || self.preprocess(points, k, m, windows));
         }
         let key = PreKey::of(points, k, m, windows);
         {

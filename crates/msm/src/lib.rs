@@ -39,6 +39,7 @@ pub mod engine;
 pub mod gzkp;
 pub mod scalars;
 pub mod signed;
+pub mod store;
 pub mod straus;
 pub mod submsm;
 
@@ -48,5 +49,6 @@ pub use engine::{bucket_reduce, naive_msm, CurveCost, MsmEngine, MsmRun, MsmStat
 pub use gzkp::{profile_window_size, GzkpMsm};
 pub use scalars::{bucket_histogram, default_window_size, window_loads, ScalarVec};
 pub use signed::SignedGzkpMsm;
+pub use store::PreprocessStore;
 pub use straus::StrausMsm;
 pub use submsm::SubMsmPippenger;

@@ -1,0 +1,251 @@
+//! Job-side types: the type-erased [`ProofTask`] the queue schedules, the
+//! standard Groth16 implementation, and the [`JobHandle`] callers hold.
+
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{CoordField, CurveParams};
+use gzkp_gpu_sim::device::DeviceConfig;
+use gzkp_groth16::prove::{prove_msm, prove_poly, PolyArtifacts, ProveReport, ProverEngines};
+use gzkp_groth16::r1cs::ConstraintSystem;
+use gzkp_groth16::{proof_to_bytes, ProvingKey};
+use gzkp_msm::{GzkpMsm, PreprocessStore};
+use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_telemetry::{TelemetrySink, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::TypeId;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A proof request the service can schedule, split along the prover's two
+/// stages so the scheduler can interleave stages of different jobs.
+///
+/// Implementations own everything their stages need (circuit, key,
+/// engines); the service only moves the box between queues and worker
+/// threads. The type erasure is what lets one queue serve jobs over
+/// different curves.
+pub trait ProofTask: Send {
+    /// Stable identity of the proving key this job uses; the scheduler's
+    /// key-affinity preference groups jobs by it to keep checkpoint
+    /// tables hot in the shared store.
+    fn key_id(&self) -> u64;
+
+    /// Stage 1 — POLY: witness reduction and the seven NTTs. Must leave
+    /// the task ready for [`ProofTask::msm`].
+    fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String>;
+
+    /// Stage 2 — the five multi-scalar multiplications, producing the
+    /// serialized proof.
+    fn msm(&mut self, sink: &dyn TelemetrySink) -> Result<TaskOutput, String>;
+}
+
+/// What a completed task hands back.
+#[derive(Debug, Clone)]
+pub struct TaskOutput {
+    /// The proof, serialized with [`gzkp_groth16::proof_to_bytes`]
+    /// (curve-generic so the type-erased queue can carry it).
+    pub proof: Vec<u8>,
+    /// The prover's simulated-time stage report, when the task produces
+    /// one.
+    pub report: Option<ProveReport>,
+}
+
+/// The standard [`ProofTask`]: a Groth16 proof over one of the workspace
+/// curves, using the GZKP NTT and MSM engines.
+///
+/// The blinding factors come from a seeded `StdRng` drawn in the MSM
+/// stage, exactly where the direct prover draws them — a `Groth16Task`
+/// with seed `s` produces bytes identical to `gzkp_groth16::prove` with
+/// `StdRng::seed_from_u64(s)`.
+pub struct Groth16Task<P: PairingConfig> {
+    cs: Arc<ConstraintSystem<P::Fr>>,
+    pk: Arc<ProvingKey<P>>,
+    ntt: GzkpNtt,
+    msm_g1: GzkpMsm,
+    msm_g2: GzkpMsm,
+    seed: u64,
+    poly_out: Option<PolyArtifacts<P>>,
+}
+
+impl<P: PairingConfig> Groth16Task<P> {
+    /// Builds a task proving `cs` under `pk` on the given simulated
+    /// device. `store` wires the MSM engines to the service's shared
+    /// checkpoint-table cache (pass [`crate::ProvingService::store`]);
+    /// `None` leaves them on the process-wide default cache. `seed` feeds
+    /// the blinding-factor rng.
+    pub fn new(
+        cs: Arc<ConstraintSystem<P::Fr>>,
+        pk: Arc<ProvingKey<P>>,
+        device: DeviceConfig,
+        store: Option<Arc<PreprocessStore>>,
+        seed: u64,
+    ) -> Self {
+        let mut msm_g1 = GzkpMsm::new(device.clone());
+        let mut msm_g2 = GzkpMsm::new(device.clone());
+        if let Some(store) = store {
+            msm_g1 = msm_g1.with_store(store.clone());
+            msm_g2 = msm_g2.with_store(store);
+        }
+        Self {
+            cs,
+            pk,
+            ntt: GzkpNtt::auto::<P::Fr>(device),
+            msm_g1,
+            msm_g2,
+            seed,
+            poly_out: None,
+        }
+    }
+}
+
+impl<P: PairingConfig> ProofTask for Groth16Task<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+{
+    fn key_id(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        TypeId::of::<P>().hash(&mut h);
+        (Arc::as_ptr(&self.pk) as usize).hash(&mut h);
+        h.finish()
+    }
+
+    fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String> {
+        let artifacts = prove_poly::<P>(&self.cs, &self.pk, &self.ntt, sink)
+            .map_err(|e| format!("poly stage failed: {e:?}"))?;
+        self.poly_out = Some(artifacts);
+        Ok(())
+    }
+
+    fn msm(&mut self, sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        let poly = self
+            .poly_out
+            .take()
+            .ok_or_else(|| "msm stage scheduled before poly stage".to_string())?;
+        let engines = ProverEngines::<P> {
+            ntt: &self.ntt,
+            msm_g1: &self.msm_g1,
+            msm_g2: &self.msm_g2,
+        };
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (proof, report) = prove_msm::<P, _>(&self.pk, &engines, poly, &mut rng, sink);
+        Ok(TaskOutput {
+            proof: proof_to_bytes(&proof),
+            report: Some(report),
+        })
+    }
+}
+
+/// Why a job did not produce a proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The deadline passed before the job finished; it was dropped at a
+    /// cooperative checkpoint (dequeue or stage boundary).
+    DeadlineMissed,
+    /// [`JobHandle::cancel`] was honored before completion.
+    Cancelled,
+    /// A stage returned an error or panicked.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::DeadlineMissed => write!(f, "deadline missed"),
+            JobError::Cancelled => write!(f, "cancelled"),
+            JobError::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Final record of one job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Service-assigned job id (matches [`JobHandle::id`]).
+    pub id: u64,
+    /// The proof (and report) or the reason there is none.
+    pub outcome: Result<TaskOutput, JobError>,
+    /// Wall-clock time from submission to first being scheduled. Zero if
+    /// the job never reached a worker.
+    pub queue_wait: Duration,
+    /// Wall-clock time from submission to resolution.
+    pub latency: Duration,
+    /// Per-job telemetry, when [`crate::JobOptions::trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+pub(crate) struct JobShared {
+    result: Mutex<Option<JobResult>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl JobShared {
+    pub(crate) fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn resolve(&self, result: JobResult) {
+        *self.result.lock().unwrap() = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Caller-side handle to a submitted job.
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cooperative cancellation: the job is dropped at its next
+    /// checkpoint (dequeue or stage boundary) and resolves as
+    /// [`JobError::Cancelled`]. A job already past its last checkpoint
+    /// completes normally.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the job has resolved (a [`JobHandle::wait`] would not
+    /// block).
+    pub fn is_finished(&self) -> bool {
+        self.shared.result.lock().unwrap().is_some()
+    }
+
+    /// Blocks until the job resolves and returns its result.
+    pub fn wait(self) -> JobResult {
+        let mut slot = self.shared.result.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.shared.done.wait(slot).unwrap();
+        }
+    }
+}

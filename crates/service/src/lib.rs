@@ -1,0 +1,168 @@
+//! # gzkp-service — the multi-proof proving service
+//!
+//! Everything below this crate proves one statement at a time; a proving
+//! deployment (the paper's target setting: Zcash/Filecoin-class provers,
+//! §5.1) faces a *stream* of heterogeneous requests. This crate adds the
+//! serving layer:
+//!
+//! * a **bounded request queue** with backpressure — [`ProvingService::submit`]
+//!   rejects with [`SubmitError::QueueFull`] instead of buffering without
+//!   limit;
+//! * a **worker pool pipelined across the prover's two stages**: each job
+//!   runs POLY (the seven NTTs) and then its five MSMs as separate
+//!   schedulable steps, so proof *i+1*'s POLY overlaps proof *i*'s MSM —
+//!   the intra-proof pipelining of the paper's Figure 1 lifted to the
+//!   inter-proof level;
+//! * **priority classes and per-job deadlines** with cooperative
+//!   cancellation: expiry and [`JobHandle::cancel`] are honored at
+//!   dequeue and between stages, never by killing a thread mid-kernel;
+//! * a **per-(curve, proving-key) preprocessing cache** — the service owns
+//!   a byte-budgeted LRU [`gzkp_msm::PreprocessStore`] shared by every
+//!   job's MSM engines, so checkpoint tables (Algorithm 1) are built once
+//!   per key instead of once per proof;
+//! * **graceful drain and shutdown**: [`ProvingService::drain`] waits for
+//!   in-flight work, [`ProvingService::shutdown`] stops intake, drains,
+//!   and joins the workers.
+//!
+//! Jobs are type-erased [`ProofTask`]s, so one queue serves proofs over
+//! different curves; [`Groth16Task`] is the standard implementation.
+//! Per-job telemetry (opt-in via [`JobOptions::trace`]) wraps the prover's
+//! span tree in `service → {queue_wait, execute}` spans with the
+//! `service.*` counters.
+//!
+//! ## Example
+//!
+//! ```
+//! use gzkp_service::{Groth16Task, JobOptions, ProvingService, ServiceConfig};
+//! use gzkp_curves::bn254::{Bn254, Fr};
+//! use gzkp_groth16::{setup, verify, proof_from_bytes};
+//! use gzkp_gpu_sim::v100;
+//! use gzkp_workloads::synthetic::synthetic_circuit;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use std::sync::Arc;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let cs = Arc::new(synthetic_circuit::<Fr, _>(64, &mut rng));
+//! let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+//! let (pk, inputs) = (Arc::new(pk), cs.input_assignment.clone());
+//!
+//! let service = ProvingService::start(ServiceConfig::default());
+//! let task = Groth16Task::new(cs, pk, v100(), Some(service.store()), 7);
+//! let handle = service.submit(Box::new(task), JobOptions::default()).unwrap();
+//! let result = handle.wait();
+//! let proof = proof_from_bytes::<Bn254>(&result.outcome.unwrap().proof).unwrap();
+//! assert!(verify::<Bn254>(&vk, &proof, &inputs));
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod replay;
+pub mod service;
+
+pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, TaskOutput};
+pub use replay::{prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome};
+pub use service::{ProvingService, ServiceStats};
+
+use std::time::Duration;
+
+/// Scheduling class of a job. Within the queue, all [`Priority::High`]
+/// work is picked before any [`Priority::Normal`] work, and so on;
+/// key-affinity and FIFO order break ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: always scheduled first.
+    High,
+    /// The default class.
+    Normal,
+    /// Batch/backfill work: runs when nothing else is queued.
+    Low,
+}
+
+/// Per-job submission options.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOptions {
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Deadline measured from submission; `None` uses
+    /// [`ServiceConfig::default_deadline`]. A job whose deadline passes
+    /// before it finishes its last stage resolves as
+    /// [`JobError::DeadlineMissed`] at the next cooperative check.
+    pub deadline: Option<Duration>,
+    /// Record a per-job [`gzkp_telemetry::Trace`] (span tree + `service.*`
+    /// counters) into [`JobResult::trace`].
+    pub trace: bool,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        Self {
+            priority: Priority::Normal,
+            deadline: None,
+            trace: false,
+        }
+    }
+}
+
+/// Why [`ProvingService::submit`] refused a job. Backpressure is the
+/// caller's signal to slow down or shed load — the queue never buffers
+/// beyond its configured capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry later or shed the request.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// [`ProvingService::shutdown`] (or drop) already stopped intake.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "proof queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "proving service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Proving-service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum jobs waiting in the queue (staged + not-yet-started);
+    /// submissions beyond it get [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads executing job stages.
+    pub workers: usize,
+    /// Byte budget of the shared checkpoint-table store
+    /// ([`gzkp_msm::PreprocessStore`]).
+    pub prep_cache_bytes: u64,
+    /// Deadline applied to jobs that don't set their own.
+    pub default_deadline: Option<Duration>,
+    /// Prefer queued work whose proving key matches the one most recently
+    /// scheduled (keeps its checkpoint tables hot in the store).
+    pub key_affinity: bool,
+}
+
+impl Default for ServiceConfig {
+    /// Defaults: queue of 64, a 256 MiB table store, a 60 s deadline, and
+    /// one worker per two available cores (stage pipelining needs spare
+    /// cores to overlap into; on a single-core host extra workers only
+    /// interleave proofs against each other and degrade locality).
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self {
+            queue_capacity: 64,
+            workers: (cores / 2).max(1),
+            prep_cache_bytes: 256 << 20,
+            default_deadline: Some(Duration::from_secs(60)),
+            key_affinity: true,
+        }
+    }
+}

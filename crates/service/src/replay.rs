@@ -1,0 +1,306 @@
+//! Workload replay: turn a [`RequestWorkload`] file into circuits and
+//! keys once, then run the request stream either as a sequential
+//! prove-in-a-loop baseline or through the [`ProvingService`] — the
+//! comparison `zkserve` and the `service_throughput` bench report.
+
+use crate::{Groth16Task, JobError, JobOptions, Priority, ProvingService, ServiceConfig};
+use gzkp_curves::bls12_381::Bls12_381;
+use gzkp_curves::bn254::Bn254;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_gpu_sim::device::DeviceConfig;
+use gzkp_groth16::r1cs::ConstraintSystem;
+use gzkp_groth16::{proof_to_bytes, prove, setup, ProverEngines, ProvingKey};
+use gzkp_msm::GzkpMsm;
+use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestWorkload};
+use gzkp_workloads::synthetic::synthetic_circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared circuit + proving key of one request class.
+struct Keyed<P: PairingConfig> {
+    cs: Arc<ConstraintSystem<P::Fr>>,
+    pk: Arc<ProvingKey<P>>,
+}
+
+impl<P: PairingConfig> Clone for Keyed<P> {
+    fn clone(&self) -> Self {
+        Self {
+            cs: self.cs.clone(),
+            pk: self.pk.clone(),
+        }
+    }
+}
+
+enum PreparedCurve {
+    Bn254(Keyed<Bn254>),
+    Bls12_381(Keyed<Bls12_381>),
+}
+
+/// One concrete proof request of the prepared stream.
+struct PreparedRequest {
+    curve: PreparedCurve,
+    priority: Priority,
+    deadline: Option<Duration>,
+    seed: u64,
+}
+
+/// A workload with circuits synthesized and keys set up, ready to replay.
+/// Requests are interleaved round-robin across the workload's classes, so
+/// consecutive submissions alternate proving keys.
+pub struct PreparedWorkload {
+    requests: Vec<PreparedRequest>,
+}
+
+impl PreparedWorkload {
+    /// Number of proof requests in arrival order.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the workload has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+fn to_priority(p: RequestPriority) -> Priority {
+    match p {
+        RequestPriority::High => Priority::High,
+        RequestPriority::Normal => Priority::Normal,
+        RequestPriority::Low => Priority::Low,
+    }
+}
+
+/// Synthesizes each class's circuit and runs its trusted setup (once per
+/// class), then expands the per-class counts into the round-robin arrival
+/// order. Deterministic in `workload.seed`.
+pub fn prepare(workload: &RequestWorkload, device: &DeviceConfig) -> PreparedWorkload {
+    let _ = device; // reserved for device-dependent preparation
+    let mut rng = StdRng::seed_from_u64(workload.seed);
+    let classes: Vec<(PreparedCurve, &gzkp_workloads::requests::RequestSpec)> = workload
+        .requests
+        .iter()
+        .map(|spec| {
+            let prepared = match spec.curve {
+                RequestCurve::Bn254 => {
+                    let cs = Arc::new(synthetic_circuit::<<Bn254 as PairingConfig>::Fr, _>(
+                        spec.constraints,
+                        &mut rng,
+                    ));
+                    let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
+                    PreparedCurve::Bn254(Keyed {
+                        cs,
+                        pk: Arc::new(pk),
+                    })
+                }
+                RequestCurve::Bls12_381 => {
+                    let cs = Arc::new(synthetic_circuit::<<Bls12_381 as PairingConfig>::Fr, _>(
+                        spec.constraints,
+                        &mut rng,
+                    ));
+                    let (pk, _vk) = setup::<Bls12_381, _>(&cs, &mut rng).expect("setup");
+                    PreparedCurve::Bls12_381(Keyed {
+                        cs,
+                        pk: Arc::new(pk),
+                    })
+                }
+            };
+            (prepared, spec)
+        })
+        .collect();
+
+    // Round-robin interleave: one request from each class per round.
+    let mut requests = Vec::with_capacity(workload.total_requests());
+    let max_count = workload.requests.iter().map(|r| r.count).max().unwrap_or(0);
+    for round in 0..max_count {
+        for (prepared, spec) in &classes {
+            if round < spec.count {
+                let curve = match prepared {
+                    PreparedCurve::Bn254(k) => PreparedCurve::Bn254(k.clone()),
+                    PreparedCurve::Bls12_381(k) => PreparedCurve::Bls12_381(k.clone()),
+                };
+                requests.push(PreparedRequest {
+                    curve,
+                    priority: to_priority(spec.priority),
+                    deadline: spec.deadline_ms.map(Duration::from_millis),
+                    seed: workload.seed.wrapping_add(requests.len() as u64),
+                });
+            }
+        }
+    }
+    PreparedWorkload { requests }
+}
+
+/// Result of replaying a workload one way.
+pub struct ReplayOutcome {
+    /// Wall clock from first submission to last resolution.
+    pub total: Duration,
+    /// Proofs produced, in arrival order (`None` where the request was
+    /// rejected, dropped, or failed). Byte-exact across replay modes with
+    /// the same prepared workload.
+    pub proofs: Vec<Option<Vec<u8>>>,
+    /// Per-request latency (submission of the *batch* to that request's
+    /// resolution) in milliseconds, for completed requests.
+    pub latencies_ms: Vec<f64>,
+    /// Requests rejected at submit (queue full).
+    pub rejected: usize,
+    /// Requests dropped at a deadline checkpoint.
+    pub deadline_missed: usize,
+    /// Requests cancelled or failed.
+    pub failed: usize,
+}
+
+impl ReplayOutcome {
+    /// Completed proofs per wall-clock second.
+    pub fn throughput_per_s(&self) -> f64 {
+        let secs = self.total.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.latencies_ms.len() as f64 / secs
+        }
+    }
+
+    /// The `p`-th latency percentile (nearest-rank) in milliseconds.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+fn prove_one(req: &PreparedRequest, ntt: &GzkpNtt, msm_g1: &GzkpMsm, msm_g2: &GzkpMsm) -> Vec<u8> {
+    match &req.curve {
+        PreparedCurve::Bn254(k) => {
+            let engines = ProverEngines::<Bn254> {
+                ntt,
+                msm_g1,
+                msm_g2,
+            };
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let (proof, _) = prove(&k.cs, &k.pk, &engines, &mut rng).expect("prove");
+            proof_to_bytes(&proof)
+        }
+        PreparedCurve::Bls12_381(k) => {
+            let engines = ProverEngines::<Bls12_381> {
+                ntt,
+                msm_g1,
+                msm_g2,
+            };
+            let mut rng = StdRng::seed_from_u64(req.seed);
+            let (proof, _) = prove(&k.cs, &k.pk, &engines, &mut rng).expect("prove");
+            proof_to_bytes(&proof)
+        }
+    }
+}
+
+/// The baseline: prove every request in arrival order on stock engines
+/// (process-wide FIFO preprocessing cache), one at a time. Deadlines and
+/// priorities are ignored — this is the prove-in-a-loop a deployment
+/// without a serving layer would run.
+pub fn run_sequential(workload: &PreparedWorkload, device: &DeviceConfig) -> ReplayOutcome {
+    let ntt = GzkpNtt::auto::<gzkp_ff::fields::Fr254>(device.clone());
+    let msm_g1 = GzkpMsm::new(device.clone());
+    let msm_g2 = GzkpMsm::new(device.clone());
+    let start = Instant::now();
+    let mut proofs = Vec::with_capacity(workload.requests.len());
+    let mut latencies_ms = Vec::with_capacity(workload.requests.len());
+    for req in &workload.requests {
+        let proof = prove_one(req, &ntt, &msm_g1, &msm_g2);
+        latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        proofs.push(Some(proof));
+    }
+    ReplayOutcome {
+        total: start.elapsed(),
+        proofs,
+        latencies_ms,
+        rejected: 0,
+        deadline_missed: 0,
+        failed: 0,
+    }
+}
+
+/// Replays the workload through a [`ProvingService`] with the given
+/// configuration: submit everything up front (honoring per-request
+/// priorities/deadlines), drain, and collect.
+pub fn run_service(
+    workload: &PreparedWorkload,
+    cfg: ServiceConfig,
+    device: &DeviceConfig,
+) -> ReplayOutcome {
+    let service = ProvingService::start(cfg);
+    let store = service.store();
+    let start = Instant::now();
+    let handles: Vec<Option<crate::JobHandle>> = workload
+        .requests
+        .iter()
+        .map(|req| {
+            let task: Box<dyn crate::ProofTask> = match &req.curve {
+                PreparedCurve::Bn254(k) => Box::new(Groth16Task::<Bn254>::new(
+                    k.cs.clone(),
+                    k.pk.clone(),
+                    device.clone(),
+                    Some(store.clone()),
+                    req.seed,
+                )),
+                PreparedCurve::Bls12_381(k) => Box::new(Groth16Task::<Bls12_381>::new(
+                    k.cs.clone(),
+                    k.pk.clone(),
+                    device.clone(),
+                    Some(store.clone()),
+                    req.seed,
+                )),
+            };
+            let opts = JobOptions {
+                priority: req.priority,
+                deadline: req.deadline,
+                trace: false,
+            };
+            service.submit(task, opts).ok()
+        })
+        .collect();
+    service.drain();
+    let total = start.elapsed();
+
+    let mut proofs = Vec::with_capacity(handles.len());
+    let mut latencies_ms = Vec::new();
+    let (mut rejected, mut missed, mut failed) = (0, 0, 0);
+    for handle in handles {
+        let Some(handle) = handle else {
+            rejected += 1;
+            proofs.push(None);
+            continue;
+        };
+        let result = handle.wait();
+        match result.outcome {
+            Ok(output) => {
+                latencies_ms.push(result.latency.as_secs_f64() * 1e3);
+                proofs.push(Some(output.proof));
+            }
+            Err(JobError::DeadlineMissed) => {
+                missed += 1;
+                proofs.push(None);
+            }
+            Err(_) => {
+                failed += 1;
+                proofs.push(None);
+            }
+        }
+    }
+    service.shutdown();
+    ReplayOutcome {
+        total,
+        proofs,
+        latencies_ms,
+        rejected,
+        deadline_missed: missed,
+        failed,
+    }
+}

@@ -1,0 +1,430 @@
+//! The scheduler: bounded intake, stage-pipelined workers, deadlines, and
+//! graceful shutdown.
+
+use crate::job::{JobError, JobHandle, JobResult, JobShared, ProofTask, TaskOutput};
+use crate::{JobOptions, Priority, ServiceConfig, SubmitError};
+use gzkp_msm::PreprocessStore;
+use gzkp_telemetry::{counters, NoopSink, TelemetrySink, TraceRecorder};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One scheduled unit moving through the service.
+struct Job {
+    id: u64,
+    seq: u64,
+    task: Box<dyn ProofTask>,
+    priority: Priority,
+    key: u64,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    queue_wait: Duration,
+    shared: Arc<JobShared>,
+    recorder: Option<TraceRecorder>,
+    /// Whether the `service`/`execute` spans are open (set once the job
+    /// first reaches a worker; resolution must close them).
+    spans_open: bool,
+}
+
+impl Job {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+struct Queue {
+    /// Jobs awaiting their POLY stage.
+    pending: Vec<Job>,
+    /// Jobs with POLY done, awaiting their MSM stage.
+    staged: Vec<Job>,
+    /// Accepted jobs not yet resolved (queued + executing).
+    open: usize,
+    accepting: bool,
+    /// Key of the most recently scheduled job (affinity preference).
+    last_key: Option<u64>,
+    seq: u64,
+    next_id: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    deadline_missed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// Snapshot of the service's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Submissions rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Jobs that produced a proof.
+    pub completed: u64,
+    /// Jobs dropped at a deadline checkpoint.
+    pub deadline_missed: u64,
+    /// Jobs dropped by [`JobHandle::cancel`].
+    pub cancelled: u64,
+    /// Jobs whose stage errored or panicked.
+    pub failed: u64,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queue: Mutex<Queue>,
+    /// Signaled when schedulable work may exist (or on shutdown).
+    work_cv: Condvar,
+    /// Signaled when `open` drops to zero (drain/shutdown waiters).
+    idle_cv: Condvar,
+    stats: StatCells,
+    store: Arc<PreprocessStore>,
+}
+
+enum Stage {
+    Poly,
+    Msm,
+}
+
+/// The running service: worker threads plus the shared state they
+/// schedule from. See the crate docs for the architecture.
+pub struct ProvingService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ProvingService {
+    /// Starts the worker pool (at least one thread) and returns the
+    /// service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            store: Arc::new(PreprocessStore::new(cfg.prep_cache_bytes)),
+            queue: Mutex::new(Queue {
+                pending: Vec::new(),
+                staged: Vec::new(),
+                open: 0,
+                accepting: true,
+                last_key: None,
+                seq: 0,
+                next_id: 0,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            stats: StatCells::default(),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("gzkp-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// The shared checkpoint-table store; wire it into each job's MSM
+    /// engines (e.g. [`crate::Groth16Task::new`]) so proving keys are
+    /// preprocessed once service-wide.
+    pub fn store(&self) -> Arc<PreprocessStore> {
+        self.inner.store.clone()
+    }
+
+    /// Submits a job, applying backpressure: if the queue holds
+    /// [`ServiceConfig::queue_capacity`] jobs the submission is rejected
+    /// immediately rather than buffered.
+    pub fn submit(
+        &self,
+        task: Box<dyn ProofTask>,
+        opts: JobOptions,
+    ) -> Result<JobHandle, SubmitError> {
+        let key = task.key_id();
+        let mut q = self.inner.queue.lock().unwrap();
+        if !q.accepting {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.pending.len() + q.staged.len() >= self.inner.cfg.queue_capacity {
+            self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: self.inner.cfg.queue_capacity,
+            });
+        }
+        let now = Instant::now();
+        let id = q.next_id;
+        q.next_id += 1;
+        let seq = q.seq;
+        q.seq += 1;
+        let shared = Arc::new(JobShared::new());
+        q.pending.push(Job {
+            id,
+            seq,
+            task,
+            priority: opts.priority,
+            key,
+            deadline: opts
+                .deadline
+                .or(self.inner.cfg.default_deadline)
+                .map(|d| now + d),
+            submitted: now,
+            queue_wait: Duration::ZERO,
+            shared: shared.clone(),
+            recorder: opts.trace.then(|| TraceRecorder::new("service")),
+            spans_open: false,
+        });
+        q.open += 1;
+        self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.inner.work_cv.notify_one();
+        Ok(JobHandle { id, shared })
+    }
+
+    /// Blocks until every accepted job has resolved. Intake stays open;
+    /// jobs submitted concurrently extend the wait.
+    pub fn drain(&self) {
+        let mut q = self.inner.queue.lock().unwrap();
+        while q.open > 0 {
+            q = self.inner.idle_cv.wait(q).unwrap();
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.inner.stats;
+        ServiceStats {
+            accepted: s.accepted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stops intake, lets every accepted job run to
+    /// resolution (including deadline/cancel drops), and joins the
+    /// workers.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.queue.lock().unwrap().accepting = false;
+        self.inner.work_cv.notify_all();
+        for w in std::mem::take(&mut self.workers) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ProvingService {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let picked = {
+            let mut guard = inner.queue.lock().unwrap();
+            loop {
+                let q = &mut *guard;
+                sweep(inner, q);
+                if let Some(job) = pick(&mut q.staged, q.last_key, inner.cfg.key_affinity) {
+                    q.last_key = Some(job.key);
+                    break Some((job, Stage::Msm));
+                }
+                // Cap the staged backlog at the worker count: POLY output
+                // is only useful once an MSM slot can consume it, and the
+                // cap bounds the artifacts held alive.
+                if q.staged.len() < inner.cfg.workers.max(1) {
+                    if let Some(job) = pick(&mut q.pending, q.last_key, inner.cfg.key_affinity) {
+                        q.last_key = Some(job.key);
+                        break Some((job, Stage::Poly));
+                    }
+                }
+                if !q.accepting && q.open == 0 {
+                    break None;
+                }
+                guard = inner.work_cv.wait(guard).unwrap();
+            }
+        };
+        let Some((job, stage)) = picked else { return };
+        match stage {
+            Stage::Poly => run_poly(inner, job),
+            Stage::Msm => run_msm(inner, job),
+        }
+    }
+}
+
+/// Resolves every queued job whose deadline passed or that was cancelled,
+/// without running it. Called with the queue lock held on each dequeue.
+fn sweep(inner: &Inner, q: &mut Queue) {
+    let now = Instant::now();
+    for pending in [true, false] {
+        let list = if pending {
+            std::mem::take(&mut q.pending)
+        } else {
+            std::mem::take(&mut q.staged)
+        };
+        let mut keep = Vec::with_capacity(list.len());
+        for job in list {
+            if job.shared.is_cancelled() {
+                resolve_locked(inner, q, job, Err(JobError::Cancelled));
+            } else if job.expired(now) {
+                resolve_locked(inner, q, job, Err(JobError::DeadlineMissed));
+            } else {
+                keep.push(job);
+            }
+        }
+        if pending {
+            q.pending = keep;
+        } else {
+            q.staged = keep;
+        }
+    }
+}
+
+/// Takes the best job: strongest priority first, then (optionally) jobs
+/// sharing the last scheduled proving key, then FIFO order.
+fn pick(list: &mut Vec<Job>, last_key: Option<u64>, affinity: bool) -> Option<Job> {
+    let (idx, _) = list.iter().enumerate().min_by_key(|(_, j)| {
+        let cold_key = !(affinity && Some(j.key) == last_key);
+        (j.priority, cold_key, j.seq)
+    })?;
+    Some(list.remove(idx))
+}
+
+fn run_poly(inner: &Inner, mut job: Job) {
+    // First time on a worker: the queue wait ends here.
+    job.queue_wait = job.submitted.elapsed();
+    if let Some(rec) = &job.recorder {
+        rec.span_start("service");
+        rec.span_start("queue_wait");
+        rec.span_time(job.queue_wait.as_nanos() as f64);
+        rec.span_end("queue_wait");
+        rec.span_start("execute");
+        job.spans_open = true;
+    }
+    if job.shared.is_cancelled() {
+        return resolve(inner, job, Err(JobError::Cancelled));
+    }
+    if job.expired(Instant::now()) {
+        return resolve(inner, job, Err(JobError::DeadlineMissed));
+    }
+    let outcome = {
+        let task = &mut job.task;
+        let sink: &dyn TelemetrySink = match &job.recorder {
+            Some(rec) => rec,
+            None => &NoopSink,
+        };
+        catch_unwind(AssertUnwindSafe(|| task.poly(sink)))
+    };
+    match outcome {
+        Ok(Ok(())) => {
+            let mut q = inner.queue.lock().unwrap();
+            q.staged.push(job);
+            drop(q);
+            inner.work_cv.notify_one();
+        }
+        Ok(Err(msg)) => resolve(inner, job, Err(JobError::Failed(msg))),
+        Err(panic) => resolve(inner, job, Err(JobError::Failed(panic_message(&*panic)))),
+    }
+}
+
+fn run_msm(inner: &Inner, mut job: Job) {
+    if job.shared.is_cancelled() {
+        return resolve(inner, job, Err(JobError::Cancelled));
+    }
+    if job.expired(Instant::now()) {
+        return resolve(inner, job, Err(JobError::DeadlineMissed));
+    }
+    let outcome = {
+        let task = &mut job.task;
+        let sink: &dyn TelemetrySink = match &job.recorder {
+            Some(rec) => rec,
+            None => &NoopSink,
+        };
+        catch_unwind(AssertUnwindSafe(|| task.msm(sink)))
+    };
+    match outcome {
+        Ok(Ok(output)) => resolve(inner, job, Ok(output)),
+        Ok(Err(msg)) => resolve(inner, job, Err(JobError::Failed(msg))),
+        Err(panic) => resolve(inner, job, Err(JobError::Failed(panic_message(&*panic)))),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("stage panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("stage panicked: {s}")
+    } else {
+        "stage panicked".to_string()
+    }
+}
+
+fn resolve(inner: &Inner, job: Job, outcome: Result<TaskOutput, JobError>) {
+    let mut q = inner.queue.lock().unwrap();
+    resolve_locked(inner, &mut q, job, outcome);
+}
+
+/// Finalizes a job: closes its trace, bumps the stats, publishes the
+/// result, and releases its `open` slot. Queue lock held.
+fn resolve_locked(
+    inner: &Inner,
+    q: &mut Queue,
+    mut job: Job,
+    outcome: Result<TaskOutput, JobError>,
+) {
+    let stat = match &outcome {
+        Ok(_) => &inner.stats.completed,
+        Err(JobError::DeadlineMissed) => &inner.stats.deadline_missed,
+        Err(JobError::Cancelled) => &inner.stats.cancelled,
+        Err(JobError::Failed(_)) => &inner.stats.failed,
+    };
+    stat.fetch_add(1, Ordering::Relaxed);
+
+    let trace = job.recorder.take().map(|rec| {
+        if job.spans_open {
+            rec.span_end("execute");
+            rec.span_end("service");
+        }
+        rec.counter(counters::SERVICE_ACCEPTED, 1.0);
+        rec.counter(
+            counters::SERVICE_QUEUE_WAIT_NS,
+            job.queue_wait.as_nanos() as f64,
+        );
+        let outcome_counter = match &outcome {
+            Ok(_) => Some(counters::SERVICE_COMPLETED),
+            Err(JobError::DeadlineMissed) => Some(counters::SERVICE_DEADLINE_MISSED),
+            Err(JobError::Cancelled) => Some(counters::SERVICE_CANCELLED),
+            Err(JobError::Failed(_)) => None,
+        };
+        if let Some(name) = outcome_counter {
+            rec.counter(name, 1.0);
+        }
+        rec.finish()
+    });
+
+    job.shared.resolve(JobResult {
+        id: job.id,
+        outcome,
+        queue_wait: job.queue_wait,
+        latency: job.submitted.elapsed(),
+        trace,
+    });
+    q.open -= 1;
+    if q.open == 0 {
+        inner.idle_cv.notify_all();
+        // Exiting workers wait on work_cv for the open == 0 condition.
+        inner.work_cv.notify_all();
+    }
+}

@@ -70,6 +70,12 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Attaches one simulated kernel execution to the current span.
     fn kernel(&self, _report: &KernelReport) {}
+
+    /// Adds `ns` of directly-measured time to the current span. Spans
+    /// normally derive their time from the kernels they record; this hook
+    /// is for spans that measure something with no kernel behind it —
+    /// e.g. the proving service's wall-clock `queue_wait`.
+    fn span_time(&self, _ns: f64) {}
 }
 
 /// The zero-cost default sink: records nothing, reports `enabled() ==
@@ -126,6 +132,18 @@ pub mod counters {
     /// Field inversions amortized away by Montgomery batching: affine
     /// PADDs that shared a batched inversion instead of paying their own.
     pub const MSM_BATCH_INV_SAVED: &str = "msm.batch_inv_saved";
+    /// Jobs the proving service accepted into its queue.
+    pub const SERVICE_ACCEPTED: &str = "service.accepted";
+    /// Jobs the proving service rejected at submit (queue full).
+    pub const SERVICE_REJECTED: &str = "service.rejected";
+    /// Jobs that ran to completion through the proving service.
+    pub const SERVICE_COMPLETED: &str = "service.completed";
+    /// Jobs dropped because their deadline expired before/between stages.
+    pub const SERVICE_DEADLINE_MISSED: &str = "service.deadline_missed";
+    /// Jobs cancelled cooperatively via their handle.
+    pub const SERVICE_CANCELLED: &str = "service.cancelled";
+    /// Wall-clock nanoseconds a job waited in the service queue.
+    pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
 }
 
 /// Feeds one simulated stage into the sink: every kernel report, plus the
@@ -209,13 +227,14 @@ impl TraceRecorder {
     }
 
     /// Consumes the recorder into a versioned [`Trace`], filling every
-    /// span's `time_ns` from its kernels and children.
+    /// span's `time_ns` from its kernels and children (plus any time the
+    /// span recorded directly via [`TelemetrySink::span_time`]).
     pub fn finish(self) -> Trace {
         let mut st = self.inner.into_inner().unwrap();
         fn fixup(node: &mut TraceNode) -> f64 {
             let own: f64 = node.kernels.iter().map(|k| k.time_ns).sum();
             let children: f64 = node.children.iter_mut().map(fixup).sum();
-            node.time_ns = own + children;
+            node.time_ns += own + children;
             node.time_ns
         }
         fixup(&mut st.root);
@@ -281,6 +300,10 @@ impl TelemetrySink for TraceRecorder {
 
     fn kernel(&self, report: &KernelReport) {
         self.with_current(|n| n.kernels.push(report.clone()));
+    }
+
+    fn span_time(&self, ns: f64) {
+        self.with_current(|n| n.time_ns += ns);
     }
 }
 

@@ -215,20 +215,58 @@ pub fn render_trace(trace: &Trace) -> String {
         "trace: tool={} device={} schema=v{}",
         trace.tool, trace.device, trace.schema_version
     );
-    for child in &trace.root.children {
-        render_node(&mut out, child, 0);
+    for (child, label) in trace
+        .root
+        .children
+        .iter()
+        .zip(sibling_labels(&trace.root.children))
+    {
+        render_node(&mut out, child, &label, 0);
     }
     out
 }
 
-fn render_node(out: &mut String, node: &TraceNode, depth: usize) {
+/// Display labels for one sibling list, in recorded order. A name that
+/// repeats among siblings (five concurrent MSM spans, per-job spans in a
+/// service trace) gets a stable 1-based `#k` occurrence ordinal, so the
+/// rendering identifies each span by position rather than relying on
+/// emit order alone; unique names render unchanged.
+fn sibling_labels(children: &[TraceNode]) -> Vec<String> {
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for c in children {
+        if let Some(e) = counts.iter_mut().find(|(n, _)| *n == c.name) {
+            e.1 += 1;
+        } else {
+            counts.push((&c.name, 1));
+        }
+    }
+    let mut seen: Vec<(&str, usize)> = Vec::new();
+    children
+        .iter()
+        .map(|c| {
+            let total = counts
+                .iter()
+                .find(|(n, _)| *n == c.name)
+                .expect("counted")
+                .1;
+            if total == 1 {
+                return c.name.clone();
+            }
+            let occ = if let Some(e) = seen.iter_mut().find(|(n, _)| *n == c.name) {
+                e.1 += 1;
+                e.1
+            } else {
+                seen.push((&c.name, 1));
+                1
+            };
+            format!("{} #{occ}", c.name)
+        })
+        .collect()
+}
+
+fn render_node(out: &mut String, node: &TraceNode, label: &str, depth: usize) {
     let indent = "  ".repeat(depth);
-    let _ = writeln!(
-        out,
-        "{indent}{:<24} {:>12.3} ms",
-        node.name,
-        node.time_ns / 1e6
-    );
+    let _ = writeln!(out, "{indent}{label:<24} {:>12.3} ms", node.time_ns / 1e6);
     for (name, v) in &node.counters {
         let _ = writeln!(out, "{indent}  · {name} = {v:.0}");
     }
@@ -257,8 +295,8 @@ fn render_node(out: &mut String, node: &TraceNode, depth: usize) {
             u.overhead * 100.0
         );
     }
-    for child in &node.children {
-        render_node(out, child, depth + 1);
+    for (child, label) in node.children.iter().zip(sibling_labels(&node.children)) {
+        render_node(out, child, &label, depth + 1);
     }
 }
 
@@ -369,6 +407,78 @@ mod tests {
         assert!(text.contains("bucket_occupancy"));
         assert!(text.contains("ntt.field_muls"));
         assert!(text.contains("bound:"));
+    }
+
+    #[test]
+    fn render_repeated_sibling_spans_in_recorded_order() {
+        // Five same-named sibling spans (the concurrent-MSM shape) each
+        // carrying a distinguishing counter and a child span: the render
+        // must keep recorded order, number the repeats, and indent every
+        // child exactly one level under its own parent.
+        let rec = TraceRecorder::new("V100");
+        {
+            let _m = span(&rec, "msm");
+            for i in 0..5 {
+                let _j = span(&rec, "part");
+                rec.counter("ordinal", i as f64);
+                let _inner = span(&rec, "kernels");
+                rec.counter("inner", 10.0 + i as f64);
+            }
+        }
+        let text = render_trace(&rec.finish());
+        let lines: Vec<&str> = text.lines().collect();
+        // Recorded order: part #1 .. part #5, each followed by its own
+        // counter and its child before the next sibling starts.
+        let starts: Vec<usize> = (1..=5)
+            .map(|k| {
+                lines
+                    .iter()
+                    .position(|l| l.trim_start().starts_with(&format!("part #{k}")))
+                    .unwrap_or_else(|| panic!("part #{k} missing in:\n{text}"))
+            })
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "order: {starts:?}");
+        for (k, &s) in starts.iter().enumerate() {
+            let end = *starts.get(k + 1).unwrap_or(&lines.len());
+            let block = &lines[s..end];
+            assert!(
+                block.iter().any(|l| l.contains(&format!("ordinal = {k}"))),
+                "part #{} lost its counter:\n{text}",
+                k + 1
+            );
+            // Child indentation is stable: "part" sits at depth 1
+            // (2 spaces), its "kernels" child at depth 2 (4 spaces).
+            let child = block
+                .iter()
+                .find(|l| l.trim_start().starts_with("kernels"))
+                .unwrap_or_else(|| panic!("part #{} lost its child:\n{text}", k + 1));
+            assert!(
+                lines[s].starts_with("  part"),
+                "parent indent: {:?}",
+                lines[s]
+            );
+            assert!(child.starts_with("    kernels"), "child indent: {child:?}");
+        }
+        // Unique names stay unadorned.
+        assert!(text.contains("msm "));
+        assert!(!text.contains("msm #"));
+    }
+
+    #[test]
+    fn span_time_feeds_span_without_kernels() {
+        let rec = TraceRecorder::new("svc");
+        {
+            let _s = span(&rec, "service");
+            {
+                let _w = span(&rec, "queue_wait");
+                rec.span_time(2.5e6);
+            }
+        }
+        let t = rec.finish();
+        let wait = t.find(&["service", "queue_wait"]).unwrap();
+        assert_eq!(wait.time_ns, 2.5e6);
+        // The parent aggregates the directly-recorded child time.
+        assert_eq!(t.find(&["service"]).unwrap().time_ns, 2.5e6);
     }
 
     #[test]

@@ -10,11 +10,14 @@
 //! * [`zcash`] — the Table 3/4 Zcash transactions with the sparse
 //!   0/1-heavy scalar distribution of §4.2 / Figure 6;
 //! * [`synthetic`] — dense uniform inputs (Tables 5–8) and parameterized
-//!   R1CS circuit generation for end-to-end prover runs.
+//!   R1CS circuit generation for end-to-end prover runs;
+//! * [`requests`] — mixed proof-request workload files for the proving
+//!   service (`zkserve`).
 
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod requests;
 pub mod synthetic;
 pub mod zcash;
 

@@ -1,0 +1,281 @@
+//! Proof-request workload files: the mixed request streams `zkserve` and
+//! the proving-service benchmarks replay.
+//!
+//! A workload file is JSON:
+//!
+//! ```json
+//! {
+//!   "seed": 42,
+//!   "requests": [
+//!     { "curve": "bn254",      "constraints": 256, "count": 4,
+//!       "priority": "normal",  "deadline_ms": 60000 },
+//!     { "curve": "bls12-381",  "constraints": 128, "count": 2,
+//!       "priority": "high" }
+//!   ]
+//! }
+//! ```
+//!
+//! Each entry describes one request *class*: a synthetic circuit of
+//! `constraints` constraints over `curve`, submitted `count` times.
+//! `count` (default 1), `priority` (default `"normal"`), `deadline_ms`
+//! (default: the service's default deadline) and `seed` (default 42) are
+//! optional. Replay interleaves the classes round-robin so consecutive
+//! submissions alternate proving keys — the access pattern that stresses
+//! a per-key preprocessing cache.
+//!
+//! Parsing is hand-rolled over [`serde_json::parse_value`]: the vendored
+//! serde derive does not cover enums-with-data or optional fields, and a
+//! config format this small is better served by explicit errors anyway.
+
+use serde_json::{parse_value, Value};
+
+/// Pairing curve of one request class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestCurve {
+    /// The 254-bit BN254 curve.
+    Bn254,
+    /// The 381-bit BLS12-381 curve.
+    Bls12_381,
+}
+
+impl RequestCurve {
+    /// The workload-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestCurve::Bn254 => "bn254",
+            RequestCurve::Bls12_381 => "bls12-381",
+        }
+    }
+}
+
+/// Scheduling class of one request class (mirrors the service's
+/// priorities without depending on the service crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPriority {
+    /// Scheduled before everything else.
+    High,
+    /// The default class.
+    Normal,
+    /// Backfill work.
+    Low,
+}
+
+impl RequestPriority {
+    /// The workload-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestPriority::High => "high",
+            RequestPriority::Normal => "normal",
+            RequestPriority::Low => "low",
+        }
+    }
+}
+
+/// One request class of a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Curve the proofs run over.
+    pub curve: RequestCurve,
+    /// Synthetic-circuit size (R1CS constraints).
+    pub constraints: usize,
+    /// How many proofs of this class to request.
+    pub count: usize,
+    /// Scheduling class.
+    pub priority: RequestPriority,
+    /// Per-request deadline in milliseconds; `None` uses the service
+    /// default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A parsed workload file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestWorkload {
+    /// Base seed for circuit synthesis and per-job blinding rngs.
+    pub seed: u64,
+    /// The request classes.
+    pub requests: Vec<RequestSpec>,
+}
+
+impl RequestWorkload {
+    /// Total number of proof requests across all classes.
+    pub fn total_requests(&self) -> usize {
+        self.requests.iter().map(|r| r.count).sum()
+    }
+
+    /// A small mixed-curve example (also what `zkserve example` prints).
+    pub fn example() -> Self {
+        Self {
+            seed: 42,
+            requests: vec![
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    constraints: 256,
+                    count: 4,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bls12_381,
+                    constraints: 128,
+                    count: 2,
+                    priority: RequestPriority::High,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    constraints: 512,
+                    count: 2,
+                    priority: RequestPriority::Low,
+                    deadline_ms: None,
+                },
+            ],
+        }
+    }
+
+    /// Parses a workload file.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = parse_value(text).map_err(|e| e.to_string())?;
+        let seed = match root.get("seed") {
+            None => 42,
+            Some(v) => v
+                .as_u64()
+                .ok_or("\"seed\" must be a non-negative integer")?,
+        };
+        let Some(Value::Seq(entries)) = root.get("requests") else {
+            return Err("workload must have a \"requests\" array".into());
+        };
+        if entries.is_empty() {
+            return Err("\"requests\" must not be empty".into());
+        }
+        let requests = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Self::parse_request(e).map_err(|msg| format!("requests[{i}]: {msg}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { seed, requests })
+    }
+
+    fn parse_request(e: &Value) -> Result<RequestSpec, String> {
+        let curve = match e.get("curve").and_then(Value::as_str) {
+            Some("bn254") => RequestCurve::Bn254,
+            Some("bls12-381") | Some("bls12_381") => RequestCurve::Bls12_381,
+            Some(other) => return Err(format!("unknown curve {other:?}")),
+            None => return Err("missing \"curve\"".into()),
+        };
+        let constraints = e
+            .get("constraints")
+            .and_then(Value::as_u64)
+            .ok_or("missing or non-integer \"constraints\"")? as usize;
+        if constraints == 0 {
+            return Err("\"constraints\" must be positive".into());
+        }
+        let count = match e.get("count") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .ok_or("\"count\" must be a non-negative integer")? as usize,
+        };
+        let priority = match e.get("priority").map(|v| v.as_str()) {
+            None => RequestPriority::Normal,
+            Some(Some("high")) => RequestPriority::High,
+            Some(Some("normal")) => RequestPriority::Normal,
+            Some(Some("low")) => RequestPriority::Low,
+            Some(other) => return Err(format!("unknown priority {other:?}")),
+        };
+        let deadline_ms = match e.get("deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(v.as_u64().ok_or("\"deadline_ms\" must be an integer")?),
+        };
+        Ok(RequestSpec {
+            curve,
+            constraints,
+            count,
+            priority,
+            deadline_ms,
+        })
+    }
+
+    /// Serializes back to the workload-file format.
+    pub fn to_json(&self) -> String {
+        let requests = self
+            .requests
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("curve".into(), Value::Str(r.curve.as_str().into())),
+                    ("constraints".into(), Value::U64(r.constraints as u64)),
+                    ("count".into(), Value::U64(r.count as u64)),
+                    ("priority".into(), Value::Str(r.priority.as_str().into())),
+                ];
+                if let Some(ms) = r.deadline_ms {
+                    fields.push(("deadline_ms".into(), Value::U64(ms)));
+                }
+                Value::Map(fields)
+            })
+            .collect();
+        let root = Value::Map(vec![
+            ("seed".into(), Value::U64(self.seed)),
+            ("requests".into(), Value::Seq(requests)),
+        ]);
+        serde_json::to_string_pretty(&root).expect("Value serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_file() {
+        let text = r#"{
+            "seed": 7,
+            "requests": [
+                {"curve": "bn254", "constraints": 256, "count": 4,
+                 "priority": "high", "deadline_ms": 1500},
+                {"curve": "bls12-381", "constraints": 128}
+            ]
+        }"#;
+        let w = RequestWorkload::from_json(text).unwrap();
+        assert_eq!(w.seed, 7);
+        assert_eq!(w.total_requests(), 5);
+        assert_eq!(w.requests[0].priority, RequestPriority::High);
+        assert_eq!(w.requests[0].deadline_ms, Some(1500));
+        // Defaults: count 1, normal priority, no deadline.
+        assert_eq!(w.requests[1].count, 1);
+        assert_eq!(w.requests[1].priority, RequestPriority::Normal);
+        assert_eq!(w.requests[1].deadline_ms, None);
+        assert_eq!(w.requests[1].curve, RequestCurve::Bls12_381);
+    }
+
+    #[test]
+    fn example_round_trips() {
+        let w = RequestWorkload::example();
+        let parsed = RequestWorkload::from_json(&w.to_json()).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        for (text, needle) in [
+            ("{", "JSON"),
+            (r#"{"requests": []}"#, "must not be empty"),
+            (r#"{"requests": [{"constraints": 4}]}"#, "missing \"curve\""),
+            (
+                r#"{"requests": [{"curve": "p256", "constraints": 4}]}"#,
+                "unknown curve",
+            ),
+            (r#"{"requests": [{"curve": "bn254"}]}"#, "constraints"),
+            (
+                r#"{"requests": [{"curve": "bn254", "constraints": 0}]}"#,
+                "positive",
+            ),
+            (
+                r#"{"requests": [{"curve": "bn254", "constraints": 4, "priority": "urgent"}]}"#,
+                "unknown priority",
+            ),
+        ] {
+            let err = RequestWorkload::from_json(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+}

@@ -65,11 +65,15 @@ fn main() {
         report.msm_ms()
     );
 
-    // Persist the trace for `zkprof render` / `zkprof diff`.
+    // Persist the trace for `zkprof render` / `zkprof diff`. Keep it
+    // under target/ so generated artifacts stay out of the source tree.
     let trace = recorder.finish();
-    trace.write_to("gzkp-trace.json").expect("write trace");
+    std::fs::create_dir_all("target").expect("create target dir");
+    trace
+        .write_to("target/gzkp-trace.json")
+        .expect("write trace");
     println!(
-        "trace written to gzkp-trace.json (schema v{})",
+        "trace written to target/gzkp-trace.json (schema v{})",
         gzkp_telemetry::SCHEMA_VERSION
     );
 

@@ -1,0 +1,401 @@
+//! Proving-service behavior: backpressure, deadlines, cancellation,
+//! graceful shutdown, per-job traces, and bit-exact equivalence with the
+//! direct prover on both pairing curves.
+
+use gzkp_curves::bls12_381::Bls12_381;
+use gzkp_curves::bn254::Bn254;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_gpu_sim::v100;
+use gzkp_groth16::{proof_from_bytes, proof_to_bytes, prove, setup, verify, ProverEngines};
+use gzkp_msm::GzkpMsm;
+use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_service::{
+    Groth16Task, JobError, JobOptions, Priority, ProofTask, ProvingService, ServiceConfig,
+    SubmitError, TaskOutput,
+};
+use gzkp_telemetry::TelemetrySink;
+use gzkp_workloads::synthetic::synthetic_circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A latch a test can wait on / open.
+#[derive(Default)]
+struct Latch {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn open(&self) {
+        *self.state.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !*st {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Task whose POLY stage blocks until released — pins a worker so queue
+/// behavior can be observed deterministically.
+struct GateTask {
+    started: Arc<Latch>,
+    release: Arc<Latch>,
+}
+
+impl ProofTask for GateTask {
+    fn key_id(&self) -> u64 {
+        0
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        self.started.open();
+        self.release.wait();
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        Ok(TaskOutput {
+            proof: Vec::new(),
+            report: None,
+        })
+    }
+}
+
+/// Trivial instantly-completing task; the payload tags the proof bytes.
+struct NopTask(u64);
+
+impl ProofTask for NopTask {
+    fn key_id(&self) -> u64 {
+        self.0
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        Ok(TaskOutput {
+            proof: self.0.to_le_bytes().to_vec(),
+            report: None,
+        })
+    }
+}
+
+fn one_worker(queue_capacity: usize) -> ServiceConfig {
+    ServiceConfig {
+        queue_capacity,
+        workers: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn backpressure_rejects_when_queue_full() {
+    let service = ProvingService::start(one_worker(2));
+    let started = Arc::new(Latch::default());
+    let release = Arc::new(Latch::default());
+    let gate = service
+        .submit(
+            Box::new(GateTask {
+                started: started.clone(),
+                release: release.clone(),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    // Once the gate occupies the worker, the queue holds waiting jobs only.
+    started.wait();
+    let a = service
+        .submit(Box::new(NopTask(1)), JobOptions::default())
+        .unwrap();
+    let b = service
+        .submit(Box::new(NopTask(2)), JobOptions::default())
+        .unwrap();
+    let err = service
+        .submit(Box::new(NopTask(3)), JobOptions::default())
+        .unwrap_err();
+    assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+
+    release.open();
+    for h in [gate, a, b] {
+        assert!(h.wait().outcome.is_ok());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 3);
+}
+
+#[test]
+fn deadline_expiry_drops_queued_job() {
+    let service = ProvingService::start(one_worker(8));
+    let started = Arc::new(Latch::default());
+    let release = Arc::new(Latch::default());
+    let gate = service
+        .submit(
+            Box::new(GateTask {
+                started: started.clone(),
+                release: release.clone(),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    started.wait();
+    let doomed = service
+        .submit(
+            Box::new(NopTask(1)),
+            JobOptions {
+                deadline: Some(Duration::from_millis(1)),
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    // Let the deadline pass while the only worker is pinned, then release.
+    std::thread::sleep(Duration::from_millis(30));
+    release.open();
+    assert_eq!(doomed.wait().outcome.unwrap_err(), JobError::DeadlineMissed);
+    assert!(gate.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_missed, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn cancellation_drops_queued_job() {
+    let service = ProvingService::start(one_worker(8));
+    let started = Arc::new(Latch::default());
+    let release = Arc::new(Latch::default());
+    let gate = service
+        .submit(
+            Box::new(GateTask {
+                started: started.clone(),
+                release: release.clone(),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    started.wait();
+    let cancelled = service
+        .submit(Box::new(NopTask(1)), JobOptions::default())
+        .unwrap();
+    cancelled.cancel();
+    release.open();
+    assert_eq!(cancelled.wait().outcome.unwrap_err(), JobError::Cancelled);
+    assert!(gate.wait().outcome.is_ok());
+    assert_eq!(service.shutdown().cancelled, 1);
+}
+
+#[test]
+fn priorities_order_the_queue() {
+    let service = ProvingService::start(one_worker(8));
+    let started = Arc::new(Latch::default());
+    let release = Arc::new(Latch::default());
+    let gate = service
+        .submit(
+            Box::new(GateTask {
+                started: started.clone(),
+                release: release.clone(),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    started.wait();
+    // Submit low before high; high must still finish first.
+    let low = service
+        .submit(
+            Box::new(NopTask(1)),
+            JobOptions {
+                priority: Priority::Low,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    let high = service
+        .submit(
+            Box::new(NopTask(2)),
+            JobOptions {
+                priority: Priority::High,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap();
+    release.open();
+    assert!(gate.wait().outcome.is_ok());
+    let high_result = high.wait();
+    let low_result = low.wait();
+    assert!(high_result.outcome.is_ok() && low_result.outcome.is_ok());
+    assert!(
+        high_result.queue_wait <= low_result.queue_wait,
+        "high ({:?}) should be scheduled before low ({:?})",
+        high_result.queue_wait,
+        low_result.queue_wait
+    );
+    service.shutdown();
+}
+
+#[test]
+fn failing_task_resolves_as_failed() {
+    struct FailTask;
+    impl ProofTask for FailTask {
+        fn key_id(&self) -> u64 {
+            0
+        }
+        fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+            Err("no witness".into())
+        }
+        fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+            unreachable!("poly failed")
+        }
+    }
+    struct PanicTask;
+    impl ProofTask for PanicTask {
+        fn key_id(&self) -> u64 {
+            0
+        }
+        fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+            panic!("boom")
+        }
+        fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+            unreachable!("poly panicked")
+        }
+    }
+    let service = ProvingService::start(one_worker(8));
+    let failed = service
+        .submit(Box::new(FailTask), JobOptions::default())
+        .unwrap();
+    let panicked = service
+        .submit(Box::new(PanicTask), JobOptions::default())
+        .unwrap();
+    assert_eq!(
+        failed.wait().outcome.unwrap_err(),
+        JobError::Failed("no witness".into())
+    );
+    assert_eq!(
+        panicked.wait().outcome.unwrap_err(),
+        JobError::Failed("stage panicked: boom".into())
+    );
+    // A panicking stage must not poison the workers.
+    let ok = service
+        .submit(Box::new(NopTask(7)), JobOptions::default())
+        .unwrap();
+    assert!(ok.wait().outcome.is_ok());
+    assert_eq!(service.shutdown().failed, 2);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs() {
+    let service = ProvingService::start(ServiceConfig {
+        queue_capacity: 64,
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            service
+                .submit(Box::new(NopTask(i)), JobOptions::default())
+                .unwrap()
+        })
+        .collect();
+    // Shutdown with most jobs still queued: every one must resolve.
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 16);
+    for (i, h) in handles.into_iter().enumerate() {
+        let result = h.wait();
+        assert_eq!(result.outcome.unwrap().proof, (i as u64).to_le_bytes());
+    }
+}
+
+/// Direct prover bytes for the service to match.
+fn direct_proof<P: PairingConfig>(
+    cs: &gzkp_groth16::ConstraintSystem<P::Fr>,
+    pk: &gzkp_groth16::ProvingKey<P>,
+    seed: u64,
+) -> Vec<u8>
+where
+    <P::G1 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+    <P::G2 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+{
+    let ntt = GzkpNtt::auto::<P::Fr>(v100());
+    let msm_g1 = GzkpMsm::new(v100());
+    let msm_g2 = GzkpMsm::new(v100());
+    let engines = ProverEngines::<P> {
+        ntt: &ntt,
+        msm_g1: &msm_g1,
+        msm_g2: &msm_g2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (proof, _) = prove(cs, pk, &engines, &mut rng).unwrap();
+    proof_to_bytes(&proof)
+}
+
+fn assert_service_matches_direct<P: PairingConfig>(setup_seed: u64, blind_seed: u64)
+where
+    <P::G1 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+    <P::G2 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    let mut rng = StdRng::seed_from_u64(setup_seed);
+    let cs = Arc::new(synthetic_circuit::<P::Fr, _>(96, &mut rng));
+    let (pk, vk) = setup::<P, _>(&cs, &mut rng).unwrap();
+    let pk = Arc::new(pk);
+    let expected = direct_proof::<P>(&cs, &pk, blind_seed);
+
+    let service = ProvingService::start(ServiceConfig::default());
+    let task = Groth16Task::<P>::new(
+        cs.clone(),
+        pk.clone(),
+        v100(),
+        Some(service.store()),
+        blind_seed,
+    );
+    let result = service
+        .submit(
+            Box::new(task),
+            JobOptions {
+                trace: true,
+                ..JobOptions::default()
+            },
+        )
+        .unwrap()
+        .wait();
+    let output = result.outcome.unwrap();
+    assert_eq!(
+        output.proof, expected,
+        "service proof must be bit-identical"
+    );
+    let proof = proof_from_bytes::<P>(&output.proof).unwrap();
+    assert!(verify::<P>(&vk, &proof, &cs.input_assignment));
+    assert!(output.report.is_some());
+
+    // The per-job trace wraps the prover's span tree in service spans.
+    let trace = result.trace.expect("trace requested");
+    for path in [
+        &["service"][..],
+        &["service", "queue_wait"][..],
+        &["service", "execute", "poly"][..],
+        &["service", "execute", "msm", "b_g2"][..],
+    ] {
+        assert!(trace.find(path).is_some(), "missing span {path:?}");
+    }
+    assert_eq!(
+        trace
+            .root
+            .counter(gzkp_telemetry::counters::SERVICE_COMPLETED),
+        Some(1.0)
+    );
+    service.shutdown();
+}
+
+#[test]
+fn service_proof_is_bit_identical_bn254() {
+    assert_service_matches_direct::<Bn254>(11, 1234);
+}
+
+#[test]
+fn service_proof_is_bit_identical_bls12_381() {
+    assert_service_matches_direct::<Bls12_381>(12, 5678);
+}

@@ -1,0 +1,145 @@
+//! `zkserve` — workload driver for the proving service.
+//!
+//! ```text
+//! zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N]
+//!                             [--deadline-ms N] [--compare]
+//! zkserve example
+//! ```
+//!
+//! `run` parses a proof-request workload file (see
+//! `gzkp_workloads::requests` for the format), prepares every request
+//! class (circuit synthesis + trusted setup, outside the timed region),
+//! replays the stream through the [`gzkp_service::ProvingService`], and
+//! reports throughput plus p50/p95/p99 latency. With `--compare` it first
+//! replays the same stream as a sequential prove-in-a-loop baseline and
+//! prints the speedup; the two runs must produce byte-identical proofs,
+//! which `zkserve` asserts.
+//!
+//! `example` prints a starter workload file to stdout.
+
+use gzkp_gpu_sim::v100;
+use gzkp_service::{prepare, run_sequential, run_service, ReplayOutcome, ServiceConfig};
+use gzkp_workloads::requests::RequestWorkload;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N] \
+         [--deadline-ms N] [--compare]\n  zkserve example"
+    );
+    ExitCode::from(2)
+}
+
+struct RunArgs {
+    path: String,
+    cfg: ServiceConfig,
+    compare: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Option<RunArgs> {
+    let mut path = None;
+    let mut cfg = ServiceConfig::default();
+    let mut compare = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => cfg.workers = it.next()?.parse().ok()?,
+            "--queue" => cfg.queue_capacity = it.next()?.parse().ok()?,
+            "--cache-mb" => cfg.prep_cache_bytes = it.next()?.parse::<u64>().ok()? << 20,
+            "--deadline-ms" => {
+                cfg.default_deadline = Some(Duration::from_millis(it.next()?.parse().ok()?))
+            }
+            "--compare" => compare = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some(RunArgs {
+        path: path?,
+        cfg,
+        compare,
+    })
+}
+
+fn report(label: &str, outcome: &ReplayOutcome) {
+    println!(
+        "{label:>10}: {:\u{2007}>4} proofs in {:8.1} ms  \u{2192} {:6.2} proofs/s   \
+         p50 {:7.1} ms  p95 {:7.1} ms  p99 {:7.1} ms",
+        outcome.latencies_ms.len(),
+        outcome.total.as_secs_f64() * 1e3,
+        outcome.throughput_per_s(),
+        outcome.percentile_ms(50.0),
+        outcome.percentile_ms(95.0),
+        outcome.percentile_ms(99.0),
+    );
+    if outcome.rejected + outcome.deadline_missed + outcome.failed > 0 {
+        println!(
+            "{:>10}  rejected {}  deadline-missed {}  failed {}",
+            "", outcome.rejected, outcome.deadline_missed, outcome.failed
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            println!("{}", RequestWorkload::example().to_json());
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(run) = parse_run_args(&args[1..]) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(&run.path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("zkserve: {}: {e}", run.path);
+                    return ExitCode::from(2);
+                }
+            };
+            let workload = match RequestWorkload::from_json(&text) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("zkserve: {}: {e}", run.path);
+                    return ExitCode::from(2);
+                }
+            };
+            let device = v100();
+            println!(
+                "preparing {} request(s) across {} class(es)...",
+                workload.total_requests(),
+                workload.requests.len()
+            );
+            let prepared = prepare(&workload, &device);
+
+            let baseline = run.compare.then(|| {
+                let b = run_sequential(&prepared, &device);
+                report("sequential", &b);
+                b
+            });
+            let outcome = run_service(&prepared, run.cfg.clone(), &device);
+            report("service", &outcome);
+
+            if let Some(baseline) = baseline {
+                for (i, (s, b)) in outcome.proofs.iter().zip(&baseline.proofs).enumerate() {
+                    if let (Some(s), Some(b)) = (s, b) {
+                        assert_eq!(s, b, "request {i}: service proof diverged from baseline");
+                    }
+                }
+                println!(
+                    "{:>10}: {:.2}x throughput vs sequential (proofs byte-identical)",
+                    "speedup",
+                    outcome.throughput_per_s() / baseline.throughput_per_s().max(1e-12)
+                );
+            }
+            if outcome.failed > 0 {
+                eprintln!("zkserve: {} request(s) failed", outcome.failed);
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
