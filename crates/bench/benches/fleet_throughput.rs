@@ -1,0 +1,158 @@
+//! Device-fleet throughput benchmark: the single-curve request stream of
+//! `RequestWorkload::fleet_example()` replayed through the proving
+//! service at one versus two simulated V100s — the scaling number the CI
+//! regression gate diffs.
+//!
+//! Wall-clock rows are recorded like `service_throughput`'s, but the
+//! scaling number the gate diffs is the fleet's *simulated* makespan —
+//! the completion time of the last command-stream operation across all
+//! device timelines. Host wall-clock cannot express device parallelism
+//! here: the devices are simulated, so every "device" ultimately burns
+//! the same host cores (a one-core CI runner would show 2 devices as
+//! *slower* than 1). The simulator's makespan is the number the paper
+//! reports, and it is machine-independent. Going from one to two V100s
+//! must scale the simulated throughput with device count (the run
+//! asserts ≥1.3x), and both fleets must produce proofs byte-identical
+//! to the sequential baseline — placement and stealing may move work,
+//! never change it.
+//!
+//! Modes: `GZKP_BENCH_SMOKE=1` replays the example workload once; the
+//! default and `GZKP_BENCH_FULL=1` scale up the per-class counts.
+
+use gzkp_bench::{speedup, Recorder};
+use gzkp_gpu_sim::device::v100;
+use gzkp_runtime::parse_devices;
+use gzkp_service::{prepare, run_sequential, run_service, ReplayOutcome, ServiceConfig};
+use gzkp_workloads::requests::RequestWorkload;
+
+fn scaled_fleet_workload(count_scale: usize) -> RequestWorkload {
+    let mut workload = RequestWorkload::fleet_example();
+    for spec in &mut workload.requests {
+        spec.count *= count_scale;
+    }
+    workload
+}
+
+fn fleet_cfg(spec: &str) -> ServiceConfig {
+    ServiceConfig {
+        devices: parse_devices(spec).expect("device spec"),
+        // All-up-front submission: disable deadlines so queue depth never
+        // converts into spurious misses on a slow runner.
+        default_deadline: None,
+        ..ServiceConfig::default()
+    }
+}
+
+fn outcome_rows(rec: &mut Recorder, label: &str, outcome: &ReplayOutcome) {
+    rec.row(
+        label,
+        "ms",
+        vec![
+            ("total".into(), outcome.total.as_secs_f64() * 1e3),
+            ("p50".into(), outcome.percentile_ms(50.0)),
+            ("p95".into(), outcome.percentile_ms(95.0)),
+        ],
+    );
+}
+
+fn assert_clean(label: &str, outcome: &ReplayOutcome) {
+    assert_eq!(outcome.rejected, 0, "{label}: rejected requests");
+    assert_eq!(outcome.deadline_missed, 0, "{label}: deadline misses");
+    assert_eq!(outcome.failed, 0, "{label}: failed requests");
+}
+
+fn main() {
+    let smoke = std::env::var("GZKP_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let count_scale = if smoke {
+        1
+    } else if gzkp_bench::full_mode() {
+        4
+    } else {
+        2
+    };
+
+    // One thread per prove: a worker is a device-sized execution slot.
+    std::env::set_var("GZKP_THREADS", "1");
+
+    let device = v100();
+    let workload = scaled_fleet_workload(count_scale);
+    let prepared = prepare(&workload, &device);
+
+    let mut rec = Recorder::new("fleet_throughput");
+
+    // --- Baseline: prove every request in arrival order. ---
+    let sequential = run_sequential(&prepared, &device);
+    outcome_rows(&mut rec, "sequential", &sequential);
+
+    // --- Fleet mode at one and two simulated V100s. ---
+    let one = run_service(&prepared, fleet_cfg("1"), &device);
+    outcome_rows(&mut rec, "fleet-1xv100", &one);
+    let two = run_service(&prepared, fleet_cfg("2"), &device);
+    outcome_rows(&mut rec, "fleet-2xv100", &two);
+    std::env::remove_var("GZKP_THREADS");
+
+    assert_clean("fleet-1xv100", &one);
+    assert_clean("fleet-2xv100", &two);
+    assert_eq!(
+        sequential.proofs, one.proofs,
+        "1-device fleet proofs diverged from the sequential baseline"
+    );
+    assert_eq!(
+        sequential.proofs, two.proofs,
+        "2-device fleet proofs diverged from the sequential baseline"
+    );
+
+    // Per-device placement of the 2-device run, for the record.
+    let one_util = one.fleet.as_ref().expect("fleet mode");
+    let util = two.fleet.as_ref().expect("fleet mode");
+    print!("{}", util.render());
+    rec.row(
+        "fleet-2xv100-devices",
+        "count",
+        vec![
+            ("dev0-jobs".into(), util.devices[0].jobs as f64),
+            ("dev1-jobs".into(), util.devices[1].jobs as f64),
+            (
+                "steals".into(),
+                util.devices.iter().map(|d| d.steals).sum::<u64>() as f64,
+            ),
+        ],
+    );
+
+    // Simulated makespans: the device-timeline completion times the
+    // scaling claim is about (host wall-clock rows above are informative
+    // only — simulated devices share the host's cores).
+    rec.row(
+        "sim-makespan",
+        "ms",
+        vec![
+            ("1xv100".into(), one_util.elapsed_ns / 1e6),
+            ("2xv100".into(), util.elapsed_ns / 1e6),
+        ],
+    );
+
+    let scaling = speedup(one_util.elapsed_ns, util.elapsed_ns);
+    let sim_rate = |elapsed_ns: f64| prepared.len() as f64 / (elapsed_ns / 1e9);
+    println!(
+        "fleet scaling (simulated): 1xV100 {:.1}/s -> 2xV100 {:.1}/s ({scaling:.2}x, {} proofs)",
+        sim_rate(one_util.elapsed_ns),
+        sim_rate(util.elapsed_ns),
+        prepared.len()
+    );
+    assert!(
+        scaling >= 1.3,
+        "2 devices must give >=1.3x simulated service throughput over 1 (got {scaling:.2}x)"
+    );
+
+    // Machine-independent gate row: fraction of the 1-device simulated
+    // makespan the 2-device fleet needs (lower is better; a rise is a
+    // regression).
+    rec.row(
+        "gate",
+        "ratio",
+        vec![("2dev-vs-1dev".into(), util.elapsed_ns / one_util.elapsed_ns)],
+    );
+    rec.finish();
+}

@@ -7,7 +7,7 @@
 //! machine actually executes, providing the ground truth the cost models'
 //! *relative* behaviour is sanity-checked against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use gzkp_curves::bn254;
 use gzkp_curves::random_points;
 use gzkp_ff::dfp::DfpField;
@@ -216,4 +216,19 @@ criterion_group!(
     groth16_end_to_end,
     telemetry_overhead
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Surface every measurement — median and its median absolute
+    // deviation — into BENCH_micro.json so `zkprof diff` can gate on the
+    // wall-clock numbers and see how noisy each one was.
+    let mut rec = gzkp_bench::Recorder::new("micro");
+    for r in criterion::take_results() {
+        rec.row(
+            format!("{}/{}", r.group, r.id),
+            "ns",
+            vec![("median".into(), r.median_ns), ("mad".into(), r.mad_ns)],
+        );
+    }
+    rec.finish();
+}

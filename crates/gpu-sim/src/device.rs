@@ -78,6 +78,10 @@ pub struct DeviceConfig {
     /// Host↔device / device↔device copy bandwidth, bytes per ns (PCIe/NVLink
     /// class; used by the multi-GPU model of Table 4).
     pub interconnect_bytes_per_ns: f64,
+    /// Fixed per-copy latency on the interconnect in ns: driver submission,
+    /// DMA descriptor setup and link round-trip. Dominates small copies;
+    /// amortized away by the MB-scale transfers the provers issue.
+    pub interconnect_latency_ns: f64,
 }
 
 /// NVIDIA Tesla V100 (SXM2 32 GB) preset.
@@ -102,6 +106,7 @@ pub fn v100() -> DeviceConfig {
         kernel_launch_ns: 5_000.0,
         block_sched_ns: 250.0,
         interconnect_bytes_per_ns: 25.0,
+        interconnect_latency_ns: 10_000.0,
     }
 }
 
@@ -127,6 +132,7 @@ pub fn gtx1080ti() -> DeviceConfig {
         kernel_launch_ns: 6_000.0,
         block_sched_ns: 300.0,
         interconnect_bytes_per_ns: 12.0,
+        interconnect_latency_ns: 11_000.0,
     }
 }
 
@@ -156,6 +162,7 @@ pub fn cpu_xeon() -> DeviceConfig {
         kernel_launch_ns: 2_000.0, // thread-pool dispatch
         block_sched_ns: 100.0,
         interconnect_bytes_per_ns: 10.0,
+        interconnect_latency_ns: 1_000.0,
     }
 }
 

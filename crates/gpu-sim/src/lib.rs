@@ -44,9 +44,13 @@ pub mod device;
 pub mod kernel;
 pub mod memory;
 pub mod report;
+pub mod stream;
+pub mod transfer;
 
 pub use device::{cpu_xeon, gtx1080ti, v100, Backend, DeviceConfig};
 pub use kernel::{
     multi_gpu_time_ns, simulate_kernel, BlockCost, KernelReport, KernelSpec, StageReport,
 };
 pub use report::{render_stage, utilization, Bottleneck, Utilization};
+pub use stream::{DeviceTimeline, EngineKind, Event, StreamId, StreamOp};
+pub use transfer::{transfer_bandwidth, transfer_time_ns, CopyDir, HostMem};

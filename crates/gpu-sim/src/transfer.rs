@@ -1,0 +1,100 @@
+//! Host↔device transfer cost model (PCIe / NVLink class links).
+//!
+//! The kernel model in [`crate::kernel`] prices on-device DRAM traffic
+//! only; every byte was assumed to already live in device memory. This
+//! module adds the missing edge of the roofline: explicit H2D/D2H copy
+//! costs with a fixed per-copy latency and a bandwidth that depends on
+//! whether the host buffer is pinned (DMA-able as-is) or pageable (the
+//! driver stages it through an internal pinned bounce buffer first).
+//!
+//! Calibration: PCIe 3.0 x16 sustains ~12 GB/s pinned and roughly half
+//! that pageable; NVLink-attached V100s see ~25 GB/s to the host. Those
+//! are exactly the `interconnect_bytes_per_ns` values the presets already
+//! carry for the multi-GPU model, so the same field drives both.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Effective-bandwidth factor of a pageable-host copy relative to pinned:
+/// the driver memcpy through its bounce buffer roughly halves throughput.
+pub const PAGEABLE_BW_FACTOR: f64 = 0.45;
+
+/// Where the host side of a copy lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostMem {
+    /// Page-locked host memory: the DMA engine reads it directly.
+    Pinned,
+    /// Ordinary pageable memory: staged through a driver bounce buffer.
+    Pageable,
+}
+
+impl HostMem {
+    /// Bandwidth factor relative to the link's pinned-copy rate.
+    pub fn bandwidth_factor(self) -> f64 {
+        match self {
+            HostMem::Pinned => 1.0,
+            HostMem::Pageable => PAGEABLE_BW_FACTOR,
+        }
+    }
+}
+
+/// Direction of a copy across the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CopyDir {
+    /// Host to device (uploads: points, scalars, checkpoint tables).
+    H2d,
+    /// Device to host (downloads: MSM results, proofs).
+    D2h,
+}
+
+/// Effective copy bandwidth in bytes/ns for `dev`'s link and host memory
+/// kind.
+pub fn transfer_bandwidth(dev: &DeviceConfig, mem: HostMem) -> f64 {
+    dev.interconnect_bytes_per_ns * mem.bandwidth_factor()
+}
+
+/// Simulated time to move `bytes` across `dev`'s interconnect:
+/// fixed submission/DMA-setup latency plus bytes over effective bandwidth.
+pub fn transfer_time_ns(dev: &DeviceConfig, bytes: u64, mem: HostMem) -> f64 {
+    dev.interconnect_latency_ns + bytes as f64 / transfer_bandwidth(dev, mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{gtx1080ti, v100};
+
+    #[test]
+    fn latency_dominates_small_copies() {
+        let dev = v100();
+        let t = transfer_time_ns(&dev, 64, HostMem::Pinned);
+        assert!(t < dev.interconnect_latency_ns * 1.01);
+        assert!(t >= dev.interconnect_latency_ns);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_copies() {
+        let dev = v100();
+        let bytes = 1u64 << 30;
+        let t = transfer_time_ns(&dev, bytes, HostMem::Pinned);
+        let ideal = bytes as f64 / dev.interconnect_bytes_per_ns;
+        assert!(t / ideal < 1.001); // latency is noise at 1 GiB
+    }
+
+    #[test]
+    fn pageable_slower_than_pinned() {
+        let dev = gtx1080ti();
+        let bytes = 256u64 << 20;
+        let pinned = transfer_time_ns(&dev, bytes, HostMem::Pinned);
+        let pageable = transfer_time_ns(&dev, bytes, HostMem::Pageable);
+        assert!(pageable > pinned * 1.8);
+    }
+
+    #[test]
+    fn faster_link_is_faster() {
+        let bytes = 1u64 << 28;
+        let tv = transfer_time_ns(&v100(), bytes, HostMem::Pinned);
+        let tg = transfer_time_ns(&gtx1080ti(), bytes, HostMem::Pinned);
+        assert!(tv < tg);
+    }
+}

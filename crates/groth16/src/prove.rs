@@ -130,6 +130,19 @@ pub struct PolyArtifacts<P: PairingConfig> {
     _curve: PhantomData<P>,
 }
 
+impl<P: PairingConfig> PolyArtifacts<P> {
+    /// Bytes of packed scalars the MSM stage uploads to the device (the
+    /// three vectors feeding the five MSMs; `z⃗` is consumed by three of
+    /// them but transferred once). This is the stage's H2D footprint for
+    /// transfer-pipelining schedulers.
+    pub fn scalar_bytes(&self) -> u64 {
+        [&self.z_scalars, &self.aux_scalars, &self.h_scalars]
+            .iter()
+            .map(|v| (v.len() * v.limbs_per_scalar() * 8) as u64)
+            .sum()
+    }
+}
+
 /// Stage 1 of the prover: checks satisfiability, reduces R1CS → QAP, runs
 /// the seven-NTT POLY stage (inside a `poly` span on `sink`), and packs
 /// the MSM scalar vectors.

@@ -28,6 +28,9 @@ pub struct MsmStats {
     pub batch_padds: u64,
     /// Field inversions actually executed by the batch accumulator.
     pub batch_inversions: u64,
+    /// Bucket-range shards the task was split into by the memory planner
+    /// (0 for engines without a sharded path, 1 for a whole-task run).
+    pub shards: u64,
 }
 
 impl MsmStats {
@@ -201,6 +204,24 @@ pub fn bucket_reduce<C: CurveParams>(buckets: &[Projective<C>]) -> Projective<C>
     total
 }
 
+/// Bucket reduction of a *shifted* bucket slice: given the sums of buckets
+/// `lo+1..lo+len` (so `buckets[i]` holds bucket `lo+1+i`), computes
+/// `Σ_j (lo+1+i)·B_{lo+1+i}` via the identity
+/// `Σ (lo+i)·Bᵢ = lo·ΣBᵢ + Σ i·Bᵢ` — the running sum over the slice plus
+/// one `lo`-weighted PMUL of the slice total. This is what lets a
+/// bucket-range shard reduce locally and hand the host an exact partial.
+pub fn bucket_reduce_range<C: CurveParams>(buckets: &[Projective<C>], lo: u64) -> Projective<C> {
+    let local = bucket_reduce(buckets);
+    if lo == 0 {
+        return local;
+    }
+    let mut sum = Projective::<C>::identity();
+    for b in buckets {
+        sum = sum.add(b);
+    }
+    local.add(&sum.mul_u64(lo))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +242,21 @@ mod tests {
             expect = expect.add(&b.mul_u64(j as u64 + 1));
         }
         assert_eq!(reduced, expect);
+    }
+
+    #[test]
+    fn bucket_range_partials_recompose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = random_points::<G1Config, _>(9, &mut rng);
+        let buckets: Vec<Projective<G1Config>> = pts.iter().map(|p| p.to_projective()).collect();
+        let whole = bucket_reduce(&buckets);
+        for splits in [vec![0usize, 9], vec![0, 4, 9], vec![0, 1, 2, 5, 9]] {
+            let mut acc = Projective::<G1Config>::identity();
+            for w in splits.windows(2) {
+                acc = acc.add(&bucket_reduce_range(&buckets[w[0]..w[1]], w[0] as u64));
+            }
+            assert_eq!(acc, whole, "splits {splits:?}");
+        }
     }
 
     #[test]

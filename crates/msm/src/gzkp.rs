@@ -13,13 +13,15 @@
 //! memory curve stays flat past 2²² in Figure 9.
 
 use crate::batch_affine::{accumulate_batch_affine, BatchAffineStats};
-use crate::engine::{bucket_reduce, CurveCost, MsmEngine, MsmRun, MsmStats};
+use crate::engine::{bucket_reduce, bucket_reduce_range, CurveCost, MsmEngine, MsmRun, MsmStats};
 use crate::scalars::{default_window_size, ScalarVec};
 use crate::store::{PreKey, PreprocessStore};
 use gzkp_curves::{batch_to_affine, Affine, CurveParams, Projective};
 use gzkp_ff::PrimeField;
 use gzkp_gpu_sim::device::{Backend, DeviceConfig};
-use gzkp_gpu_sim::kernel::{BlockCost, KernelSpec, StageReport};
+use gzkp_gpu_sim::kernel::{simulate_kernel, BlockCost, KernelSpec, StageReport};
+use gzkp_gpu_sim::stream::DeviceTimeline;
+use gzkp_gpu_sim::transfer::HostMem;
 use rayon::prelude::*;
 use std::any::Any;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -456,6 +458,321 @@ impl GzkpMsm {
         stage
     }
 
+    /// Cross-window batch-affine accumulation of the bucket slots
+    /// `base..base + buckets.len()` (absolute slot indices; slot `j` holds
+    /// digit `j+1`), carved into the absolute half-open `ranges` (which
+    /// must tile the slice in order) for the parallel bucket tasks.
+    /// Algorithm 1's streamed weight vector is advanced window by window
+    /// exactly as in the whole-task path, so a single range covering all
+    /// slots reproduces the unsharded computation bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_bucket_ranges<C: CurveParams>(
+        &self,
+        pre: &[Vec<Affine<C>>],
+        scalars: &ScalarVec,
+        k: u32,
+        m: u32,
+        windows: usize,
+        ranges: &[(usize, usize)],
+        buckets: &mut [Affine<C>],
+        base: usize,
+    ) -> MsmStats {
+        let n = scalars.len();
+        let mut stats = MsmStats::default();
+        let mut temp: Vec<Projective<C>> = Vec::new();
+        let mut temp_aff: Vec<Affine<C>> = Vec::new();
+        for t in 0..windows {
+            let level = (t as u32 / m) as usize;
+            let rem = t as u32 % m;
+            if m > 1 {
+                if rem == 0 {
+                    temp.clear();
+                } else {
+                    if temp.is_empty() {
+                        temp = pre[level].iter().map(|p| p.to_projective()).collect();
+                    }
+                    temp.par_iter_mut().for_each(|p| {
+                        for _ in 0..k {
+                            *p = p.double();
+                        }
+                    });
+                    temp_aff = batch_to_affine(&temp);
+                }
+            }
+            let sources: &[Affine<C>] = if rem == 0 { &pre[level] } else { &temp_aff };
+
+            // Carve the bucket slice into the task ranges and let every
+            // task scan the digit stream for its own buckets.
+            let mut parts: Vec<(usize, &mut [Affine<C>])> = Vec::with_capacity(ranges.len());
+            let mut rest = &mut buckets[..];
+            let mut off = base;
+            for &(lo, hi) in ranges {
+                let (head, tail) = rest.split_at_mut(hi - off);
+                parts.push((lo, head));
+                rest = tail;
+                off = hi;
+            }
+            let window_stats: Vec<BatchAffineStats> = parts
+                .into_par_iter()
+                .map(|(lo, slice)| {
+                    let hi = lo + slice.len();
+                    let mut entries: Vec<(u32, u32)> = Vec::new();
+                    for i in 0..n {
+                        let d = scalars.window(i, t, k) as usize;
+                        if d != 0 && (lo + 1..=hi).contains(&d) {
+                            entries.push(((d - 1 - lo) as u32, i as u32));
+                        }
+                    }
+                    let mut s = BatchAffineStats::default();
+                    accumulate_batch_affine(slice, sources, &entries, &mut s);
+                    s
+                })
+                .collect();
+            for s in &window_stats {
+                stats.batch_padds += s.padds;
+                stats.batch_inversions += s.inversions;
+            }
+        }
+        stats
+    }
+
+    /// Serial mixed-Jacobian accumulation of the bucket slots `lo..hi`
+    /// (the non-batch-affine fallback), returning the bucket sums of
+    /// digits `lo+1..=hi`.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_projective_range<C: CurveParams>(
+        &self,
+        pre: &[Vec<Affine<C>>],
+        scalars: &ScalarVec,
+        k: u32,
+        m: u32,
+        windows: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<Projective<C>> {
+        let n = scalars.len();
+        let mut buckets = vec![Projective::<C>::identity(); hi - lo];
+        let mut temp: Vec<Projective<C>> = Vec::new();
+        for t in 0..windows {
+            let level = (t as u32 / m) as usize;
+            let rem = t as u32 % m;
+            if m > 1 {
+                if rem == 0 {
+                    temp = pre[level].iter().map(|p| p.to_projective()).collect();
+                } else {
+                    for p in temp.iter_mut() {
+                        for _ in 0..k {
+                            *p = p.double();
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                let d = scalars.window(i, t, k) as usize;
+                if d == 0 || !(lo + 1..=hi).contains(&d) {
+                    continue;
+                }
+                let slot = &mut buckets[d - 1 - lo];
+                if m == 1 {
+                    *slot = slot.add_mixed(&pre[level][i]);
+                } else {
+                    *slot = slot.add(&temp[i]);
+                }
+            }
+        }
+        buckets
+    }
+
+    /// Device-resident footprint of one bucket-range pass when the task
+    /// is split into `shards` passes: each pass streams the level
+    /// sources, scalars, `p_index` and weight workspace through
+    /// double-buffered chunks of `n/shards` points, and keeps only its
+    /// own bucket range resident.
+    pub fn sharded_memory_bytes<C: CurveParams>(&self, n: usize, shards: usize) -> u64 {
+        let cost = CurveCost::of::<C>();
+        let shards = shards.max(1) as u64;
+        let bits = <C::Scalar as PrimeField>::MODULUS_BITS as u64;
+        let chunk = (n as u64).div_ceil(shards);
+        let per_point = cost.affine_bytes() + bits.div_ceil(64) * 8 + 8 + cost.jacobian_bytes();
+        let nb = (1u64 << self.k_for(n)) - 1;
+        2 * chunk * per_point + nb.div_ceil(shards) * cost.jacobian_bytes()
+    }
+
+    /// Memory plan for an MSM of size `n`: 1 when checkpoint tables +
+    /// point vectors fit [`DeviceConfig::global_mem_bytes`] whole,
+    /// otherwise the smallest shard count whose per-pass footprint
+    /// ([`Self::sharded_memory_bytes`]) fits. A task that exceeds device
+    /// memory is always split at least once so that pass `i+1`'s uploads
+    /// can double-buffer under pass `i`'s merge kernel.
+    pub fn shard_plan<C: CurveParams>(&self, n: usize) -> usize {
+        let mem = self.device.global_mem_bytes;
+        if MsmEngine::<C>::memory_bytes(self, n) <= mem {
+            return 1;
+        }
+        let nb = (1usize << self.k_for(n)) - 1;
+        let mut shards = 2usize;
+        while shards < nb && self.sharded_memory_bytes::<C>(n, shards) > mem {
+            shards += 1;
+        }
+        shards
+    }
+
+    /// Functional MSM split into `shards` bucket-range partials, each
+    /// locally reduced ([`bucket_reduce_range`]) and merged on the host
+    /// by projective addition. Partials are exact group elements, so the
+    /// merged result is bit-identical to the unsharded run for every
+    /// shard count (proptested across both curves).
+    pub fn msm_sharded<C: CurveParams>(
+        &self,
+        points: &[Affine<C>],
+        scalars: &ScalarVec,
+        shards: usize,
+    ) -> MsmRun<C> {
+        assert_eq!(points.len(), scalars.len());
+        let n = points.len();
+        let k = self.k_for(n);
+        let windows = scalars.num_windows(k);
+        let m = self.interval_for::<C>(n, windows);
+        let pre = self.preprocess_cached(points, k, m, windows);
+        let loads = Self::bucket_loads(scalars, k, m);
+        let shard_ranges = Self::balanced_ranges(&loads, shards.max(1));
+
+        let mut stats = MsmStats {
+            shards: shard_ranges.len() as u64,
+            ..MsmStats::default()
+        };
+        let mut result = Projective::<C>::identity();
+        for &(lo, hi) in &shard_ranges {
+            let partial = if self.batch_affine {
+                let tasks = if self.parallel {
+                    rayon::current_num_threads().max(1)
+                } else {
+                    1
+                };
+                let sub = Self::balanced_ranges(&loads[lo..hi], tasks);
+                let abs: Vec<(usize, usize)> = sub.iter().map(|&(a, b)| (lo + a, lo + b)).collect();
+                let mut buckets = vec![Affine::<C>::identity(); hi - lo];
+                let s =
+                    self.fold_bucket_ranges(&pre, scalars, k, m, windows, &abs, &mut buckets, lo);
+                stats.batch_padds += s.batch_padds;
+                stats.batch_inversions += s.batch_inversions;
+                let projective: Vec<Projective<C>> =
+                    buckets.iter().map(Affine::to_projective).collect();
+                bucket_reduce_range(&projective, lo as u64)
+            } else {
+                let buckets = self.fold_projective_range(&pre, scalars, k, m, windows, lo, hi);
+                bucket_reduce_range(&buckets, lo as u64)
+            };
+            result = result.add(&partial);
+        }
+        let report = self.stage_sharded::<C>(n, k, m, windows, &loads, &shard_ranges);
+        MsmRun {
+            result,
+            report,
+            stats,
+        }
+    }
+
+    /// Cost stage of a sharded run: per-pass merge kernels scheduled on a
+    /// [`DeviceTimeline`] so pass `i+1`'s level-stream upload overlaps
+    /// pass `i`'s kernel; only the copy time compute cannot hide shows up
+    /// as a fixed "exposed" item. With a single range this is exactly the
+    /// whole-task [`Self::stage`].
+    #[allow(clippy::too_many_arguments)]
+    fn stage_sharded<C: CurveParams>(
+        &self,
+        n: usize,
+        k: u32,
+        m: u32,
+        windows: usize,
+        loads: &[(u64, u64)],
+        shard_ranges: &[(usize, usize)],
+    ) -> StageReport {
+        if shard_ranges.len() <= 1 {
+            return self.stage::<C>(n, k, windows, loads);
+        }
+        let cost = CurveCost::of::<C>();
+        let dev = &self.device;
+        let mut stage = StageReport::new(format!("msm-gzkp-sharded(x{})", shard_ranges.len()));
+        stage.add_fixed("host-sync+transfer", MSM_HOST_OVERHEAD_NS);
+
+        // Digit extraction once; its p_index is reused by every pass.
+        let entries = (windows * n) as u64;
+        let idx_blocks = (entries / 4096).max(1) as usize;
+        stage.run(
+            dev,
+            &KernelSpec::uniform(
+                "gzkp.p_index",
+                256,
+                0,
+                self.backend,
+                cost.speedup_limbs(),
+                idx_blocks,
+                BlockCost {
+                    mac_ops: 4096.0 * 2.0,
+                    dram_sectors: 4096 * 16 / dev.sector_bytes.max(1),
+                    shared_bytes: 0,
+                },
+            ),
+        );
+
+        // Every pass re-streams the stored levels + scalars + p_index;
+        // that S-fold transfer amplification is the price of fitting, and
+        // the double-buffered schedule is what hides most of it.
+        let levels = Self::levels(windows, m) as u64;
+        let sbytes = <C::Scalar as PrimeField>::MODULUS_BITS.div_ceil(64) as u64 * 8;
+        let pass_bytes = n as u64 * (cost.affine_bytes() * levels + sbytes + 8);
+        let mut tl = DeviceTimeline::new(dev.clone());
+        let copy = tl.stream();
+        let exec = tl.stream();
+        let mut kernel_ns = 0.0;
+        for (i, &(lo, hi)) in shard_ranges.iter().enumerate() {
+            let ev = tl.h2d(copy, &format!("shard{i}.h2d"), pass_bytes, HostMem::Pinned);
+            tl.wait(exec, ev);
+            let mut spec = self.merge_kernel::<C>(&loads[lo..hi]);
+            spec.name = format!("shard{i}.{}", spec.name);
+            let rep = simulate_kernel(dev, &spec);
+            tl.kernel_ns(exec, &spec.name, rep.time_ns);
+            kernel_ns += rep.time_ns;
+            stage.kernels.push(rep);
+            tl.d2h(
+                exec,
+                &format!("shard{i}.partial"),
+                cost.jacobian_bytes(),
+                HostMem::Pinned,
+            );
+        }
+        let exposed = (tl.elapsed_ns() - kernel_ns).max(0.0);
+        stage.add_fixed(
+            format!("h2d+d2h exposed ({} passes, pipelined)", shard_ranges.len()),
+            exposed,
+        );
+
+        // Per-pass local reductions sum to the same running-sum work as
+        // the whole-task reduction kernel; host-side partial merging is
+        // a handful of PADDs, folded into host-sync.
+        let buckets = (1u64 << k) - 1;
+        let red_blocks = (buckets / 256).max(1) as usize;
+        stage.run(
+            dev,
+            &KernelSpec::uniform(
+                format!("gzkp.bucket-reduce(2^{k}, sharded)"),
+                256,
+                16 * 1024,
+                self.backend,
+                cost.speedup_limbs(),
+                red_blocks,
+                BlockCost {
+                    mac_ops: 2.0 * (buckets / red_blocks as u64) as f64 * cost.padd(),
+                    dram_sectors: (buckets / red_blocks as u64) * cost.jacobian_bytes()
+                        / dev.sector_bytes,
+                    shared_bytes: 256 * cost.jacobian_bytes(),
+                },
+            ),
+        );
+        stage
+    }
+
     /// Dense-uniform bucket load synthesis at scale `n` (Tables 7/8 sweeps).
     fn dense_loads(&self, n: usize, k: u32, windows: usize, m: u32) -> Vec<(u64, u64)> {
         let buckets = (1usize << k) - 1;
@@ -480,6 +797,12 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
     fn msm(&self, points: &[Affine<C>], scalars: &ScalarVec) -> MsmRun<C> {
         assert_eq!(points.len(), scalars.len());
         let n = points.len();
+        let planned = self.shard_plan::<C>(n);
+        if planned > 1 {
+            // Checkpoint tables + point vectors exceed device memory:
+            // run device-sized bucket-range passes merged on the host.
+            return self.msm_sharded(points, scalars, planned);
+        }
         let k = self.k_for(n);
         let windows = scalars.num_windows(k);
         let m = self.interval_for::<C>(n, windows);
@@ -494,7 +817,10 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
         // `(t mod M)·k` per entry — same results, the time/space tradeoff
         // the checkpoint interval is for.
         let nb = (1usize << k) - 1;
-        let mut stats = MsmStats::default();
+        let mut stats = MsmStats {
+            shards: 1,
+            ..MsmStats::default()
+        };
         let result = if self.batch_affine {
             // Bucket-task partitioning across threads: each task owns a
             // contiguous bucket range of roughly equal entry load and
@@ -508,94 +834,15 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
             };
             let ranges = Self::balanced_ranges(&loads, tasks);
             let mut buckets = vec![Affine::<C>::identity(); nb];
-            let mut temp: Vec<Projective<C>> = Vec::new();
-            let mut temp_aff: Vec<Affine<C>> = Vec::new();
-            for t in 0..windows {
-                let level = (t as u32 / m) as usize;
-                let rem = t as u32 % m;
-                if m > 1 {
-                    if rem == 0 {
-                        temp.clear();
-                    } else {
-                        if temp.is_empty() {
-                            temp = pre[level].iter().map(|p| p.to_projective()).collect();
-                        }
-                        temp.par_iter_mut().for_each(|p| {
-                            for _ in 0..k {
-                                *p = p.double();
-                            }
-                        });
-                        temp_aff = batch_to_affine(&temp);
-                    }
-                }
-                let sources: &[Affine<C>] = if rem == 0 { &pre[level] } else { &temp_aff };
-
-                // Carve the bucket array into the task ranges and let
-                // every task scan the digit stream for its own buckets.
-                let mut parts: Vec<(usize, &mut [Affine<C>])> = Vec::with_capacity(ranges.len());
-                let mut rest = &mut buckets[..];
-                let mut off = 0usize;
-                for &(lo, hi) in &ranges {
-                    let (head, tail) = rest.split_at_mut(hi - off);
-                    parts.push((lo, head));
-                    rest = tail;
-                    off = hi;
-                }
-                let window_stats: Vec<BatchAffineStats> = parts
-                    .into_par_iter()
-                    .map(|(lo, slice)| {
-                        let hi = lo + slice.len();
-                        let mut entries: Vec<(u32, u32)> = Vec::new();
-                        for i in 0..n {
-                            let d = scalars.window(i, t, k) as usize;
-                            if d != 0 && (lo + 1..=hi).contains(&d) {
-                                entries.push(((d - 1 - lo) as u32, i as u32));
-                            }
-                        }
-                        let mut s = BatchAffineStats::default();
-                        accumulate_batch_affine(slice, sources, &entries, &mut s);
-                        s
-                    })
-                    .collect();
-                for s in &window_stats {
-                    stats.batch_padds += s.padds;
-                    stats.batch_inversions += s.inversions;
-                }
-            }
+            let s = self.fold_bucket_ranges(&pre, scalars, k, m, windows, &ranges, &mut buckets, 0);
+            stats.batch_padds = s.batch_padds;
+            stats.batch_inversions = s.batch_inversions;
             let projective: Vec<Projective<C>> =
                 buckets.iter().map(Affine::to_projective).collect();
             bucket_reduce(&projective)
         } else {
-            let mut buckets = vec![Projective::<C>::identity(); nb];
-            let mut temp: Vec<Projective<C>> = Vec::new();
-            for t in 0..windows {
-                let level = (t as u32 / m) as usize;
-                let rem = t as u32 % m;
-                if m > 1 {
-                    if rem == 0 {
-                        temp = pre[level].iter().map(|p| p.to_projective()).collect();
-                    } else {
-                        for p in temp.iter_mut() {
-                            for _ in 0..k {
-                                *p = p.double();
-                            }
-                        }
-                    }
-                }
-                for i in 0..n {
-                    let d = scalars.window(i, t, k);
-                    if d == 0 {
-                        continue;
-                    }
-                    let slot = &mut buckets[(d - 1) as usize];
-                    if m == 1 {
-                        *slot = slot.add_mixed(&pre[level][i]);
-                    } else {
-                        *slot = slot.add(&temp[i]);
-                    }
-                }
-            }
             // One bucket reduction; no window reduction remains (§4.1).
+            let buckets = self.fold_projective_range(&pre, scalars, k, m, windows, 0, nb);
             bucket_reduce(&buckets)
         };
 
@@ -644,6 +891,9 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
                     counters::MSM_BATCH_INV_SAVED,
                     run.stats.inversions_saved() as f64,
                 );
+            }
+            if run.stats.shards > 1 {
+                sink.counter(counters::RUNTIME_SHARDS, run.stats.shards as f64);
             }
             sink.histogram(
                 "bucket_occupancy",
@@ -747,6 +997,107 @@ mod tests {
             };
             assert_eq!(e.msm(&pts, &sv).result, expect, "M={m}");
         }
+    }
+
+    #[test]
+    fn sharded_matches_unsharded() {
+        let (pts, sv) = setup(96, 46);
+        let engine = GzkpMsm::new(v100());
+        let whole = engine.msm(&pts, &sv);
+        assert_eq!(whole.stats.shards, 1);
+        for shards in [1usize, 2, 3, 7, 31] {
+            let run = engine.msm_sharded(&pts, &sv, shards);
+            assert_eq!(run.result, whole.result, "shards={shards}");
+            assert_eq!(
+                gzkp_curves::compress(&run.result.to_affine()),
+                gzkp_curves::compress(&whole.result.to_affine()),
+                "shards={shards}"
+            );
+            assert!(run.stats.shards >= 1 && run.stats.shards <= shards as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_without_batch_affine() {
+        let (pts, sv) = setup(48, 47);
+        let engine = GzkpMsm {
+            batch_affine: false,
+            parallel: false,
+            ..GzkpMsm::new(v100())
+        };
+        let whole = engine.msm(&pts, &sv).result;
+        for shards in [2usize, 5] {
+            assert_eq!(engine.msm_sharded(&pts, &sv, shards).result, whole);
+        }
+    }
+
+    #[test]
+    fn tiny_device_auto_shards_bit_identically() {
+        // A device too small to hold the task whole: `msm` must detect it,
+        // take the sharded path, and still produce the exact bytes the
+        // big-memory run does.
+        let (pts, sv) = setup(256, 48);
+        let big = GzkpMsm::new(v100()).msm(&pts, &sv);
+        let tiny_dev = DeviceConfig {
+            global_mem_bytes: 48 * 1024,
+            ..v100()
+        };
+        let tiny = GzkpMsm::new(tiny_dev.clone());
+        let planned = tiny.shard_plan::<G1Config>(256);
+        assert!(planned > 1, "plan should shard, got {planned}");
+        let run = tiny.msm(&pts, &sv);
+        assert_eq!(run.stats.shards, planned as u64);
+        assert_eq!(
+            gzkp_curves::compress(&run.result.to_affine()),
+            gzkp_curves::compress(&big.result.to_affine())
+        );
+        // The sharded pass must actually fit where the whole task did not.
+        assert!(MsmEngine::<G1Config>::memory_bytes(&tiny, 256) > tiny_dev.global_mem_bytes);
+        assert!(tiny.sharded_memory_bytes::<G1Config>(256, planned) <= tiny_dev.global_mem_bytes);
+    }
+
+    #[test]
+    fn sharded_memory_monotone_and_planned() {
+        let e = GzkpMsm::new(gzkp_gpu_sim::gtx1080ti());
+        let n = 1 << 20;
+        let mut prev = u64::MAX;
+        for s in [1usize, 2, 4, 8, 16] {
+            let b = e.sharded_memory_bytes::<gzkp_curves::t753::G1Config>(n, s);
+            assert!(b <= prev, "shards={s}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn past_1080ti_memory_completes_via_sharding_plan() {
+        // Acceptance shape: a 753-bit MSM at 2^25 exceeds a single
+        // 1080 Ti even at the maximum checkpoint interval (the Algorithm 1
+        // knob is exhausted), so before the planner existed it could only
+        // run whole — i.e. OOM. The plan now splits it into passes that
+        // each fit.
+        let dev = gzkp_gpu_sim::gtx1080ti();
+        let e = GzkpMsm::new(dev.clone());
+        let n = 1usize << 25;
+        type C753 = gzkp_curves::t753::G1Config;
+        assert!(
+            MsmEngine::<C753>::memory_bytes(&e, n) > dev.global_mem_bytes,
+            "whole task should exceed the 1080 Ti"
+        );
+        let shards = e.shard_plan::<C753>(n);
+        assert!(shards > 1);
+        assert!(e.sharded_memory_bytes::<C753>(n, shards) <= dev.global_mem_bytes);
+        // The sharded cost stage prices the S-fold re-streaming with
+        // copy/compute overlap: it must be dearer than the (infeasible)
+        // whole-task plan, but not by anywhere near the un-pipelined
+        // transfer amplification.
+        let loads = e.dense_loads(n, e.k_for(n), 94, 1);
+        let whole_ns = e.stage::<C753>(n, e.k_for(n), 94, &loads).total_ns();
+        let ranges = GzkpMsm::balanced_ranges(&loads, shards);
+        let sharded_ns = e
+            .stage_sharded::<C753>(n, e.k_for(n), 1, 94, &loads, &ranges)
+            .total_ns();
+        assert!(sharded_ns > whole_ns);
+        assert!(sharded_ns < whole_ns * shards as f64);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub mod submsm;
 
 pub use batch_affine::{accumulate_batch_affine, BatchAffineStats};
 pub use cpu::CpuMsm;
-pub use engine::{bucket_reduce, naive_msm, CurveCost, MsmEngine, MsmRun, MsmStats};
+pub use engine::{
+    bucket_reduce, bucket_reduce_range, naive_msm, CurveCost, MsmEngine, MsmRun, MsmStats,
+};
 pub use gzkp::{profile_window_size, GzkpMsm};
 pub use scalars::{bucket_histogram, default_window_size, window_loads, ScalarVec};
 pub use signed::SignedGzkpMsm;

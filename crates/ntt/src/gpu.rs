@@ -259,6 +259,16 @@ impl GzkpNtt {
         }
     }
 
+    /// Re-tunes this engine for a different device, preserving the
+    /// backend choice. Fleet schedulers move POLY stages between
+    /// heterogeneous devices; `B` and `G` must be re-derived from the new
+    /// device's shared-memory budget rather than carried over.
+    pub fn rebind<F: PrimeField>(&self, device: DeviceConfig) -> Self {
+        let mut tuned = Self::auto::<F>(device);
+        tuned.backend = self.backend;
+        tuned
+    }
+
     /// The "GZKP-no-GM-shuffle" ablation (Fig. 8): shuffle-less layout but
     /// one large group per block and no internal shuffle, so global loads
     /// stay strided.

@@ -1,0 +1,500 @@
+//! The fleet runtime: per-device command streams, throughput-weighted
+//! placement, steal/shard accounting, utilization snapshots and the
+//! `runtime→dev{n}→{h2d,kernel,d2h}` telemetry trace.
+//!
+//! Each device gets three streams on its [`DeviceTimeline`]: an upload
+//! stream, an execute stream and a download stream. A stage recorded via
+//! [`FleetRuntime::record_stage`] issues its H2D copy on the upload
+//! stream, makes the execute stream wait on the copy's event, runs the
+//! kernel, and drains the result on the download stream — so the *next*
+//! stage's upload overlaps this stage's kernel exactly like the CUDA
+//! double-buffered producer/consumer pipeline the simulator models.
+
+use gzkp_gpu_sim::device::DeviceConfig;
+use gzkp_gpu_sim::stream::{DeviceTimeline, EngineKind, StreamId};
+use gzkp_gpu_sim::transfer::HostMem;
+use gzkp_telemetry::counters;
+use gzkp_telemetry::trace::{Trace, TraceNode};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Relative sustained throughput of a device: SM count times per-SM MAC
+/// rate. Only ratios matter — it weights the least-loaded placement so a
+/// V100 absorbs ~4x the jobs of a 1080 Ti before the fleet looks balanced.
+pub fn throughput_weight(config: &DeviceConfig) -> f64 {
+    f64::from(config.num_sms) * config.mac64_per_ns_per_sm
+}
+
+/// The three streams a device schedules stages onto.
+struct Lanes {
+    timeline: DeviceTimeline,
+    upload: StreamId,
+    execute: StreamId,
+    download: StreamId,
+}
+
+/// One device's runtime state: its timeline plus placement counters.
+struct DeviceRuntime {
+    config: DeviceConfig,
+    lanes: Mutex<Lanes>,
+    /// Stages currently placed but not yet completed (placement load).
+    inflight: AtomicU64,
+    /// Total stages ever placed on this device.
+    jobs: AtomicU64,
+    /// Jobs this device stole from another device's queue.
+    steals: AtomicU64,
+    /// Bucket-range MSM shards executed on this device.
+    shards: AtomicU64,
+}
+
+impl DeviceRuntime {
+    fn new(config: DeviceConfig) -> Self {
+        let mut timeline = DeviceTimeline::new(config.clone());
+        let upload = timeline.stream();
+        let execute = timeline.stream();
+        let download = timeline.stream();
+        DeviceRuntime {
+            config,
+            lanes: Mutex::new(Lanes {
+                timeline,
+                upload,
+                execute,
+                download,
+            }),
+            inflight: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            shards: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Utilization snapshot of one device, against the fleet makespan.
+#[derive(Debug, Clone)]
+pub struct DeviceUtilization {
+    /// Device index (`dev{index}` in spans).
+    pub index: usize,
+    /// Device model name.
+    pub name: String,
+    /// Stages placed on this device.
+    pub jobs: u64,
+    /// Jobs stolen from other devices' queues.
+    pub steals: u64,
+    /// Bucket-range MSM shards executed here.
+    pub shards: u64,
+    /// Bytes uploaded.
+    pub h2d_bytes: u64,
+    /// Bytes downloaded.
+    pub d2h_bytes: u64,
+    /// Upload-engine busy time.
+    pub h2d_ns: f64,
+    /// Compute-engine busy time.
+    pub kernel_ns: f64,
+    /// Download-engine busy time.
+    pub d2h_ns: f64,
+    /// This device's own makespan.
+    pub elapsed_ns: f64,
+    /// Compute busy time over the *fleet* makespan — the number an
+    /// operator reads to spot a starved or oversubscribed device.
+    pub busy_frac: f64,
+}
+
+/// Fleet-wide utilization: the makespan plus one row per device.
+#[derive(Debug, Clone)]
+pub struct FleetUtilization {
+    /// Completion time of the last operation on any device.
+    pub elapsed_ns: f64,
+    /// Per-device rows, in device order.
+    pub devices: Vec<DeviceUtilization>,
+}
+
+impl FleetUtilization {
+    /// Text table for `zkserve` reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>6} {:>6} {:>10} {:>12} {:>7}",
+            "device", "jobs", "steals", "shards", "h2d MB", "kernel ms", "util"
+        );
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>5} {:>6} {:>6} {:>10.1} {:>12.3} {:>6.1}%",
+                format!("dev{} {}", d.index, d.name),
+                d.jobs,
+                d.steals,
+                d.shards,
+                d.h2d_bytes as f64 / (1024.0 * 1024.0),
+                d.kernel_ns / 1e6,
+                d.busy_frac * 100.0,
+            );
+        }
+        let _ = writeln!(out, "fleet makespan {:.3} ms", self.elapsed_ns / 1e6);
+        out
+    }
+}
+
+/// A fleet of simulated devices with per-device command streams.
+///
+/// Thread-safe: placement counters are atomics and each device's timeline
+/// sits behind its own mutex, so service workers pinned to different
+/// devices never contend.
+pub struct FleetRuntime {
+    devices: Vec<DeviceRuntime>,
+}
+
+impl FleetRuntime {
+    /// Builds a fleet over `configs` (one timeline per device).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty config list — a fleet without devices cannot
+    /// place anything.
+    pub fn new(configs: Vec<DeviceConfig>) -> Self {
+        assert!(!configs.is_empty(), "fleet needs at least one device");
+        FleetRuntime {
+            devices: configs.into_iter().map(DeviceRuntime::new).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet has no devices (never true; see [`Self::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The configuration of device `dev`.
+    pub fn config(&self, dev: usize) -> &DeviceConfig {
+        &self.devices[dev].config
+    }
+
+    /// Current placement load of device `dev`: `(inflight + 1)` stages
+    /// normalized by [`throughput_weight`] — "how long until this device
+    /// would get to one more job".
+    pub fn load(&self, dev: usize) -> f64 {
+        let d = &self.devices[dev];
+        (d.inflight.load(Ordering::Relaxed) + 1) as f64 / throughput_weight(&d.config)
+    }
+
+    /// Stages placed but not yet completed on device `dev`.
+    pub fn inflight(&self, dev: usize) -> u64 {
+        self.devices[dev].inflight.load(Ordering::Relaxed)
+    }
+
+    /// Places one stage on the least-loaded device (throughput-weighted,
+    /// lowest index on ties) and returns its index. Pair with
+    /// [`Self::complete`] when the stage finishes.
+    pub fn place(&self) -> usize {
+        let mut best = 0;
+        let mut best_load = self.load(0);
+        for dev in 1..self.devices.len() {
+            let load = self.load(dev);
+            if load < best_load {
+                best = dev;
+                best_load = load;
+            }
+        }
+        self.assign(best);
+        best
+    }
+
+    /// Records a stage placed on an externally-chosen device (a worker
+    /// pinned to `dev`, or a steal decided by the scheduler).
+    pub fn assign(&self, dev: usize) {
+        self.devices[dev].inflight.fetch_add(1, Ordering::Relaxed);
+        self.devices[dev].jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one placed stage on `dev` as finished.
+    pub fn complete(&self, dev: usize) {
+        self.devices[dev].inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Counts a work steal *by* device `dev` (the thief).
+    pub fn record_steal(&self, dev: usize) {
+        self.devices[dev].steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `count` bucket-range MSM shards executed on device `dev`.
+    pub fn record_shards(&self, dev: usize, count: u64) {
+        self.devices[dev].shards.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Schedules one proof stage on device `dev`: upload `h2d_bytes` of
+    /// pinned host memory, run `kernel_ns` of compute ordered after the
+    /// upload, download `d2h_bytes` ordered after the kernel. Returns the
+    /// simulated completion time. Because uploads go on a dedicated
+    /// stream, the next stage's H2D overlaps this stage's kernel.
+    pub fn record_stage(
+        &self,
+        dev: usize,
+        label: &str,
+        h2d_bytes: u64,
+        kernel_ns: f64,
+        d2h_bytes: u64,
+    ) -> f64 {
+        let mut lanes = self.devices[dev].lanes.lock().expect("fleet lanes mutex");
+        let Lanes {
+            ref mut timeline,
+            upload,
+            execute,
+            download,
+        } = *lanes;
+        let mut last = 0.0f64;
+        if h2d_bytes > 0 {
+            let ev = timeline.h2d(upload, &format!("{label}.h2d"), h2d_bytes, HostMem::Pinned);
+            timeline.wait(execute, ev);
+            last = ev.at_ns();
+        }
+        if kernel_ns > 0.0 {
+            let ev = timeline.kernel_ns(execute, &format!("{label}.kernel"), kernel_ns);
+            last = ev.at_ns();
+        }
+        if d2h_bytes > 0 {
+            // Drain on the download stream so the execute stream is free
+            // for the next kernel the moment this one retires.
+            let ev = timeline.kernel_ns(execute, &format!("{label}.sync"), 0.0);
+            timeline.wait(download, ev);
+            let ev = timeline.d2h(
+                download,
+                &format!("{label}.d2h"),
+                d2h_bytes,
+                HostMem::Pinned,
+            );
+            last = ev.at_ns();
+        }
+        last
+    }
+
+    /// Utilization snapshot: per-device engine busy times and counters
+    /// against the fleet makespan.
+    pub fn utilization(&self) -> FleetUtilization {
+        let mut rows = Vec::with_capacity(self.devices.len());
+        for (index, d) in self.devices.iter().enumerate() {
+            let lanes = d.lanes.lock().expect("fleet lanes mutex");
+            rows.push(DeviceUtilization {
+                index,
+                name: d.config.name.to_string(),
+                jobs: d.jobs.load(Ordering::Relaxed),
+                steals: d.steals.load(Ordering::Relaxed),
+                shards: d.shards.load(Ordering::Relaxed),
+                h2d_bytes: lanes.timeline.h2d_bytes(),
+                d2h_bytes: lanes.timeline.d2h_bytes(),
+                h2d_ns: lanes.timeline.busy_ns(EngineKind::H2d),
+                kernel_ns: lanes.timeline.busy_ns(EngineKind::Compute),
+                d2h_ns: lanes.timeline.busy_ns(EngineKind::D2h),
+                elapsed_ns: lanes.timeline.elapsed_ns(),
+                busy_frac: 0.0,
+            });
+        }
+        let elapsed_ns = rows.iter().fold(0.0f64, |m, r| m.max(r.elapsed_ns));
+        for r in &mut rows {
+            r.busy_frac = if elapsed_ns > 0.0 {
+                r.kernel_ns / elapsed_ns
+            } else {
+                0.0
+            };
+        }
+        FleetUtilization {
+            elapsed_ns,
+            devices: rows,
+        }
+    }
+
+    /// The fleet's telemetry trace: a `runtime` span whose `dev{n}`
+    /// children carry one lane span per engine (`h2d`, `kernel`, `d2h`),
+    /// each lane holding its scheduled operations as child spans stamped
+    /// with a [`counters::SPAN_START_NS`] gauge — what `zkprof render
+    /// --timeline` aligns into per-device ASCII rows.
+    pub fn trace(&self) -> Trace {
+        let util = self.utilization();
+        let mut runtime = TraceNode::new("runtime");
+        runtime.time_ns = util.elapsed_ns;
+        let mut total_h2d = 0u64;
+        let mut total_d2h = 0u64;
+        let mut total_steals = 0u64;
+        let mut total_shards = 0u64;
+        for (d, row) in self.devices.iter().zip(&util.devices) {
+            total_h2d += row.h2d_bytes;
+            total_d2h += row.d2h_bytes;
+            total_steals += row.steals;
+            total_shards += row.shards;
+            let mut node = TraceNode::new(format!("dev{}", row.index));
+            node.time_ns = row.elapsed_ns;
+            node.counters
+                .push(("runtime.jobs".to_string(), row.jobs as f64));
+            node.counters
+                .push((counters::RUNTIME_STEALS.to_string(), row.steals as f64));
+            node.counters
+                .push((counters::RUNTIME_SHARDS.to_string(), row.shards as f64));
+            node.counters.push((
+                counters::RUNTIME_H2D_BYTES.to_string(),
+                row.h2d_bytes as f64,
+            ));
+            node.counters.push((
+                counters::RUNTIME_D2H_BYTES.to_string(),
+                row.d2h_bytes as f64,
+            ));
+            let lanes = d.lanes.lock().expect("fleet lanes mutex");
+            for engine in [EngineKind::H2d, EngineKind::Compute, EngineKind::D2h] {
+                let mut lane = TraceNode::new(engine.label());
+                lane.time_ns = lanes.timeline.busy_ns(engine);
+                for op in lanes.timeline.ops().iter().filter(|o| o.engine == engine) {
+                    let mut span = TraceNode::new(op.name.clone());
+                    span.time_ns = op.end_ns - op.start_ns;
+                    span.values
+                        .push((counters::SPAN_START_NS.to_string(), op.start_ns));
+                    if op.bytes > 0 {
+                        span.counters.push(("bytes".to_string(), op.bytes as f64));
+                    }
+                    lane.children.push(span);
+                }
+                node.children.push(lane);
+            }
+            runtime.children.push(node);
+        }
+        runtime
+            .counters
+            .push((counters::RUNTIME_H2D_BYTES.to_string(), total_h2d as f64));
+        runtime
+            .counters
+            .push((counters::RUNTIME_D2H_BYTES.to_string(), total_d2h as f64));
+        runtime
+            .counters
+            .push((counters::RUNTIME_STEALS.to_string(), total_steals as f64));
+        runtime
+            .counters
+            .push((counters::RUNTIME_SHARDS.to_string(), total_shards as f64));
+        let mut root = TraceNode::new("root");
+        root.time_ns = runtime.time_ns;
+        root.children.push(runtime);
+        Trace::new(
+            "gzkp",
+            crate::spec::fleet_label(
+                &self
+                    .devices
+                    .iter()
+                    .map(|d| d.config.clone())
+                    .collect::<Vec<_>>(),
+            ),
+            root,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_devices;
+    use gzkp_gpu_sim::device::{gtx1080ti, v100};
+    use gzkp_gpu_sim::transfer::transfer_time_ns;
+
+    #[test]
+    fn placement_weights_by_throughput() {
+        // V100 ≈ 800 weight, 1080 Ti ≈ 196: the first four stages land on
+        // the V100 before the 1080 Ti looks cheaper.
+        let fleet = FleetRuntime::new(vec![v100(), gtx1080ti()]);
+        let picks: Vec<usize> = (0..5).map(|_| fleet.place()).collect();
+        assert_eq!(picks, [0, 0, 0, 0, 1]);
+        // Completion frees capacity: after the V100 drains it wins again.
+        for _ in 0..4 {
+            fleet.complete(0);
+        }
+        assert_eq!(fleet.place(), 0);
+        assert_eq!(fleet.inflight(1), 1);
+    }
+
+    #[test]
+    fn stage_uploads_pipeline_under_kernels() {
+        let fleet = FleetRuntime::new(vec![v100()]);
+        let bytes = 64u64 << 20;
+        let copy_t = transfer_time_ns(fleet.config(0), bytes, HostMem::Pinned);
+        let kernel_t = copy_t * 3.0;
+        let n = 6;
+        let mut done = 0.0;
+        for i in 0..n {
+            done = fleet.record_stage(0, &format!("proof{i}"), bytes, kernel_t, 0);
+        }
+        let serial = (copy_t + kernel_t) * f64::from(n);
+        // Only the first upload is exposed; the rest hide under compute.
+        assert!((done - (copy_t + kernel_t * f64::from(n))).abs() < 1e-3);
+        assert!(done < serial * 0.8);
+    }
+
+    #[test]
+    fn downloads_do_not_block_the_next_kernel() {
+        let fleet = FleetRuntime::new(vec![v100()]);
+        let big = 256u64 << 20;
+        let d2h_t = transfer_time_ns(fleet.config(0), big, HostMem::Pinned);
+        let kernel_t = 50_000.0;
+        fleet.record_stage(0, "a", 0, kernel_t, big);
+        let done = fleet.record_stage(0, "b", 0, kernel_t, 0);
+        // Kernel b starts right after kernel a even though a's (huge)
+        // download is still in flight on the download stream.
+        assert!(d2h_t > kernel_t);
+        assert!((done - 2.0 * kernel_t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_rolls_up_engines() {
+        let fleet = FleetRuntime::new(parse_devices("2").unwrap());
+        fleet.assign(0);
+        fleet.record_stage(0, "p", 1 << 20, 2.0e6, 4096);
+        fleet.complete(0);
+        fleet.record_steal(1);
+        fleet.record_shards(0, 3);
+        let util = fleet.utilization();
+        assert_eq!(util.devices.len(), 2);
+        let d0 = &util.devices[0];
+        assert_eq!((d0.jobs, d0.shards), (1, 3));
+        assert_eq!(d0.h2d_bytes, 1 << 20);
+        assert_eq!(d0.d2h_bytes, 4096);
+        assert!(d0.kernel_ns > 0.0 && d0.busy_frac > 0.0 && d0.busy_frac <= 1.0);
+        assert_eq!(util.devices[1].steals, 1);
+        assert_eq!(util.devices[1].jobs, 0);
+        assert!((util.elapsed_ns - d0.elapsed_ns).abs() < 1e-9);
+        let table = util.render();
+        assert!(table.contains("dev0 V100"));
+        assert!(table.contains("util"));
+    }
+
+    #[test]
+    fn trace_exposes_device_lanes_with_start_gauges() {
+        let fleet = FleetRuntime::new(vec![v100(), v100()]);
+        fleet.record_stage(0, "proof0.msm", 8 << 20, 1.5e6, 1024);
+        fleet.record_stage(1, "proof1.msm", 8 << 20, 1.5e6, 1024);
+        fleet.record_steal(1);
+        fleet.record_shards(1, 2);
+        let trace = fleet.trace();
+        for dev in ["dev0", "dev1"] {
+            for lane in ["h2d", "kernel", "d2h"] {
+                let node = trace
+                    .find(&["runtime", dev, lane])
+                    .unwrap_or_else(|| panic!("missing runtime→{dev}→{lane}"));
+                assert!(!node.children.is_empty(), "{dev}/{lane} has no ops");
+                for op in &node.children {
+                    assert!(op.value(counters::SPAN_START_NS).is_some());
+                }
+            }
+        }
+        let up = trace.find(&["runtime", "dev0", "h2d"]).unwrap();
+        assert_eq!(up.children[0].counter("bytes"), Some((8 << 20) as f64));
+        let runtime = trace.find(&["runtime"]).unwrap();
+        assert_eq!(
+            runtime.counter(counters::RUNTIME_H2D_BYTES),
+            Some(2.0 * (8 << 20) as f64)
+        );
+        assert_eq!(runtime.counter(counters::RUNTIME_STEALS), Some(1.0));
+        assert_eq!(runtime.counter(counters::RUNTIME_SHARDS), Some(2.0));
+        assert_eq!(trace.device, "2xV100");
+        // Round-trips through the on-disk schema unchanged.
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,43 @@
+//! # gzkp-runtime — the device-fleet runtime
+//!
+//! Multi-GPU execution layer for the proving service: place proof stages
+//! onto a heterogeneous fleet of simulated devices, pipeline proof `i+1`'s
+//! uploads under proof `i`'s kernels on per-device command streams, and
+//! shard MSMs that exceed a single device's memory into bucket-range
+//! partials merged on the host (bit-identical to the unsharded result;
+//! the functional splitting lives in `gzkp_msm::GzkpMsm::msm_sharded`,
+//! this crate owns the planning and placement policy around it).
+//!
+//! Three pieces:
+//!
+//! * [`spec`] — parsing of `zkserve --devices N[,spec]` fleet descriptions
+//!   into [`gzkp_gpu_sim::DeviceConfig`]s;
+//! * [`fleet`] — [`FleetRuntime`]: per-device [`gzkp_gpu_sim::DeviceTimeline`]s
+//!   with copy/compute/download streams, throughput-weighted least-loaded
+//!   placement, steal accounting, per-device utilization snapshots and a
+//!   `runtime→dev{n}→{h2d,kernel,d2h}` telemetry trace;
+//! * [`planner`] — [`MsmShardPlan`]: the memory check deciding whether an
+//!   MSM runs whole or as device-sized bucket-range shards.
+//!
+//! ## Example
+//!
+//! ```
+//! use gzkp_runtime::{parse_devices, FleetRuntime};
+//!
+//! let fleet = FleetRuntime::new(parse_devices("2,v100").unwrap());
+//! let dev = fleet.place();
+//! fleet.record_stage(dev, "proof0.msm", 64 << 20, 2.0e6, 128);
+//! fleet.complete(dev);
+//! let util = fleet.utilization();
+//! assert_eq!(util.devices.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod planner;
+pub mod spec;
+
+pub use fleet::{DeviceUtilization, FleetRuntime, FleetUtilization};
+pub use planner::MsmShardPlan;
+pub use spec::{device_by_name, fleet_label, parse_devices};

@@ -39,6 +39,46 @@ pub trait ProofTask: Send {
     /// Stage 2 — the five multi-scalar multiplications, producing the
     /// serialized proof.
     fn msm(&mut self, sink: &dyn TelemetrySink) -> Result<TaskOutput, String>;
+
+    /// Rebinds the task's engines to `device` before its next stage runs.
+    /// Fleet placement and work stealing move stages between
+    /// heterogeneous devices; every engine must produce the identical
+    /// functional result on any device (only simulated cost changes).
+    /// Tasks without device-specific state ignore the call.
+    fn bind_device(&mut self, device: &DeviceConfig) {
+        let _ = device;
+    }
+
+    /// Transfer/compute profile of the POLY stage that just ran, for the
+    /// fleet runtime's per-device command streams. Valid after a
+    /// successful [`ProofTask::poly`]. The zero default is for tasks that
+    /// don't model device transfers.
+    fn poly_profile(&self) -> StageProfile {
+        StageProfile::default()
+    }
+
+    /// Transfer/compute profile of the finished MSM stage (`output` is
+    /// what [`ProofTask::msm`] returned). Zero default as above.
+    fn msm_profile(&self, output: &TaskOutput) -> StageProfile {
+        let _ = output;
+        StageProfile::default()
+    }
+}
+
+/// Simulated transfer/compute footprint of one scheduled stage, consumed
+/// by the fleet runtime to build the device's H2D → kernel → D2H command
+/// sequence (uploads of the next stage pipeline under this one's kernels).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageProfile {
+    /// Host→device bytes the stage uploads before compute.
+    pub h2d_bytes: u64,
+    /// Simulated kernel time of the stage.
+    pub kernel_ns: f64,
+    /// Device→host bytes the stage downloads after compute.
+    pub d2h_bytes: u64,
+    /// Bucket-range shards the memory planner split the stage's MSMs
+    /// into (0 when every MSM ran whole).
+    pub shards: u64,
 }
 
 /// What a completed task hands back.
@@ -67,6 +107,9 @@ pub struct Groth16Task<P: PairingConfig> {
     msm_g2: GzkpMsm,
     seed: u64,
     poly_out: Option<PolyArtifacts<P>>,
+    /// Scalar bytes the MSM stage will upload; captured at the end of
+    /// POLY because the artifacts are consumed by the MSM stage itself.
+    msm_h2d_bytes: u64,
 }
 
 impl<P: PairingConfig> Groth16Task<P> {
@@ -96,6 +139,7 @@ impl<P: PairingConfig> Groth16Task<P> {
             msm_g2,
             seed,
             poly_out: None,
+            msm_h2d_bytes: 0,
         }
     }
 }
@@ -115,6 +159,7 @@ where
     fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String> {
         let artifacts = prove_poly::<P>(&self.cs, &self.pk, &self.ntt, sink)
             .map_err(|e| format!("poly stage failed: {e:?}"))?;
+        self.msm_h2d_bytes = artifacts.scalar_bytes();
         self.poly_out = Some(artifacts);
         Ok(())
     }
@@ -135,6 +180,52 @@ where
             proof: proof_to_bytes(&proof),
             report: Some(report),
         })
+    }
+
+    fn bind_device(&mut self, device: &DeviceConfig) {
+        // Engines carry device-tuned parameters (NTT radix from shared
+        // memory, MSM windows from the cost tables), so rebuild them; the
+        // functional results are exact group/field elements either way,
+        // which keeps proofs byte-identical across placements.
+        self.ntt = self.ntt.rebind::<P::Fr>(device.clone());
+        self.msm_g1.device = device.clone();
+        self.msm_g2.device = device.clone();
+    }
+
+    fn poly_profile(&self) -> StageProfile {
+        use gzkp_ff::PrimeField;
+        let fr_bytes = (P::Fr::NUM_LIMBS * 8) as u64;
+        StageProfile {
+            h2d_bytes: self.cs.num_variables() as u64 * fr_bytes,
+            kernel_ns: self.poly_out.as_ref().map_or(0.0, |a| a.report.total_ns()),
+            d2h_bytes: self.pk.h_query.len() as u64 * fr_bytes,
+            shards: 0,
+        }
+    }
+
+    fn msm_profile(&self, output: &TaskOutput) -> StageProfile {
+        let mut shards = 0u64;
+        for n in [
+            self.pk.a_query.len(),
+            self.pk.b_g1_query.len(),
+            self.pk.h_query.len(),
+            self.pk.l_query.len(),
+        ] {
+            let s = self.msm_g1.shard_plan::<P::G1>(n);
+            if s > 1 {
+                shards += s as u64;
+            }
+        }
+        let s = self.msm_g2.shard_plan::<P::G2>(self.pk.b_g2_query.len());
+        if s > 1 {
+            shards += s as u64;
+        }
+        StageProfile {
+            h2d_bytes: self.msm_h2d_bytes,
+            kernel_ns: output.report.as_ref().map_or(0.0, |r| r.msm.total_ns()),
+            d2h_bytes: output.proof.len() as u64,
+            shards,
+        }
     }
 }
 

@@ -61,7 +61,7 @@ pub mod job;
 pub mod replay;
 pub mod service;
 
-pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, TaskOutput};
+pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, StageProfile, TaskOutput};
 pub use replay::{prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome};
 pub use service::{ProvingService, ServiceStats};
 
@@ -148,6 +148,15 @@ pub struct ServiceConfig {
     /// Prefer queued work whose proving key matches the one most recently
     /// scheduled (keeps its checkpoint tables hot in the store).
     pub key_affinity: bool,
+    /// Simulated device fleet. Empty (the default) keeps legacy
+    /// single-device mode: [`ServiceConfig::workers`] threads, each task
+    /// on whatever device it was built with. Non-empty switches to fleet
+    /// mode — one worker pinned per device, stages placed on the
+    /// least-loaded device (stealing across per-device queues when a
+    /// device runs dry), stage transfers pipelined on each device's
+    /// command streams, and per-device utilization available through
+    /// [`ProvingService::fleet_utilization`].
+    pub devices: Vec<gzkp_gpu_sim::device::DeviceConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -163,6 +172,7 @@ impl Default for ServiceConfig {
             prep_cache_bytes: 256 << 20,
             default_deadline: Some(Duration::from_secs(60)),
             key_affinity: true,
+            devices: Vec::new(),
         }
     }
 }

@@ -151,6 +151,12 @@ pub struct ReplayOutcome {
     pub deadline_missed: usize,
     /// Requests cancelled or failed.
     pub failed: usize,
+    /// Per-device utilization when the run used a device fleet
+    /// ([`ServiceConfig::devices`] non-empty); `None` otherwise.
+    pub fleet: Option<gzkp_runtime::FleetUtilization>,
+    /// The fleet's `runtime→dev{n}→…` telemetry trace, alongside
+    /// [`ReplayOutcome::fleet`].
+    pub fleet_trace: Option<gzkp_telemetry::Trace>,
 }
 
 impl ReplayOutcome {
@@ -224,6 +230,8 @@ pub fn run_sequential(workload: &PreparedWorkload, device: &DeviceConfig) -> Rep
         rejected: 0,
         deadline_missed: 0,
         failed: 0,
+        fleet: None,
+        fleet_trace: None,
     }
 }
 
@@ -294,6 +302,8 @@ pub fn run_service(
             }
         }
     }
+    let fleet = service.fleet_utilization();
+    let fleet_trace = service.fleet_trace();
     service.shutdown();
     ReplayOutcome {
         total,
@@ -302,5 +312,7 @@ pub fn run_service(
         rejected,
         deadline_missed: missed,
         failed,
+        fleet,
+        fleet_trace,
     }
 }

@@ -4,7 +4,8 @@
 use crate::job::{JobError, JobHandle, JobResult, JobShared, ProofTask, TaskOutput};
 use crate::{JobOptions, Priority, ServiceConfig, SubmitError};
 use gzkp_msm::PreprocessStore;
-use gzkp_telemetry::{counters, NoopSink, TelemetrySink, TraceRecorder};
+use gzkp_runtime::{FleetRuntime, FleetUtilization};
+use gzkp_telemetry::{counters, NoopSink, TelemetrySink, Trace, TraceRecorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -26,6 +27,9 @@ struct Job {
     /// Whether the `service`/`execute` spans are open (set once the job
     /// first reaches a worker; resolution must close them).
     spans_open: bool,
+    /// Fleet mode: the device the job is currently bound to (engines
+    /// rebuilt for it). `None` until first placement; a steal rebinds it.
+    device: Option<usize>,
 }
 
 impl Job {
@@ -84,6 +88,8 @@ struct Inner {
     idle_cv: Condvar,
     stats: StatCells,
     store: Arc<PreprocessStore>,
+    /// Fleet mode: per-device timelines and placement counters.
+    fleet: Option<Arc<FleetRuntime>>,
 }
 
 enum Stage {
@@ -100,8 +106,12 @@ pub struct ProvingService {
 
 impl ProvingService {
     /// Starts the worker pool (at least one thread) and returns the
-    /// service.
+    /// service. With a non-empty [`ServiceConfig::devices`] fleet, one
+    /// worker is pinned per device and `cfg.workers` is ignored.
     pub fn start(cfg: ServiceConfig) -> Self {
+        let fleet =
+            (!cfg.devices.is_empty()).then(|| Arc::new(FleetRuntime::new(cfg.devices.clone())));
+        let worker_count = fleet.as_ref().map_or(cfg.workers.max(1), |f| f.len());
         let inner = Arc::new(Inner {
             store: Arc::new(PreprocessStore::new(cfg.prep_cache_bytes)),
             queue: Mutex::new(Queue {
@@ -116,18 +126,35 @@ impl ProvingService {
             work_cv: Condvar::new(),
             idle_cv: Condvar::new(),
             stats: StatCells::default(),
+            fleet,
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
+        let workers = (0..worker_count)
             .map(|i| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("gzkp-service-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn service worker")
             })
             .collect();
         Self { inner, workers }
+    }
+
+    /// The device fleet, when the service runs in fleet mode.
+    pub fn fleet(&self) -> Option<&Arc<FleetRuntime>> {
+        self.inner.fleet.as_ref()
+    }
+
+    /// Per-device utilization snapshot (fleet mode only).
+    pub fn fleet_utilization(&self) -> Option<FleetUtilization> {
+        self.inner.fleet.as_ref().map(|f| f.utilization())
+    }
+
+    /// The fleet's `runtime→dev{n}→{h2d,kernel,d2h}` telemetry trace
+    /// (fleet mode only).
+    pub fn fleet_trace(&self) -> Option<Trace> {
+        self.inner.fleet.as_ref().map(|f| f.trace())
     }
 
     /// The shared checkpoint-table store; wire it into each job's MSM
@@ -177,6 +204,7 @@ impl ProvingService {
             shared: shared.clone(),
             recorder: opts.trace.then(|| TraceRecorder::new("service")),
             spans_open: false,
+            device: None,
         });
         q.open += 1;
         self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -230,22 +258,31 @@ impl Drop for ProvingService {
     }
 }
 
-fn worker_loop(inner: &Inner) {
+fn worker_loop(inner: &Inner, wid: usize) {
+    // Fleet mode pins each worker to one device; its queue picks prefer
+    // jobs already bound there (data resident) and fall back to stealing
+    // jobs bound to other devices when its own queue runs dry.
+    let own = inner.fleet.as_ref().map(|f| wid % f.len());
+    let staged_cap = inner
+        .fleet
+        .as_ref()
+        .map_or(inner.cfg.workers.max(1), |f| f.len());
     loop {
         let picked = {
             let mut guard = inner.queue.lock().unwrap();
             loop {
                 let q = &mut *guard;
                 sweep(inner, q);
-                if let Some(job) = pick(&mut q.staged, q.last_key, inner.cfg.key_affinity) {
+                if let Some(job) = pick(&mut q.staged, q.last_key, inner.cfg.key_affinity, own) {
                     q.last_key = Some(job.key);
                     break Some((job, Stage::Msm));
                 }
                 // Cap the staged backlog at the worker count: POLY output
                 // is only useful once an MSM slot can consume it, and the
                 // cap bounds the artifacts held alive.
-                if q.staged.len() < inner.cfg.workers.max(1) {
-                    if let Some(job) = pick(&mut q.pending, q.last_key, inner.cfg.key_affinity) {
+                if q.staged.len() < staged_cap {
+                    if let Some(job) = pick(&mut q.pending, q.last_key, inner.cfg.key_affinity, own)
+                    {
                         q.last_key = Some(job.key);
                         break Some((job, Stage::Poly));
                     }
@@ -256,12 +293,33 @@ fn worker_loop(inner: &Inner) {
                 guard = inner.work_cv.wait(guard).unwrap();
             }
         };
-        let Some((job, stage)) = picked else { return };
+        let Some((mut job, stage)) = picked else {
+            return;
+        };
+        if let (Some(fleet), Some(own)) = (inner.fleet.as_deref(), own) {
+            bind_to_device(fleet, &mut job, own);
+        }
         match stage {
             Stage::Poly => run_poly(inner, job),
             Stage::Msm => run_msm(inner, job),
         }
     }
+}
+
+/// Binds a picked job to the worker's device: counts the steal when the
+/// job was bound elsewhere, releases the old placement, and rebuilds the
+/// task's engines for the new device.
+fn bind_to_device(fleet: &FleetRuntime, job: &mut Job, own: usize) {
+    if job.device == Some(own) {
+        return;
+    }
+    if let Some(prev) = job.device {
+        fleet.complete(prev);
+        fleet.record_steal(own);
+    }
+    job.task.bind_device(fleet.config(own));
+    job.device = Some(own);
+    fleet.assign(own);
 }
 
 /// Resolves every queued job whose deadline passed or that was cancelled,
@@ -292,12 +350,20 @@ fn sweep(inner: &Inner, q: &mut Queue) {
     }
 }
 
-/// Takes the best job: strongest priority first, then (optionally) jobs
-/// sharing the last scheduled proving key, then FIFO order.
-fn pick(list: &mut Vec<Job>, last_key: Option<u64>, affinity: bool) -> Option<Job> {
+/// Takes the best job: strongest priority first, then — in fleet mode —
+/// jobs local to (or not yet bound to) the worker's device before steals
+/// from other devices' queues, then (optionally) jobs sharing the last
+/// scheduled proving key, then FIFO order.
+fn pick(
+    list: &mut Vec<Job>,
+    last_key: Option<u64>,
+    affinity: bool,
+    own: Option<usize>,
+) -> Option<Job> {
     let (idx, _) = list.iter().enumerate().min_by_key(|(_, j)| {
         let cold_key = !(affinity && Some(j.key) == last_key);
-        (j.priority, cold_key, j.seq)
+        let remote = own.is_some() && j.device.is_some() && j.device != own;
+        (j.priority, remote, cold_key, j.seq)
     })?;
     Some(list.remove(idx))
 }
@@ -329,6 +395,16 @@ fn run_poly(inner: &Inner, mut job: Job) {
     };
     match outcome {
         Ok(Ok(())) => {
+            if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
+                let p = job.task.poly_profile();
+                fleet.record_stage(
+                    dev,
+                    &format!("job{}.poly", job.id),
+                    p.h2d_bytes,
+                    p.kernel_ns,
+                    p.d2h_bytes,
+                );
+            }
             let mut q = inner.queue.lock().unwrap();
             q.staged.push(job);
             drop(q);
@@ -355,7 +431,22 @@ fn run_msm(inner: &Inner, mut job: Job) {
         catch_unwind(AssertUnwindSafe(|| task.msm(sink)))
     };
     match outcome {
-        Ok(Ok(output)) => resolve(inner, job, Ok(output)),
+        Ok(Ok(output)) => {
+            if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
+                let p = job.task.msm_profile(&output);
+                fleet.record_stage(
+                    dev,
+                    &format!("job{}.msm", job.id),
+                    p.h2d_bytes,
+                    p.kernel_ns,
+                    p.d2h_bytes,
+                );
+                if p.shards > 0 {
+                    fleet.record_shards(dev, p.shards);
+                }
+            }
+            resolve(inner, job, Ok(output));
+        }
         Ok(Err(msg)) => resolve(inner, job, Err(JobError::Failed(msg))),
         Err(panic) => resolve(inner, job, Err(JobError::Failed(panic_message(&*panic)))),
     }
@@ -391,6 +482,10 @@ fn resolve_locked(
         Err(JobError::Failed(_)) => &inner.stats.failed,
     };
     stat.fetch_add(1, Ordering::Relaxed);
+
+    if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
+        fleet.complete(dev);
+    }
 
     let trace = job.recorder.take().map(|rec| {
         if job.spans_open {

@@ -28,7 +28,9 @@ pub mod diff;
 pub mod trace;
 
 pub use diff::{diff_traces, StageDelta, TraceDiff};
-pub use trace::{render_trace, Histogram, Trace, TraceError, TraceNode, SCHEMA_VERSION};
+pub use trace::{
+    render_timeline, render_trace, Histogram, Trace, TraceError, TraceNode, SCHEMA_VERSION,
+};
 
 use gzkp_gpu_sim::kernel::{KernelReport, StageReport};
 use std::sync::Mutex;
@@ -144,6 +146,18 @@ pub mod counters {
     pub const SERVICE_CANCELLED: &str = "service.cancelled";
     /// Wall-clock nanoseconds a job waited in the service queue.
     pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
+    /// Simulated bytes uploaded host→device by the fleet runtime.
+    pub const RUNTIME_H2D_BYTES: &str = "runtime.h2d_bytes";
+    /// Simulated bytes downloaded device→host by the fleet runtime.
+    pub const RUNTIME_D2H_BYTES: &str = "runtime.d2h_bytes";
+    /// Bucket-range shards the memory planner split MSMs into.
+    pub const RUNTIME_SHARDS: &str = "runtime.shards";
+    /// Jobs a fleet worker stole from another device's queue.
+    pub const RUNTIME_STEALS: &str = "runtime.steals";
+    /// Gauge on device-lane spans: simulated start offset of the span's
+    /// operation within its fleet timeline (what the timeline renderer
+    /// aligns lanes by).
+    pub const SPAN_START_NS: &str = "start_ns";
 }
 
 /// Feeds one simulated stage into the sink: every kernel report, plus the

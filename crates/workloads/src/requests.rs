@@ -132,6 +132,39 @@ impl RequestWorkload {
         }
     }
 
+    /// A fleet-scaling workload: many same-priority single-curve requests
+    /// with no deadlines, sized so throughput is limited by device count
+    /// rather than queueing policy — what the `fleet_throughput` bench
+    /// replays at 1 and 2 simulated devices.
+    pub fn fleet_example() -> Self {
+        Self {
+            seed: 77,
+            requests: vec![
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    constraints: 256,
+                    count: 6,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    constraints: 384,
+                    count: 4,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    constraints: 512,
+                    count: 2,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+            ],
+        }
+    }
+
     /// Parses a workload file.
     pub fn from_json(text: &str) -> Result<Self, String> {
         let root = parse_value(text).map_err(|e| e.to_string())?;
@@ -250,6 +283,14 @@ mod tests {
     #[test]
     fn example_round_trips() {
         let w = RequestWorkload::example();
+        let parsed = RequestWorkload::from_json(&w.to_json()).unwrap();
+        assert_eq!(parsed, w);
+    }
+
+    #[test]
+    fn fleet_example_round_trips() {
+        let w = RequestWorkload::fleet_example();
+        assert_eq!(w.total_requests(), 12);
         let parsed = RequestWorkload::from_json(&w.to_json()).unwrap();
         assert_eq!(parsed, w);
     }

@@ -2,7 +2,7 @@
 //! same inner product; every NTT engine computes the same transform — over
 //! random inputs, on multiple curves and fields.
 
-use gzkp_curves::{bls12_381, bn254, random_points, t753};
+use gzkp_curves::{bls12_381, bn254, compress, random_points, t753};
 use gzkp_ff::fields::{Fr254, Fr381, Fr753};
 use gzkp_ff::{Field, PrimeField};
 use gzkp_gpu_sim::v100;
@@ -82,6 +82,48 @@ proptest! {
         CpuNtt { mode: TwiddleMode::Recompute, parallel: false }
             .transform(&d, &mut v, Direction::Forward);
         prop_assert_eq!(&v, &expect);
+    }
+
+    #[test]
+    fn sharded_msm_byte_identical_bn254(seed in 0u64..1000, n in 1usize..80, sparse in any::<bool>()) {
+        // Bucket-range sharding (the memory planner's fallback for tasks
+        // that exceed device memory) must merge to the exact group element
+        // of the unsharded run — compare compressed bytes, not just group
+        // equality, for every shard count.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = random_points::<bn254::G1Config, _>(n, &mut rng);
+        let scalars = scalars_from_seed::<Fr254>(n, seed ^ 0x5a5a, sparse);
+        let sv = ScalarVec::from_field(&scalars);
+        let engine = GzkpMsm::new(v100());
+        let whole = compress(&engine.msm(&pts, &sv).result.to_affine());
+        for shards in [1usize, 2, 3, 7] {
+            let run = engine.msm_sharded(&pts, &sv, shards);
+            prop_assert_eq!(
+                compress(&run.result.to_affine()),
+                whole.clone(),
+                "shards {}",
+                shards
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_msm_byte_identical_bls12_381(seed in 0u64..1000, n in 1usize..80, sparse in any::<bool>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = random_points::<bls12_381::G1Config, _>(n, &mut rng);
+        let scalars = scalars_from_seed::<Fr381>(n, seed ^ 0xa5a5, sparse);
+        let sv = ScalarVec::from_field(&scalars);
+        let engine = GzkpMsm::new(v100());
+        let whole = compress(&engine.msm(&pts, &sv).result.to_affine());
+        for shards in [1usize, 2, 3, 7] {
+            let run = engine.msm_sharded(&pts, &sv, shards);
+            prop_assert_eq!(
+                compress(&run.result.to_affine()),
+                whole.clone(),
+                "shards {}",
+                shards
+            );
+        }
     }
 
     #[test]

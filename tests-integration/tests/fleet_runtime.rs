@@ -1,0 +1,337 @@
+//! Fleet-mode service behavior: per-device worker pinning, work-stealing
+//! accounting, proof bit-identity across heterogeneous devices, fleet
+//! telemetry, and the shared preprocess store under concurrent eviction
+//! pressure.
+
+use gzkp_curves::bls12_381::Bls12_381;
+use gzkp_curves::bn254::Bn254;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_gpu_sim::{gtx1080ti, v100};
+use gzkp_groth16::{proof_from_bytes, proof_to_bytes, prove, setup, verify, ProverEngines};
+use gzkp_msm::GzkpMsm;
+use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_runtime::parse_devices;
+use gzkp_service::{Groth16Task, JobOptions, ProofTask, ProvingService, ServiceConfig, TaskOutput};
+use gzkp_telemetry::{counters, TelemetrySink};
+use gzkp_workloads::synthetic::synthetic_circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A latch a test can wait on / open.
+#[derive(Default)]
+struct Latch {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn open(&self) {
+        *self.state.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !*st {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Task whose POLY stage blocks until released and that records which
+/// device the scheduler bound it to — pins one fleet worker so placement
+/// can be observed deterministically.
+struct PinProbe {
+    started: Arc<Latch>,
+    release: Arc<Latch>,
+    bound: Arc<Mutex<Vec<&'static str>>>,
+}
+
+impl ProofTask for PinProbe {
+    fn key_id(&self) -> u64 {
+        0
+    }
+    fn bind_device(&mut self, device: &gzkp_gpu_sim::DeviceConfig) {
+        self.bound.lock().unwrap().push(device.name);
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        self.started.open();
+        self.release.wait();
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        Ok(TaskOutput {
+            proof: Vec::new(),
+            report: None,
+        })
+    }
+}
+
+/// Trivial instantly-completing task; the payload tags the proof bytes.
+struct NopTask(u64);
+
+impl ProofTask for NopTask {
+    fn key_id(&self) -> u64 {
+        self.0
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        Ok(TaskOutput {
+            proof: self.0.to_le_bytes().to_vec(),
+            report: None,
+        })
+    }
+}
+
+/// Direct prover bytes for the fleet service to match (always computed on
+/// stock V100 engines — proofs must not depend on the device that ran
+/// them).
+fn direct_proof<P: PairingConfig>(
+    cs: &gzkp_groth16::ConstraintSystem<P::Fr>,
+    pk: &gzkp_groth16::ProvingKey<P>,
+    seed: u64,
+) -> Vec<u8>
+where
+    <P::G1 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+    <P::G2 as gzkp_curves::CurveParams>::Base: gzkp_curves::CoordField,
+{
+    let ntt = GzkpNtt::auto::<P::Fr>(v100());
+    let msm_g1 = GzkpMsm::new(v100());
+    let msm_g2 = GzkpMsm::new(v100());
+    let engines = ProverEngines::<P> {
+        ntt: &ntt,
+        msm_g1: &msm_g1,
+        msm_g2: &msm_g2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (proof, _) = prove(cs, pk, &engines, &mut rng).unwrap();
+    proof_to_bytes(&proof)
+}
+
+#[test]
+fn fleet_pins_one_worker_per_device() {
+    // Two blocking probes on a heterogeneous fleet: each must land on a
+    // different worker, and the workers must bind them to the two distinct
+    // devices.
+    let service = ProvingService::start(ServiceConfig {
+        devices: vec![v100(), gtx1080ti()],
+        ..ServiceConfig::default()
+    });
+    let bound = Arc::new(Mutex::new(Vec::new()));
+    let mut gates = Vec::new();
+    for _ in 0..2 {
+        let started = Arc::new(Latch::default());
+        let release = Arc::new(Latch::default());
+        let handle = service
+            .submit(
+                Box::new(PinProbe {
+                    started: started.clone(),
+                    release: release.clone(),
+                    bound: bound.clone(),
+                }),
+                JobOptions::default(),
+            )
+            .unwrap();
+        gates.push((started, release, handle));
+    }
+    for (started, _, _) in &gates {
+        started.wait();
+    }
+    // Both probes are now in their POLY stage simultaneously, so both
+    // pinned workers are live and each bound its own device.
+    {
+        let mut names = bound.lock().unwrap().clone();
+        names.sort_unstable();
+        assert_eq!(names, vec!["GTX1080Ti", "V100"]);
+    }
+    for (_, release, handle) in gates {
+        release.open();
+        assert!(handle.wait().outcome.is_ok());
+    }
+    let util = service.fleet_utilization().expect("fleet mode");
+    assert_eq!(util.devices.len(), 2);
+    for dev in &util.devices {
+        assert!(dev.jobs >= 1, "device {} saw no jobs", dev.name);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn fleet_proofs_bit_identical_across_heterogeneous_devices() {
+    // Proofs scheduled onto whichever device the fleet picks (V100 or
+    // 1080 Ti, with rebinds on steals) must be byte-identical to the
+    // direct single-V100 prover: every engine computes exact group
+    // elements, so placement can never change proof bytes.
+    let mut rng = StdRng::seed_from_u64(21);
+    let cs_bn = Arc::new(synthetic_circuit::<<Bn254 as PairingConfig>::Fr, _>(
+        96, &mut rng,
+    ));
+    let (pk_bn, vk_bn) = setup::<Bn254, _>(&cs_bn, &mut rng).unwrap();
+    let pk_bn = Arc::new(pk_bn);
+    let cs_bls = Arc::new(synthetic_circuit::<<Bls12_381 as PairingConfig>::Fr, _>(
+        80, &mut rng,
+    ));
+    let (pk_bls, _) = setup::<Bls12_381, _>(&cs_bls, &mut rng).unwrap();
+    let pk_bls = Arc::new(pk_bls);
+
+    let service = ProvingService::start(ServiceConfig {
+        devices: vec![v100(), gtx1080ti()],
+        ..ServiceConfig::default()
+    });
+    let store = service.store();
+    let mut handles = Vec::new();
+    let mut expected = Vec::new();
+    for seed in 0..6u64 {
+        expected.push(direct_proof::<Bn254>(&cs_bn, &pk_bn, 100 + seed));
+        let task = Groth16Task::<Bn254>::new(
+            cs_bn.clone(),
+            pk_bn.clone(),
+            v100(),
+            Some(store.clone()),
+            100 + seed,
+        );
+        handles.push(
+            service
+                .submit(Box::new(task), JobOptions::default())
+                .unwrap(),
+        );
+    }
+    for seed in 0..3u64 {
+        expected.push(direct_proof::<Bls12_381>(&cs_bls, &pk_bls, 200 + seed));
+        let task = Groth16Task::<Bls12_381>::new(
+            cs_bls.clone(),
+            pk_bls.clone(),
+            v100(),
+            Some(store.clone()),
+            200 + seed,
+        );
+        handles.push(
+            service
+                .submit(Box::new(task), JobOptions::default())
+                .unwrap(),
+        );
+    }
+    service.drain();
+
+    for (i, (handle, want)) in handles.into_iter().zip(&expected).enumerate() {
+        let output = handle.wait().outcome.unwrap();
+        assert_eq!(&output.proof, want, "proof {i} differs from direct prover");
+        if i == 0 {
+            let proof = proof_from_bytes::<Bn254>(&output.proof).unwrap();
+            assert!(verify::<Bn254>(&vk_bn, &proof, &cs_bn.input_assignment));
+        }
+    }
+
+    // Fleet telemetry: per-device lanes under `runtime → dev{n}`, with
+    // rolled-up transfer counters on the runtime node.
+    let util = service.fleet_utilization().expect("fleet mode");
+    assert!(util.devices.iter().map(|d| d.jobs).sum::<u64>() >= 9);
+    assert!(util.devices.iter().any(|d| d.h2d_bytes > 0));
+    assert!(util.elapsed_ns > 0.0);
+    let trace = service.fleet_trace().expect("fleet mode");
+    for lane in ["h2d", "kernel", "d2h"] {
+        for dev in ["dev0", "dev1"] {
+            assert!(
+                trace.find(&["runtime", dev, lane]).is_some(),
+                "missing runtime→{dev}→{lane} lane"
+            );
+        }
+    }
+    let runtime = trace.find(&["runtime"]).unwrap();
+    assert!(runtime.counter(counters::RUNTIME_H2D_BYTES).unwrap_or(0.0) > 0.0);
+    service.shutdown();
+}
+
+#[test]
+fn fleet_work_stealing_is_counted_and_safe() {
+    // Stealing is a race between the poly worker and an idle peer grabbing
+    // the freshly staged MSM, so drive enough instant jobs through a
+    // two-device fleet that a steal is (overwhelmingly) certain, and check
+    // stolen jobs still resolve with the right payload.
+    let mut total_steals = 0u64;
+    for round in 0..50 {
+        let service = ProvingService::start(ServiceConfig {
+            queue_capacity: 64,
+            devices: parse_devices("2").expect("spec"),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<_> = (0..48u64)
+            .map(|i| {
+                service
+                    .submit(Box::new(NopTask(i)), JobOptions::default())
+                    .unwrap()
+            })
+            .collect();
+        service.drain();
+        for (i, h) in handles.into_iter().enumerate() {
+            let output = h.wait().outcome.unwrap();
+            assert_eq!(output.proof, (i as u64).to_le_bytes());
+        }
+        let util = service.fleet_utilization().expect("fleet mode");
+        total_steals += util.devices.iter().map(|d| d.steals).sum::<u64>();
+        service.shutdown();
+        if total_steals > 0 {
+            assert!(round < 50);
+            break;
+        }
+    }
+    assert!(total_steals > 0, "no steal observed across 2400 jobs");
+}
+
+#[test]
+fn preprocess_store_eviction_under_concurrent_provers() {
+    // Parallel provers sharing a store whose byte budget can't hold even
+    // one table set: every insert evicts someone else's tables mid-run.
+    // The service must neither deadlock nor serve stale tables — every
+    // proof stays byte-identical to the direct prover.
+    let mut rng = StdRng::seed_from_u64(31);
+    let mut classes = Vec::new();
+    for constraints in [64usize, 96, 128] {
+        let cs = Arc::new(synthetic_circuit::<<Bn254 as PairingConfig>::Fr, _>(
+            constraints,
+            &mut rng,
+        ));
+        let (pk, _) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        classes.push((cs, Arc::new(pk)));
+    }
+
+    let service = ProvingService::start(ServiceConfig {
+        workers: 4,
+        prep_cache_bytes: 1,
+        ..ServiceConfig::default()
+    });
+    let store = service.store();
+    let mut handles = Vec::new();
+    let mut expected = Vec::new();
+    for seed in 0..4u64 {
+        for (cs, pk) in &classes {
+            expected.push(direct_proof::<Bn254>(cs, pk, 300 + seed));
+            let task = Groth16Task::<Bn254>::new(
+                cs.clone(),
+                pk.clone(),
+                v100(),
+                Some(store.clone()),
+                300 + seed,
+            );
+            handles.push(
+                service
+                    .submit(Box::new(task), JobOptions::default())
+                    .unwrap(),
+            );
+        }
+    }
+    service.drain();
+    for (i, (handle, want)) in handles.into_iter().zip(&expected).enumerate() {
+        let output = handle.wait().outcome.unwrap();
+        assert_eq!(&output.proof, want, "proof {i} differs under eviction");
+    }
+    assert!(
+        store.evictions() > 0,
+        "a 1-byte budget must evict between proving keys"
+    );
+    assert!(store.misses() > 0);
+    service.shutdown();
+}

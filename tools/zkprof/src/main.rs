@@ -1,25 +1,30 @@
 //! `zkprof` — render and diff GZKP prover traces.
 //!
 //! ```text
-//! zkprof render <trace.json>
+//! zkprof render <trace.json> [--timeline]
 //! zkprof diff <base.json> <new.json> [--threshold <fraction>]
 //! ```
 //!
 //! `render` pretty-prints the span tree of a `gzkp-trace.json` with the
-//! same per-stage kernel tables the benches print. `diff` compares two
-//! traces span-by-span and exits with status 1 when any stage slowed
-//! down by more than the threshold (default 5%) or the span trees no
-//! longer line up — so it can gate CI on performance regressions.
+//! same per-stage kernel tables the benches print. `render --timeline`
+//! instead draws a fleet trace's per-device command streams (`runtime →
+//! dev{n} → {h2d,kernel,d2h}`, as written by `zkserve --fleet-trace`) as
+//! aligned ASCII rows on one time axis, making transfer/compute overlap
+//! across devices visible at a glance. `diff` compares two traces
+//! span-by-span and exits with status 1 when any stage slowed down by
+//! more than the threshold (default 5%) or the span trees no longer line
+//! up — so it can gate CI on performance regressions.
 
 use std::process::ExitCode;
 
-use gzkp_telemetry::{diff_traces, render_trace, Trace, TraceError};
+use gzkp_telemetry::{diff_traces, render_timeline, render_trace, Trace, TraceError};
 
 const DEFAULT_THRESHOLD: f64 = 0.05;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  zkprof render <trace.json>\n  zkprof diff <base.json> <new.json> [--threshold <fraction>]"
+        "usage:\n  zkprof render <trace.json> [--timeline]\n  \
+         zkprof diff <base.json> <new.json> [--threshold <fraction>]"
     );
     ExitCode::from(2)
 }
@@ -42,14 +47,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("render") => {
-            let [_, path] = args.as_slice() else {
+            let Some((path, timeline)) = parse_render_args(&args[1..]) else {
                 return usage();
             };
-            let trace = match load(path) {
+            let trace = match load(&path) {
                 Ok(t) => t,
                 Err(code) => return code,
             };
-            print!("{}", render_trace(&trace));
+            if timeline {
+                match render_timeline(&trace) {
+                    Some(text) => print!("{text}"),
+                    None => {
+                        eprintln!(
+                            "zkprof: {path}: no `runtime` device lanes — not a fleet trace \
+                             (produce one with `zkserve run … --devices N --fleet-trace …`)"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{}", render_trace(&trace));
+            }
             ExitCode::SUCCESS
         }
         Some("diff") => {
@@ -85,6 +103,20 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses `<trace.json> [--timeline]`.
+fn parse_render_args(rest: &[String]) -> Option<(String, bool)> {
+    let mut path = None;
+    let mut timeline = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--timeline" => timeline = true,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some((path?, timeline))
+}
+
 /// Parses `<base> <new> [--threshold <fraction>]`.
 fn parse_diff_args(rest: &[String]) -> Option<((String, String), f64)> {
     let mut paths: Vec<&String> = Vec::new();
@@ -114,6 +146,25 @@ mod tests {
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn render_args_parse() {
+        assert_eq!(
+            parse_render_args(&s(&["t.json"])),
+            Some(("t.json".into(), false))
+        );
+        assert_eq!(
+            parse_render_args(&s(&["t.json", "--timeline"])),
+            Some(("t.json".into(), true))
+        );
+        assert_eq!(
+            parse_render_args(&s(&["--timeline", "t.json"])),
+            Some(("t.json".into(), true))
+        );
+        assert!(parse_render_args(&s(&[])).is_none());
+        assert!(parse_render_args(&s(&["t.json", "--bogus"])).is_none());
+        assert!(parse_render_args(&s(&["a.json", "b.json"])).is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N]
 //!                             [--deadline-ms N] [--compare]
+//!                             [--devices N[,spec]] [--fleet-trace PATH]
 //! zkserve example
 //! ```
 //!
@@ -15,6 +16,14 @@
 //! prints the speedup; the two runs must produce byte-identical proofs,
 //! which `zkserve` asserts.
 //!
+//! `--devices` switches the service into fleet mode: the value is a
+//! device-fleet spec (`2` = two V100s, `2,1080ti` = two 1080 Tis,
+//! `v100,1080ti` = one of each; see `gzkp_runtime::parse_devices`). The
+//! run then reports per-device utilization (jobs, steals, shards, H2D
+//! bytes, kernel occupancy), and `--fleet-trace PATH` additionally writes
+//! the fleet's `runtime → dev{n} → {h2d,kernel,d2h}` span trace as JSON
+//! for `zkprof render --timeline`.
+//!
 //! `example` prints a starter workload file to stdout.
 
 use gzkp_gpu_sim::v100;
@@ -26,7 +35,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N] \
-         [--deadline-ms N] [--compare]\n  zkserve example"
+         [--deadline-ms N] [--compare] [--devices N[,spec]] [--fleet-trace PATH]\n  \
+         zkserve example"
     );
     ExitCode::from(2)
 }
@@ -35,12 +45,14 @@ struct RunArgs {
     path: String,
     cfg: ServiceConfig,
     compare: bool,
+    fleet_trace: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Option<RunArgs> {
     let mut path = None;
     let mut cfg = ServiceConfig::default();
     let mut compare = false;
+    let mut fleet_trace = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,6 +62,16 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
             "--deadline-ms" => {
                 cfg.default_deadline = Some(Duration::from_millis(it.next()?.parse().ok()?))
             }
+            "--devices" => {
+                cfg.devices = match gzkp_runtime::parse_devices(it.next()?) {
+                    Ok(devices) => devices,
+                    Err(e) => {
+                        eprintln!("zkserve: --devices: {e}");
+                        return None;
+                    }
+                }
+            }
+            "--fleet-trace" => fleet_trace = Some(it.next()?.to_string()),
             "--compare" => compare = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => return None,
@@ -59,6 +81,7 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         path: path?,
         cfg,
         compare,
+        fleet_trace,
     })
 }
 
@@ -121,6 +144,24 @@ fn main() -> ExitCode {
             });
             let outcome = run_service(&prepared, run.cfg.clone(), &device);
             report("service", &outcome);
+            if let Some(fleet) = &outcome.fleet {
+                print!("{}", fleet.render());
+            }
+            if let Some(path) = &run.fleet_trace {
+                match &outcome.fleet_trace {
+                    Some(trace) => {
+                        if let Err(e) = std::fs::write(path, trace.to_json()) {
+                            eprintln!("zkserve: {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                        println!("{:>10}: fleet trace written to {path}", "trace");
+                    }
+                    None => {
+                        eprintln!("zkserve: --fleet-trace requires --devices");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
 
             if let Some(baseline) = baseline {
                 for (i, (s, b)) in outcome.proofs.iter().zip(&baseline.proofs).enumerate() {

@@ -4,22 +4,58 @@
 //! `vendor/README.md`). This harness keeps the same source syntax —
 //! groups, `bench_function`, `bench_with_input`, `Bencher::iter`,
 //! `criterion_group!`/`criterion_main!` — and prints one
-//! `group/name  <median ns>/iter` line per benchmark. There is no
-//! statistical analysis, HTML report, or baseline storage; each bench
-//! runs a short warm-up then a capped measurement loop so the whole
-//! suite stays fast enough for CI smoke runs.
+//! `group/name  <median ns>/iter (±<mad> MAD)` line per benchmark. There
+//! is no HTML report or baseline storage, but each bench runs a timed
+//! warm-up loop before measuring and reports the median with its median
+//! absolute deviation, so callers can tell a stable number from a noisy
+//! one. Finished measurements are also collected process-wide; a bench
+//! `main` can drain them with [`take_results`] to write its own
+//! machine-readable record (the `BENCH_*.json` files of `gzkp-bench`).
 //!
 //! Set `GZKP_BENCH_MS=<n>` to change the per-benchmark measurement
-//! budget (default 50 ms).
+//! budget (default 50 ms) and `GZKP_BENCH_WARMUP_MS=<n>` the warm-up
+//! budget (default 10 ms).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-fn budget() -> Duration {
-    let ms = std::env::var("GZKP_BENCH_MS")
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(var)
         .ok()
         .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(50);
+        .unwrap_or(default_ms);
     Duration::from_millis(ms)
+}
+
+fn budget() -> Duration {
+    env_ms("GZKP_BENCH_MS", 50)
+}
+
+fn warmup_budget() -> Duration {
+    env_ms("GZKP_BENCH_WARMUP_MS", 10)
+}
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name passed to `benchmark_group`.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-batch samples, nanoseconds.
+    pub mad_ns: f64,
+    /// Number of measured batches behind the statistics.
+    pub samples: usize,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process, in run
+/// order. Call at the end of a bench `main` to persist the numbers.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
 }
 
 /// Top-level benchmark driver.
@@ -62,9 +98,9 @@ impl BenchmarkGroup {
 
     /// Runs one benchmark.
     pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
-        let mut b = Bencher { median_ns: None };
+        let mut b = Bencher { measured: None };
         f(&mut b);
-        self.report(&id.into(), b.median_ns);
+        self.report(&id.into(), b.measured);
     }
 
     /// Runs one benchmark parameterized by `input`.
@@ -74,17 +110,29 @@ impl BenchmarkGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) {
-        let mut b = Bencher { median_ns: None };
+        let mut b = Bencher { measured: None };
         f(&mut b, input);
-        self.report(&id.0, b.median_ns);
+        self.report(&id.0, b.measured);
     }
 
     /// Ends the group (prints nothing extra; lines were printed as run).
     pub fn finish(self) {}
 
-    fn report(&self, id: &str, median_ns: Option<f64>) {
-        match median_ns {
-            Some(ns) => println!("{}/{}  {:.1} ns/iter", self.name, id, ns),
+    fn report(&self, id: &str, measured: Option<(f64, f64, usize)>) {
+        match measured {
+            Some((median_ns, mad_ns, samples)) => {
+                println!(
+                    "{}/{}  {median_ns:.1} ns/iter (±{mad_ns:.1} MAD, {samples} samples)",
+                    self.name, id
+                );
+                RESULTS.lock().unwrap().push(BenchResult {
+                    group: self.name.clone(),
+                    id: id.to_string(),
+                    median_ns,
+                    mad_ns,
+                    samples,
+                });
+            }
             None => println!("{}/{}  (no measurement)", self.name, id),
         }
     }
@@ -93,17 +141,28 @@ impl BenchmarkGroup {
 /// Passed to each benchmark closure; call [`Bencher::iter`] with the
 /// routine under test.
 pub struct Bencher {
-    median_ns: Option<f64>,
+    measured: Option<(f64, f64, usize)>,
 }
 
 impl Bencher {
-    /// Measures `routine`: one warm-up call, then batched timing until
-    /// the per-benchmark budget elapses; records the median batch rate.
+    /// Measures `routine`: warm-up iterations until the warm-up budget
+    /// elapses (at least one, also used to calibrate the batch size),
+    /// then batched timing until the measurement budget elapses. Records
+    /// the median per-iteration time and its median absolute deviation
+    /// across batches.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up and batch-size calibration from a single timed call.
-        let t0 = Instant::now();
-        std::hint::black_box(routine());
-        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Warm-up: populate caches/branch predictors outside the timed
+        // region and learn roughly what one call costs.
+        let warm_deadline = Instant::now() + warmup_budget();
+        let mut once = Duration::MAX;
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            once = once.min(t0.elapsed().max(Duration::from_nanos(1)));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
 
         let deadline = Instant::now() + budget();
         let batch =
@@ -117,7 +176,11 @@ impl Bencher {
             samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
         }
         samples.sort_by(|a, b| a.total_cmp(b));
-        self.median_ns = Some(samples[samples.len() / 2]);
+        let median = samples[samples.len() / 2];
+        let mut dev: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+        dev.sort_by(|a, b| a.total_cmp(b));
+        let mad = dev[dev.len() / 2];
+        self.measured = Some((median, mad, samples.len()));
     }
 }
 
@@ -148,8 +211,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn measures_something() {
+    fn measures_median_and_mad() {
         std::env::set_var("GZKP_BENCH_MS", "5");
+        std::env::set_var("GZKP_BENCH_WARMUP_MS", "1");
         let mut c = Criterion::default();
         let mut g = c.benchmark_group("smoke");
         let mut ran = false;
@@ -159,5 +223,11 @@ mod tests {
         });
         g.finish();
         assert!(ran);
+        let results = take_results();
+        let r = results.iter().find(|r| r.id == "noop").expect("recorded");
+        assert_eq!(r.group, "smoke");
+        assert!(r.median_ns.is_finite() && r.median_ns >= 0.0);
+        assert!(r.mad_ns.is_finite() && r.mad_ns >= 0.0);
+        assert!(r.samples >= 1);
     }
 }
