@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod report;
@@ -48,6 +49,7 @@ pub mod stream;
 pub mod transfer;
 
 pub use device::{cpu_xeon, gtx1080ti, v100, Backend, DeviceConfig};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultSummary};
 pub use kernel::{
     multi_gpu_time_ns, simulate_kernel, BlockCost, KernelReport, KernelSpec, StageReport,
 };

@@ -62,4 +62,4 @@ pub use prove::{
 };
 pub use r1cs::{Circuit, ConstraintSystem, LinearCombination, SynthesisError, Variable};
 pub use setup::{setup, ProvingKey, VerifyingKey};
-pub use verify::verify;
+pub use verify::{verify, verify_proof_bytes};

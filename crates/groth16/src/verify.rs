@@ -41,3 +41,29 @@ where
     ]);
     result == gzkp_curves::pairing::Gt::<P>::one()
 }
+
+/// Verifies a serialized proof (the wire format of
+/// [`crate::batch::proof_to_bytes`]) against public inputs.
+///
+/// This is the verify-before-return guard of the proving service: the
+/// proof bytes about to be handed to a client are checked as-is, so a
+/// silently corrupted limb anywhere between the kernel and the response
+/// buffer fails here instead of at the client. Malformed bytes (wrong
+/// length, non-canonical coordinates, point off the curve) return
+/// `false` rather than panicking.
+pub fn verify_proof_bytes<P: PairingConfig>(
+    vk: &VerifyingKey<P>,
+    proof_bytes: &[u8],
+    public_inputs: &[<P as PairingConfig>::Fr],
+) -> bool
+where
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+    <P::G1 as gzkp_curves::CurveParams>::Base: gzkp_curves::serialize::CoordField,
+    <P::G2 as gzkp_curves::CurveParams>::Base: gzkp_curves::serialize::CoordField,
+{
+    match crate::batch::proof_from_bytes::<P>(proof_bytes) {
+        Some(proof) => verify(vk, &proof, public_inputs),
+        None => false,
+    }
+}

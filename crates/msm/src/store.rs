@@ -17,7 +17,7 @@ use std::any::{Any, TypeId};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Identity of one checkpoint-table computation: the point vector (by
 /// address, length, and a sampled content fingerprint guarding against
@@ -114,14 +114,23 @@ impl PreprocessStore {
         self.budget
     }
 
+    /// Locks the entry map, recovering from poison: the store is shared
+    /// by every prover in a service, and a worker panicking mid-stage
+    /// (between lock and unlock here is only reads and Vec edits that
+    /// keep `bytes`/`entries` consistent at every step) must not take the
+    /// whole cache down with it.
+    fn lock_inner(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Bytes currently charged to resident tables.
     pub fn bytes_used(&self) -> u64 {
-        self.inner.lock().unwrap().bytes
+        self.lock_inner().bytes
     }
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.lock_inner().entries.len()
     }
 
     /// Whether the store holds no tables.
@@ -154,7 +163,7 @@ impl PreprocessStore {
         build: impl FnOnce() -> Vec<Vec<Affine<C>>>,
     ) -> Arc<Vec<Vec<Affine<C>>>> {
         {
-            let mut st = self.inner.lock().unwrap();
+            let mut st = self.lock_inner();
             st.clock += 1;
             let clock = st.clock;
             if let Some(e) = st.entries.iter_mut().find(|e| e.key == key) {
@@ -167,7 +176,7 @@ impl PreprocessStore {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let tables = Arc::new(build());
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.lock_inner();
         // A racing builder may have inserted the same key meanwhile; keep
         // the resident copy and drop ours (both are deterministic).
         if let Some(e) = st.entries.iter_mut().find(|e| e.key == key) {
@@ -261,6 +270,30 @@ mod tests {
             tables_for(&vecs[1])
         });
         assert!(rebuilt, "entry 1 must have been evicted");
+    }
+
+    #[test]
+    fn panicking_holder_does_not_poison_the_store() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = random_points::<G1Config, _>(8, &mut rng);
+        let store = Arc::new(PreprocessStore::new(1 << 20));
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, || tables_for(&pts));
+        // A worker panicking while holding the entry-map lock (stage
+        // panics are caught per-job by the service, the thread lives on)
+        // marks the mutex poisoned…
+        let poisoner = store.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().unwrap();
+            panic!("worker died holding the store lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(store.inner.is_poisoned(), "precondition: lock is poisoned");
+        // …but other provers must keep hitting the cache, not panic.
+        let hit = store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, must_hit);
+        assert_eq!(hit.len(), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes_used(), 100);
     }
 
     #[test]

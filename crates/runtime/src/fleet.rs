@@ -10,6 +10,7 @@
 //! stage's upload overlaps this stage's kernel exactly like the CUDA
 //! double-buffered producer/consumer pipeline the simulator models.
 
+use crate::health::{DeviceHealth, HealthPolicy, HealthState};
 use gzkp_gpu_sim::device::DeviceConfig;
 use gzkp_gpu_sim::stream::{DeviceTimeline, EngineKind, StreamId};
 use gzkp_gpu_sim::transfer::HostMem;
@@ -17,7 +18,8 @@ use gzkp_telemetry::counters;
 use gzkp_telemetry::trace::{Trace, TraceNode};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
 
 /// Relative sustained throughput of a device: SM count times per-SM MAC
 /// rate. Only ratios matter — it weights the least-loaded placement so a
@@ -46,10 +48,12 @@ struct DeviceRuntime {
     steals: AtomicU64,
     /// Bucket-range MSM shards executed on this device.
     shards: AtomicU64,
+    /// Circuit-breaker state (see [`crate::health`]).
+    health: Mutex<DeviceHealth>,
 }
 
 impl DeviceRuntime {
-    fn new(config: DeviceConfig) -> Self {
+    fn new(config: DeviceConfig, policy: HealthPolicy) -> Self {
         let mut timeline = DeviceTimeline::new(config.clone());
         let upload = timeline.stream();
         let execute = timeline.stream();
@@ -66,6 +70,7 @@ impl DeviceRuntime {
             jobs: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             shards: AtomicU64::new(0),
+            health: Mutex::new(DeviceHealth::new(policy)),
         }
     }
 }
@@ -83,6 +88,8 @@ pub struct DeviceUtilization {
     pub steals: u64,
     /// Bucket-range MSM shards executed here.
     pub shards: u64,
+    /// Times this device entered quarantine.
+    pub quarantines: u64,
     /// Bytes uploaded.
     pub h2d_bytes: u64,
     /// Bytes downloaded.
@@ -115,17 +122,18 @@ impl FleetUtilization {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<18} {:>5} {:>6} {:>6} {:>10} {:>12} {:>7}",
-            "device", "jobs", "steals", "shards", "h2d MB", "kernel ms", "util"
+            "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10} {:>12} {:>7}",
+            "device", "jobs", "steals", "shards", "quar", "h2d MB", "kernel ms", "util"
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{:<18} {:>5} {:>6} {:>6} {:>10.1} {:>12.3} {:>6.1}%",
+                "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10.1} {:>12.3} {:>6.1}%",
                 format!("dev{} {}", d.index, d.name),
                 d.jobs,
                 d.steals,
                 d.shards,
+                d.quarantines,
                 d.h2d_bytes as f64 / (1024.0 * 1024.0),
                 d.kernel_ns / 1e6,
                 d.busy_frac * 100.0,
@@ -153,9 +161,21 @@ impl FleetRuntime {
     /// Panics on an empty config list — a fleet without devices cannot
     /// place anything.
     pub fn new(configs: Vec<DeviceConfig>) -> Self {
+        Self::with_health_policy(configs, HealthPolicy::default())
+    }
+
+    /// Builds a fleet with an explicit circuit-breaker policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty config list.
+    pub fn with_health_policy(configs: Vec<DeviceConfig>, policy: HealthPolicy) -> Self {
         assert!(!configs.is_empty(), "fleet needs at least one device");
         FleetRuntime {
-            devices: configs.into_iter().map(DeviceRuntime::new).collect(),
+            devices: configs
+                .into_iter()
+                .map(|c| DeviceRuntime::new(c, policy))
+                .collect(),
         }
     }
 
@@ -226,6 +246,76 @@ impl FleetRuntime {
         self.devices[dev].shards.fetch_add(count, Ordering::Relaxed);
     }
 
+    fn health(&self, dev: usize) -> std::sync::MutexGuard<'_, DeviceHealth> {
+        // A panic between lock and unlock cannot corrupt the breaker
+        // state (all updates are single assignments), so recover rather
+        // than propagate the poison to every other worker.
+        self.devices[dev]
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records a successful stage on `dev`: closes its circuit breaker.
+    pub fn record_success(&self, dev: usize) {
+        self.health(dev).on_success();
+    }
+
+    /// Records a failed stage on `dev`. `hard` marks device-gone faults
+    /// (hangs) that trip the breaker immediately. Returns `true` when the
+    /// failure newly quarantined the device.
+    pub fn record_failure(&self, dev: usize, hard: bool) -> bool {
+        self.health(dev).on_failure(Instant::now(), hard)
+    }
+
+    /// Quarantines `dev` immediately (operator action). Returns `true`
+    /// when the device was not already quarantined.
+    pub fn force_quarantine(&self, dev: usize) -> bool {
+        self.health(dev).force_quarantine(Instant::now())
+    }
+
+    /// Whether `dev` currently accepts placements (healthy, or due for
+    /// its probation probe).
+    pub fn available(&self, dev: usize) -> bool {
+        self.health(dev).available(Instant::now())
+    }
+
+    /// The circuit-breaker state of `dev` right now.
+    pub fn health_state(&self, dev: usize) -> HealthState {
+        self.health(dev).state(Instant::now())
+    }
+
+    /// Times `dev` has entered quarantine.
+    pub fn quarantine_count(&self, dev: usize) -> u64 {
+        self.health(dev).quarantine_count()
+    }
+
+    /// Total quarantine entries across the fleet.
+    pub fn quarantine_events(&self) -> u64 {
+        (0..self.devices.len())
+            .map(|d| self.quarantine_count(d))
+            .sum()
+    }
+
+    /// Health-aware placement: the least-loaded *available* device,
+    /// preferring one different from `avoid` (the device a stage just
+    /// failed on). Falls back to `avoid` itself when it is the only
+    /// available device; returns `None` when the whole fleet is
+    /// quarantined — the caller degrades to the host CPU path. Does
+    /// **not** call [`Self::assign`]; the caller places explicitly.
+    pub fn place_available(&self, avoid: Option<usize>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for dev in 0..self.devices.len() {
+            if Some(dev) == avoid || !self.available(dev) {
+                continue;
+            }
+            if best.is_none_or(|b| self.load(dev) < self.load(b)) {
+                best = Some(dev);
+            }
+        }
+        best.or_else(|| avoid.filter(|&d| self.available(d)))
+    }
+
     /// Schedules one proof stage on device `dev`: upload `h2d_bytes` of
     /// pinned host memory, run `kernel_ns` of compute ordered after the
     /// upload, download `d2h_bytes` ordered after the kernel. Returns the
@@ -284,6 +374,7 @@ impl FleetRuntime {
                 jobs: d.jobs.load(Ordering::Relaxed),
                 steals: d.steals.load(Ordering::Relaxed),
                 shards: d.shards.load(Ordering::Relaxed),
+                quarantines: self.quarantine_count(index),
                 h2d_bytes: lanes.timeline.h2d_bytes(),
                 d2h_bytes: lanes.timeline.d2h_bytes(),
                 h2d_ns: lanes.timeline.busy_ns(EngineKind::H2d),
@@ -320,11 +411,13 @@ impl FleetRuntime {
         let mut total_d2h = 0u64;
         let mut total_steals = 0u64;
         let mut total_shards = 0u64;
+        let mut total_quarantines = 0u64;
         for (d, row) in self.devices.iter().zip(&util.devices) {
             total_h2d += row.h2d_bytes;
             total_d2h += row.d2h_bytes;
             total_steals += row.steals;
             total_shards += row.shards;
+            total_quarantines += row.quarantines;
             let mut node = TraceNode::new(format!("dev{}", row.index));
             node.time_ns = row.elapsed_ns;
             node.counters
@@ -333,6 +426,12 @@ impl FleetRuntime {
                 .push((counters::RUNTIME_STEALS.to_string(), row.steals as f64));
             node.counters
                 .push((counters::RUNTIME_SHARDS.to_string(), row.shards as f64));
+            if row.quarantines > 0 {
+                node.counters.push((
+                    counters::QUARANTINE_EVENTS.to_string(),
+                    row.quarantines as f64,
+                ));
+            }
             node.counters.push((
                 counters::RUNTIME_H2D_BYTES.to_string(),
                 row.h2d_bytes as f64,
@@ -371,6 +470,12 @@ impl FleetRuntime {
         runtime
             .counters
             .push((counters::RUNTIME_SHARDS.to_string(), total_shards as f64));
+        if total_quarantines > 0 {
+            runtime.counters.push((
+                counters::QUARANTINE_EVENTS.to_string(),
+                total_quarantines as f64,
+            ));
+        }
         let mut root = TraceNode::new("root");
         root.time_ns = runtime.time_ns;
         root.children.push(runtime);
@@ -462,6 +567,48 @@ mod tests {
         let table = util.render();
         assert!(table.contains("dev0 V100"));
         assert!(table.contains("util"));
+    }
+
+    #[test]
+    fn quarantine_steers_placement_and_surfaces_in_reports() {
+        use crate::health::HealthPolicy;
+        use std::time::Duration;
+        let policy = HealthPolicy {
+            quarantine_after: 2,
+            probation: Duration::from_secs(60),
+            max_probation: Duration::from_secs(60),
+        };
+        let fleet = FleetRuntime::with_health_policy(vec![v100(), v100()], policy);
+        assert_eq!(fleet.place_available(None), Some(0));
+        // Retry placement avoids the device the stage just failed on.
+        assert_eq!(fleet.place_available(Some(0)), Some(1));
+        // A hang hard-quarantines immediately; soft failures need two.
+        assert!(fleet.record_failure(1, true));
+        assert!(!fleet.available(1));
+        assert_eq!(
+            fleet.place_available(Some(0)),
+            Some(0),
+            "fall back to avoid"
+        );
+        assert!(!fleet.record_failure(0, false));
+        assert!(fleet.record_failure(0, false));
+        assert_eq!(fleet.place_available(None), None, "whole fleet down");
+        assert_eq!(fleet.quarantine_events(), 2);
+        let util = fleet.utilization();
+        assert_eq!(util.devices[0].quarantines, 1);
+        assert!(util.render().contains("quar"));
+        let trace = fleet.trace();
+        let runtime = trace.find(&["runtime"]).unwrap();
+        assert_eq!(runtime.counter(counters::QUARANTINE_EVENTS), Some(2.0));
+    }
+
+    #[test]
+    fn healthy_fleet_trace_omits_quarantine_counter() {
+        let fleet = FleetRuntime::new(vec![v100()]);
+        fleet.record_stage(0, "p", 1024, 1.0e6, 0);
+        let trace = fleet.trace();
+        let runtime = trace.find(&["runtime"]).unwrap();
+        assert_eq!(runtime.counter(counters::QUARANTINE_EVENTS), None);
     }
 
     #[test]

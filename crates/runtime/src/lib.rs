@@ -17,7 +17,10 @@
 //!   placement, steal accounting, per-device utilization snapshots and a
 //!   `runtime→dev{n}→{h2d,kernel,d2h}` telemetry trace;
 //! * [`planner`] — [`MsmShardPlan`]: the memory check deciding whether an
-//!   MSM runs whole or as device-sized bucket-range shards.
+//!   MSM runs whole or as device-sized bucket-range shards;
+//! * [`health`] — [`DeviceHealth`]: the consecutive-failure circuit
+//!   breaker (quarantine + probation re-probe) behind
+//!   [`FleetRuntime::place_available`].
 //!
 //! ## Example
 //!
@@ -35,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod health;
 pub mod planner;
 pub mod spec;
 
 pub use fleet::{DeviceUtilization, FleetRuntime, FleetUtilization};
+pub use health::{DeviceHealth, HealthPolicy, HealthState};
 pub use planner::MsmShardPlan;
 pub use spec::{device_by_name, fleet_label, parse_devices};

@@ -6,7 +6,7 @@ use gzkp_curves::{CoordField, CurveParams};
 use gzkp_gpu_sim::device::DeviceConfig;
 use gzkp_groth16::prove::{prove_msm, prove_poly, PolyArtifacts, ProveReport, ProverEngines};
 use gzkp_groth16::r1cs::ConstraintSystem;
-use gzkp_groth16::{proof_to_bytes, ProvingKey};
+use gzkp_groth16::{proof_to_bytes, verify_proof_bytes, ProvingKey, VerifyingKey};
 use gzkp_msm::{GzkpMsm, PreprocessStore};
 use gzkp_ntt::gpu::GzkpNtt;
 use gzkp_telemetry::{TelemetrySink, Trace};
@@ -63,6 +63,17 @@ pub trait ProofTask: Send {
         let _ = output;
         StageProfile::default()
     }
+
+    /// Verify-before-return guard: checks the finished proof before the
+    /// service publishes it. `Some(false)` marks the output corrupt — the
+    /// scheduler re-executes the job once and surfaces
+    /// [`JobError::Failed`] if the re-run's proof is rejected too.
+    /// `None` (the default) means the task cannot self-verify and the
+    /// output is returned as-is.
+    fn verify_output(&self, output: &TaskOutput) -> Option<bool> {
+        let _ = output;
+        None
+    }
 }
 
 /// Simulated transfer/compute footprint of one scheduled stage, consumed
@@ -102,6 +113,10 @@ pub struct TaskOutput {
 pub struct Groth16Task<P: PairingConfig> {
     cs: Arc<ConstraintSystem<P::Fr>>,
     pk: Arc<ProvingKey<P>>,
+    /// Verify-before-return: when present, the finished proof is checked
+    /// against this key (public inputs from the constraint system) before
+    /// the service publishes it.
+    vk: Option<Arc<VerifyingKey<P>>>,
     ntt: GzkpNtt,
     msm_g1: GzkpMsm,
     msm_g2: GzkpMsm,
@@ -134,6 +149,7 @@ impl<P: PairingConfig> Groth16Task<P> {
         Self {
             cs,
             pk,
+            vk: None,
             ntt: GzkpNtt::auto::<P::Fr>(device),
             msm_g1,
             msm_g2,
@@ -142,12 +158,23 @@ impl<P: PairingConfig> Groth16Task<P> {
             msm_h2d_bytes: 0,
         }
     }
+
+    /// Enables the verify-before-return guard: the finished proof is
+    /// checked against `vk` (with the task's public inputs) before the
+    /// service returns it, catching silent corruption between the MSM
+    /// kernels and the response buffer.
+    pub fn with_verifying_key(mut self, vk: Arc<VerifyingKey<P>>) -> Self {
+        self.vk = Some(vk);
+        self
+    }
 }
 
 impl<P: PairingConfig> ProofTask for Groth16Task<P>
 where
     <P::G1 as CurveParams>::Base: CoordField,
     <P::G2 as CurveParams>::Base: CoordField,
+    <P::Fq12C as gzkp_ff::ext::Fp12Config>::Fp6C: gzkp_ff::ext::Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: gzkp_ff::ext::Fp2Config,
 {
     fn key_id(&self) -> u64 {
         let mut h = DefaultHasher::new();
@@ -227,6 +254,12 @@ where
             shards,
         }
     }
+
+    fn verify_output(&self, output: &TaskOutput) -> Option<bool> {
+        self.vk
+            .as_ref()
+            .map(|vk| verify_proof_bytes::<P>(vk, &output.proof, &self.cs.input_assignment))
+    }
 }
 
 /// Why a job did not produce a proof.
@@ -237,6 +270,10 @@ pub enum JobError {
     DeadlineMissed,
     /// [`JobHandle::cancel`] was honored before completion.
     Cancelled,
+    /// Shutdown arrived while the job was parked for a retry backoff (its
+    /// device quarantined or its stage awaiting re-execution); the job is
+    /// returned instead of silently dropped or waited out.
+    Drained,
     /// A stage returned an error or panicked.
     Failed(String),
 }
@@ -246,6 +283,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::DeadlineMissed => write!(f, "deadline missed"),
             JobError::Cancelled => write!(f, "cancelled"),
+            JobError::Drained => write!(f, "drained at shutdown before retry"),
             JobError::Failed(msg) => write!(f, "failed: {msg}"),
         }
     }

@@ -132,6 +132,34 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Stage-retry policy: how often and how patiently the service re-runs a
+/// stage that an injected fault (or a verify reject) knocked out.
+///
+/// Retries apply only to *recoverable* failures — chaos-injected faults
+/// and verify-before-return rejects. A stage returning a real error or
+/// panicking still fails the job immediately: retrying a deterministic
+/// bug burns fleet time without changing the outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-executions allowed per job (across both stages) before the job
+    /// resolves as [`JobError::Failed`].
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub backoff: Duration,
+    /// Upper bound on the doubling backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
 /// Proving-service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -157,6 +185,13 @@ pub struct ServiceConfig {
     /// command streams, and per-device utilization available through
     /// [`ProvingService::fleet_utilization`].
     pub devices: Vec<gzkp_gpu_sim::device::DeviceConfig>,
+    /// Chaos mode: a seeded [`gzkp_gpu_sim::FaultPlan`] injected into
+    /// every stage execution. `None` (the default) runs fault-free.
+    pub chaos: Option<gzkp_gpu_sim::FaultPlan>,
+    /// Stage-retry policy for injected faults and verify rejects.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy of the device fleet (fleet mode only).
+    pub health: gzkp_runtime::HealthPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +208,9 @@ impl Default for ServiceConfig {
             default_deadline: Some(Duration::from_secs(60)),
             key_affinity: true,
             devices: Vec::new(),
+            chaos: None,
+            retry: RetryPolicy::default(),
+            health: gzkp_runtime::HealthPolicy::default(),
         }
     }
 }

@@ -3,13 +3,15 @@
 //! prove-in-a-loop baseline or through the [`ProvingService`] — the
 //! comparison `zkserve` and the `service_throughput` bench report.
 
+use crate::service::ServiceStats;
 use crate::{Groth16Task, JobError, JobOptions, Priority, ProvingService, ServiceConfig};
 use gzkp_curves::bls12_381::Bls12_381;
 use gzkp_curves::bn254::Bn254;
 use gzkp_curves::pairing::PairingConfig;
 use gzkp_gpu_sim::device::DeviceConfig;
+use gzkp_gpu_sim::FaultSummary;
 use gzkp_groth16::r1cs::ConstraintSystem;
-use gzkp_groth16::{proof_to_bytes, prove, setup, ProverEngines, ProvingKey};
+use gzkp_groth16::{proof_to_bytes, prove, setup, ProverEngines, ProvingKey, VerifyingKey};
 use gzkp_msm::GzkpMsm;
 use gzkp_ntt::gpu::GzkpNtt;
 use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestWorkload};
@@ -23,6 +25,7 @@ use std::time::{Duration, Instant};
 struct Keyed<P: PairingConfig> {
     cs: Arc<ConstraintSystem<P::Fr>>,
     pk: Arc<ProvingKey<P>>,
+    vk: Arc<VerifyingKey<P>>,
 }
 
 impl<P: PairingConfig> Clone for Keyed<P> {
@@ -30,6 +33,7 @@ impl<P: PairingConfig> Clone for Keyed<P> {
         Self {
             cs: self.cs.clone(),
             pk: self.pk.clone(),
+            vk: self.vk.clone(),
         }
     }
 }
@@ -90,10 +94,11 @@ pub fn prepare(workload: &RequestWorkload, device: &DeviceConfig) -> PreparedWor
                         spec.constraints,
                         &mut rng,
                     ));
-                    let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
+                    let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
                     PreparedCurve::Bn254(Keyed {
                         cs,
                         pk: Arc::new(pk),
+                        vk: Arc::new(vk),
                     })
                 }
                 RequestCurve::Bls12_381 => {
@@ -101,10 +106,11 @@ pub fn prepare(workload: &RequestWorkload, device: &DeviceConfig) -> PreparedWor
                         spec.constraints,
                         &mut rng,
                     ));
-                    let (pk, _vk) = setup::<Bls12_381, _>(&cs, &mut rng).expect("setup");
+                    let (pk, vk) = setup::<Bls12_381, _>(&cs, &mut rng).expect("setup");
                     PreparedCurve::Bls12_381(Keyed {
                         cs,
                         pk: Arc::new(pk),
+                        vk: Arc::new(vk),
                     })
                 }
             };
@@ -157,6 +163,11 @@ pub struct ReplayOutcome {
     /// The fleet's `runtime→dev{n}→…` telemetry trace, alongside
     /// [`ReplayOutcome::fleet`].
     pub fleet_trace: Option<gzkp_telemetry::Trace>,
+    /// The service's lifetime counters (retries, verify rejects,
+    /// quarantines, …); `None` for the sequential baseline.
+    pub stats: Option<ServiceStats>,
+    /// Aggregate injected-fault counts when the run was a chaos replay.
+    pub chaos: Option<FaultSummary>,
 }
 
 impl ReplayOutcome {
@@ -232,6 +243,8 @@ pub fn run_sequential(workload: &PreparedWorkload, device: &DeviceConfig) -> Rep
         failed: 0,
         fleet: None,
         fleet_trace: None,
+        stats: None,
+        chaos: None,
     }
 }
 
@@ -243,6 +256,9 @@ pub fn run_service(
     cfg: ServiceConfig,
     device: &DeviceConfig,
 ) -> ReplayOutcome {
+    // Chaos replays corrupt proofs silently; the verify-before-return
+    // guard is what catches them, so chaos implies verification.
+    let verify = cfg.chaos.is_some();
     let service = ProvingService::start(cfg);
     let store = service.store();
     let start = Instant::now();
@@ -251,20 +267,32 @@ pub fn run_service(
         .iter()
         .map(|req| {
             let task: Box<dyn crate::ProofTask> = match &req.curve {
-                PreparedCurve::Bn254(k) => Box::new(Groth16Task::<Bn254>::new(
-                    k.cs.clone(),
-                    k.pk.clone(),
-                    device.clone(),
-                    Some(store.clone()),
-                    req.seed,
-                )),
-                PreparedCurve::Bls12_381(k) => Box::new(Groth16Task::<Bls12_381>::new(
-                    k.cs.clone(),
-                    k.pk.clone(),
-                    device.clone(),
-                    Some(store.clone()),
-                    req.seed,
-                )),
+                PreparedCurve::Bn254(k) => {
+                    let mut t = Groth16Task::<Bn254>::new(
+                        k.cs.clone(),
+                        k.pk.clone(),
+                        device.clone(),
+                        Some(store.clone()),
+                        req.seed,
+                    );
+                    if verify {
+                        t = t.with_verifying_key(k.vk.clone());
+                    }
+                    Box::new(t)
+                }
+                PreparedCurve::Bls12_381(k) => {
+                    let mut t = Groth16Task::<Bls12_381>::new(
+                        k.cs.clone(),
+                        k.pk.clone(),
+                        device.clone(),
+                        Some(store.clone()),
+                        req.seed,
+                    );
+                    if verify {
+                        t = t.with_verifying_key(k.vk.clone());
+                    }
+                    Box::new(t)
+                }
             };
             let opts = JobOptions {
                 priority: req.priority,
@@ -304,7 +332,8 @@ pub fn run_service(
     }
     let fleet = service.fleet_utilization();
     let fleet_trace = service.fleet_trace();
-    service.shutdown();
+    let chaos = service.fault_injector().map(|inj| inj.summary());
+    let stats = service.shutdown();
     ReplayOutcome {
         total,
         proofs,
@@ -314,5 +343,7 @@ pub fn run_service(
         failed,
         fleet,
         fleet_trace,
+        stats: Some(stats),
+        chaos,
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::job::{JobError, JobHandle, JobResult, JobShared, ProofTask, TaskOutput};
 use crate::{JobOptions, Priority, ServiceConfig, SubmitError};
+use gzkp_gpu_sim::{FaultInjector, FaultKind};
 use gzkp_msm::PreprocessStore;
 use gzkp_runtime::{FleetRuntime, FleetUtilization};
 use gzkp_telemetry::{counters, NoopSink, TelemetrySink, Trace, TraceRecorder};
@@ -24,17 +25,39 @@ struct Job {
     queue_wait: Duration,
     shared: Arc<JobShared>,
     recorder: Option<TraceRecorder>,
+    /// Whether the job has reached a worker at least once (queue wait
+    /// measured, `service`/`execute` spans opened).
+    started: bool,
     /// Whether the `service`/`execute` spans are open (set once the job
     /// first reaches a worker; resolution must close them).
     spans_open: bool,
     /// Fleet mode: the device the job is currently bound to (engines
     /// rebuilt for it). `None` until first placement; a steal rebinds it.
     device: Option<usize>,
+    /// Fault-draw index: advances on every injected fault and verify
+    /// reject (never on dead-device hits), so the injected sequence per
+    /// job is a pure function of the chaos seed.
+    attempt: u32,
+    /// Stage re-executions performed for this job.
+    retries: u32,
+    /// Injected faults this job absorbed.
+    faults: u32,
+    /// Verify-before-return rejections for this job.
+    verify_rejects: u32,
+    /// Retry backoff: the job is not schedulable before this instant.
+    not_before: Option<Instant>,
+    /// The device the job's last stage failed on; the next placement
+    /// avoids it when any other device is available.
+    avoid_device: Option<usize>,
 }
 
 impl Job {
     fn expired(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
+    }
+
+    fn ready(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
     }
 }
 
@@ -59,7 +82,12 @@ struct StatCells {
     completed: AtomicU64,
     deadline_missed: AtomicU64,
     cancelled: AtomicU64,
+    drained: AtomicU64,
     failed: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    verify_rejects: AtomicU64,
+    cpu_fallbacks: AtomicU64,
 }
 
 /// Snapshot of the service's lifetime counters.
@@ -75,8 +103,23 @@ pub struct ServiceStats {
     pub deadline_missed: u64,
     /// Jobs dropped by [`JobHandle::cancel`].
     pub cancelled: u64,
-    /// Jobs whose stage errored or panicked.
+    /// Jobs returned as [`JobError::Drained`]: shutdown arrived while
+    /// they were parked for a retry backoff.
+    pub drained: u64,
+    /// Jobs whose stage errored or panicked (including jobs that
+    /// exhausted their retry budget).
     pub failed: u64,
+    /// Stage re-executions performed recovering from faults.
+    pub retries: u64,
+    /// Faults the chaos injector fired (dead-device hits not included).
+    pub faults_injected: u64,
+    /// Proofs the verify-before-return guard rejected.
+    pub verify_rejects: u64,
+    /// Devices quarantined by the fleet's circuit breaker.
+    pub quarantines: u64,
+    /// Stage executions degraded to the host CPU path because no fleet
+    /// device was available.
+    pub cpu_fallbacks: u64,
 }
 
 struct Inner {
@@ -90,6 +133,9 @@ struct Inner {
     store: Arc<PreprocessStore>,
     /// Fleet mode: per-device timelines and placement counters.
     fleet: Option<Arc<FleetRuntime>>,
+    /// Chaos mode: the deterministic fault oracle rolled before every
+    /// stage execution.
+    injector: Option<Arc<FaultInjector>>,
 }
 
 enum Stage {
@@ -109,8 +155,16 @@ impl ProvingService {
     /// service. With a non-empty [`ServiceConfig::devices`] fleet, one
     /// worker is pinned per device and `cfg.workers` is ignored.
     pub fn start(cfg: ServiceConfig) -> Self {
-        let fleet =
-            (!cfg.devices.is_empty()).then(|| Arc::new(FleetRuntime::new(cfg.devices.clone())));
+        let fleet = (!cfg.devices.is_empty()).then(|| {
+            Arc::new(FleetRuntime::with_health_policy(
+                cfg.devices.clone(),
+                cfg.health,
+            ))
+        });
+        let injector = cfg
+            .chaos
+            .clone()
+            .map(|plan| Arc::new(FaultInjector::new(plan)));
         let worker_count = fleet.as_ref().map_or(cfg.workers.max(1), |f| f.len());
         let inner = Arc::new(Inner {
             store: Arc::new(PreprocessStore::new(cfg.prep_cache_bytes)),
@@ -127,6 +181,7 @@ impl ProvingService {
             idle_cv: Condvar::new(),
             stats: StatCells::default(),
             fleet,
+            injector,
             cfg,
         });
         let workers = (0..worker_count)
@@ -144,6 +199,12 @@ impl ProvingService {
     /// The device fleet, when the service runs in fleet mode.
     pub fn fleet(&self) -> Option<&Arc<FleetRuntime>> {
         self.inner.fleet.as_ref()
+    }
+
+    /// The chaos fault injector, when [`ServiceConfig::chaos`] is set —
+    /// its event log is the reproducible fault trace of the run.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.inner.injector.as_ref()
     }
 
     /// Per-device utilization snapshot (fleet mode only).
@@ -203,8 +264,15 @@ impl ProvingService {
             queue_wait: Duration::ZERO,
             shared: shared.clone(),
             recorder: opts.trace.then(|| TraceRecorder::new("service")),
+            started: false,
             spans_open: false,
             device: None,
+            attempt: 0,
+            retries: 0,
+            faults: 0,
+            verify_rejects: 0,
+            not_before: None,
+            avoid_device: None,
         });
         q.open += 1;
         self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -231,7 +299,17 @@ impl ProvingService {
             completed: s.completed.load(Ordering::Relaxed),
             deadline_missed: s.deadline_missed.load(Ordering::Relaxed),
             cancelled: s.cancelled.load(Ordering::Relaxed),
+            drained: s.drained.load(Ordering::Relaxed),
             failed: s.failed.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            faults_injected: s.faults_injected.load(Ordering::Relaxed),
+            verify_rejects: s.verify_rejects.load(Ordering::Relaxed),
+            quarantines: self
+                .inner
+                .fleet
+                .as_ref()
+                .map_or(0, |f| f.quarantine_events()),
+            cpu_fallbacks: s.cpu_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -290,18 +368,55 @@ fn worker_loop(inner: &Inner, wid: usize) {
                 if !q.accepting && q.open == 0 {
                     break None;
                 }
-                guard = inner.work_cv.wait(guard).unwrap();
+                // Jobs parked for a retry backoff bound the wait: wake
+                // when the earliest becomes schedulable again.
+                let next_ready = q
+                    .pending
+                    .iter()
+                    .chain(q.staged.iter())
+                    .filter_map(|j| j.not_before)
+                    .min();
+                guard = match next_ready {
+                    Some(t) => {
+                        let timeout = t.saturating_duration_since(Instant::now());
+                        inner.work_cv.wait_timeout(guard, timeout).unwrap().0
+                    }
+                    None => inner.work_cv.wait(guard).unwrap(),
+                };
             }
         };
         let Some((mut job, stage)) = picked else {
             return;
         };
         if let (Some(fleet), Some(own)) = (inner.fleet.as_deref(), own) {
-            bind_to_device(fleet, &mut job, own);
+            place_job(inner, fleet, &mut job, own);
         }
         match stage {
             Stage::Poly => run_poly(inner, job),
             Stage::Msm => run_msm(inner, job),
+        }
+    }
+}
+
+/// Health-aware placement of a picked job: the worker's own device when
+/// it is available (and not the device the job just failed on), else the
+/// least-loaded available device, else — whole fleet quarantined — the
+/// host CPU path, which cannot be quarantined and guarantees progress.
+fn place_job(inner: &Inner, fleet: &FleetRuntime, job: &mut Job, own: usize) {
+    let own_ok = fleet.available(own) && job.avoid_device != Some(own);
+    let target = if own_ok {
+        Some(own)
+    } else {
+        fleet.place_available(job.avoid_device)
+    };
+    match target {
+        Some(dev) => bind_to_device(fleet, job, dev),
+        None => {
+            if let Some(prev) = job.device.take() {
+                fleet.complete(prev);
+            }
+            job.task.bind_device(&gzkp_gpu_sim::cpu_xeon());
+            inner.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -338,6 +453,11 @@ fn sweep(inner: &Inner, q: &mut Queue) {
                 resolve_locked(inner, q, job, Err(JobError::Cancelled));
             } else if job.expired(now) {
                 resolve_locked(inner, q, job, Err(JobError::DeadlineMissed));
+            } else if !q.accepting && !job.ready(now) {
+                // Shutdown must not wait out retry backoffs (a job parked
+                // behind a quarantined device could hold the drain for a
+                // whole probation window): return it explicitly.
+                resolve_locked(inner, q, job, Err(JobError::Drained));
             } else {
                 keep.push(job);
             }
@@ -360,30 +480,103 @@ fn pick(
     affinity: bool,
     own: Option<usize>,
 ) -> Option<Job> {
-    let (idx, _) = list.iter().enumerate().min_by_key(|(_, j)| {
-        let cold_key = !(affinity && Some(j.key) == last_key);
-        let remote = own.is_some() && j.device.is_some() && j.device != own;
-        (j.priority, remote, cold_key, j.seq)
-    })?;
+    let now = Instant::now();
+    let (idx, _) = list
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| j.ready(now))
+        .min_by_key(|(_, j)| {
+            let cold_key = !(affinity && Some(j.key) == last_key);
+            let remote = own.is_some() && j.device.is_some() && j.device != own;
+            (j.priority, remote, cold_key, j.seq)
+        })?;
     Some(list.remove(idx))
 }
 
-fn run_poly(inner: &Inner, mut job: Job) {
-    // First time on a worker: the queue wait ends here.
-    job.queue_wait = job.submitted.elapsed();
+/// Rolls the chaos oracle for one stage execution. Returns the injected
+/// fault, distinguishing dead-device hits (placement events that neither
+/// consume a draw nor advance the job's attempt index) from drawn faults.
+fn roll_fault(inner: &Inner, job: &mut Job, stage: &str, corruptible: bool) -> Option<FaultKind> {
+    let inj = inner.injector.as_deref()?;
+    let dead_hit = job.device.is_some_and(|d| inj.is_dead(d));
+    let kind = inj.roll(job.device, job.id, stage, job.attempt, corruptible)?;
+    if !dead_hit {
+        job.attempt += 1;
+        job.faults += 1;
+        inner.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+    Some(kind)
+}
+
+/// Handles a recoverable stage failure (injected fault or verify
+/// reject): updates device health, parks the job for an exponential
+/// backoff, and requeues it — `to_staged` keeps the POLY artifacts (the
+/// fault hit before the MSM stage consumed them), otherwise the job
+/// restarts from POLY. Jobs that exhausted the retry budget resolve as
+/// [`JobError::Failed`].
+fn retry_or_fail(inner: &Inner, mut job: Job, reason: &str, hard: bool, to_staged: bool) {
+    if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device.take()) {
+        fleet.complete(dev);
+        fleet.record_failure(dev, hard);
+        job.avoid_device = Some(dev);
+    }
+    if job.attempt > inner.cfg.retry.max_retries {
+        return resolve(
+            inner,
+            job,
+            Err(JobError::Failed(format!(
+                "{reason} (retry budget of {} exhausted)",
+                inner.cfg.retry.max_retries
+            ))),
+        );
+    }
+    job.retries += 1;
+    inner.stats.retries.fetch_add(1, Ordering::Relaxed);
     if let Some(rec) = &job.recorder {
-        rec.span_start("service");
-        rec.span_start("queue_wait");
-        rec.span_time(job.queue_wait.as_nanos() as f64);
-        rec.span_end("queue_wait");
-        rec.span_start("execute");
-        job.spans_open = true;
+        rec.span_start("retry");
+        rec.span_end("retry");
+    }
+    let policy = &inner.cfg.retry;
+    let exp = job.retries.saturating_sub(1).min(16);
+    let delay = policy
+        .backoff
+        .saturating_mul(1u32 << exp)
+        .min(policy.max_backoff);
+    job.not_before = Some(Instant::now() + delay);
+    let mut q = inner.queue.lock().unwrap();
+    if to_staged {
+        q.staged.push(job);
+    } else {
+        q.pending.push(job);
+    }
+    drop(q);
+    inner.work_cv.notify_one();
+}
+
+fn run_poly(inner: &Inner, mut job: Job) {
+    if !job.started {
+        // First time on a worker: the queue wait ends here. Retries
+        // re-enter without reopening the service spans.
+        job.started = true;
+        job.queue_wait = job.submitted.elapsed();
+        if let Some(rec) = &job.recorder {
+            rec.span_start("service");
+            rec.span_start("queue_wait");
+            rec.span_time(job.queue_wait.as_nanos() as f64);
+            rec.span_end("queue_wait");
+            rec.span_start("execute");
+            job.spans_open = true;
+        }
     }
     if job.shared.is_cancelled() {
         return resolve(inner, job, Err(JobError::Cancelled));
     }
     if job.expired(Instant::now()) {
         return resolve(inner, job, Err(JobError::DeadlineMissed));
+    }
+    if let Some(kind) = roll_fault(inner, &mut job, "poly", false) {
+        let hard = kind == FaultKind::DeviceHang;
+        return retry_or_fail(inner, job, &format!("poly {kind}"), hard, false);
     }
     let outcome = {
         let task = &mut job.task;
@@ -404,6 +597,7 @@ fn run_poly(inner: &Inner, mut job: Job) {
                     p.kernel_ns,
                     p.d2h_bytes,
                 );
+                fleet.record_success(dev);
             }
             let mut q = inner.queue.lock().unwrap();
             q.staged.push(job);
@@ -422,6 +616,18 @@ fn run_msm(inner: &Inner, mut job: Job) {
     if job.expired(Instant::now()) {
         return resolve(inner, job, Err(JobError::DeadlineMissed));
     }
+    // The MSM stage is the corruptible one: its output is the serialized
+    // proof, which the verify-before-return guard can actually check.
+    let corruption = match roll_fault(inner, &mut job, "msm", true) {
+        Some(FaultKind::SilentCorruption) => true,
+        Some(kind) => {
+            let hard = kind == FaultKind::DeviceHang;
+            // The fault hit before the stage consumed the POLY artifacts:
+            // requeue to staged so only the MSM re-runs.
+            return retry_or_fail(inner, job, &format!("msm {kind}"), hard, true);
+        }
+        None => false,
+    };
     let outcome = {
         let task = &mut job.task;
         let sink: &dyn TelemetrySink = match &job.recorder {
@@ -431,7 +637,15 @@ fn run_msm(inner: &Inner, mut job: Job) {
         catch_unwind(AssertUnwindSafe(|| task.msm(sink)))
     };
     match outcome {
-        Ok(Ok(output)) => {
+        Ok(Ok(mut output)) => {
+            if corruption {
+                // A silently flipped limb: the stage "succeeded" and
+                // nothing downstream notices without verification.
+                let mid = output.proof.len() / 2;
+                if let Some(byte) = output.proof.get_mut(mid) {
+                    *byte ^= 0x40;
+                }
+            }
             if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
                 let p = job.task.msm_profile(&output);
                 fleet.record_stage(
@@ -444,6 +658,35 @@ fn run_msm(inner: &Inner, mut job: Job) {
                 if p.shards > 0 {
                     fleet.record_shards(dev, p.shards);
                 }
+            }
+            if job.task.verify_output(&output) == Some(false) {
+                job.verify_rejects += 1;
+                inner.stats.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                if !corruption {
+                    // Genuine (non-injected) corruption still advances the
+                    // fault-draw index; injected corruption already did at
+                    // roll time.
+                    job.attempt += 1;
+                }
+                if job.verify_rejects > 1 {
+                    if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device.take()) {
+                        fleet.complete(dev);
+                        fleet.record_failure(dev, false);
+                    }
+                    return resolve(
+                        inner,
+                        job,
+                        Err(JobError::Failed(
+                            "proof failed verification after re-execution".to_string(),
+                        )),
+                    );
+                }
+                // The artifacts were consumed producing the bad proof:
+                // one full re-execution from POLY.
+                return retry_or_fail(inner, job, "verify reject", false, false);
+            }
+            if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
+                fleet.record_success(dev);
             }
             resolve(inner, job, Ok(output));
         }
@@ -479,6 +722,7 @@ fn resolve_locked(
         Ok(_) => &inner.stats.completed,
         Err(JobError::DeadlineMissed) => &inner.stats.deadline_missed,
         Err(JobError::Cancelled) => &inner.stats.cancelled,
+        Err(JobError::Drained) => &inner.stats.drained,
         Err(JobError::Failed(_)) => &inner.stats.failed,
     };
     stat.fetch_add(1, Ordering::Relaxed);
@@ -497,10 +741,23 @@ fn resolve_locked(
             counters::SERVICE_QUEUE_WAIT_NS,
             job.queue_wait.as_nanos() as f64,
         );
+        // Recovery counters only when work actually happened, so
+        // fault-free traces stay identical to pre-chaos ones (and the
+        // strict `zkprof diff` gate sees a clean baseline).
+        if job.faults > 0 {
+            rec.counter(counters::FAULT_INJECTED, f64::from(job.faults));
+        }
+        if job.retries > 0 {
+            rec.counter(counters::SERVICE_RETRIES, f64::from(job.retries));
+        }
+        if job.verify_rejects > 0 {
+            rec.counter(counters::VERIFY_REJECTS, f64::from(job.verify_rejects));
+        }
         let outcome_counter = match &outcome {
             Ok(_) => Some(counters::SERVICE_COMPLETED),
             Err(JobError::DeadlineMissed) => Some(counters::SERVICE_DEADLINE_MISSED),
             Err(JobError::Cancelled) => Some(counters::SERVICE_CANCELLED),
+            Err(JobError::Drained) => None,
             Err(JobError::Failed(_)) => None,
         };
         if let Some(name) = outcome_counter {

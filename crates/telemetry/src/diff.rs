@@ -4,12 +4,22 @@
 //! savings, …) and histograms (bucket occupancy) the same way. Counters
 //! measure work performed, so an *increase* is a regression; a counter
 //! that vanishes from the new trace is flagged too (lost instrumentation
-//! must not read as a win), while a brand-new counter is informational.
+//! must not read as a win), while a brand-new counter is informational —
+//! except the *recovery* counters ([`STRICT_COUNTERS`]): retries and
+//! verify rejects appearing in a trace whose baseline had none mean the
+//! system started failing and recovering where it used to run clean, so
+//! they gate as regressions even though the baseline never emitted them.
 //! This is the logic behind `zkprof diff`; it lives here so it is
 //! unit-testable without the CLI.
 
+use crate::counters;
 use crate::trace::{Trace, TraceNode};
 use std::fmt::Write as _;
+
+/// Counters gated strictly: a non-zero value appearing on the new side of
+/// a matched span regresses even when the baseline never emitted the
+/// counter (`base` is taken as 0, so any occurrence is infinite growth).
+pub const STRICT_COUNTERS: &[&str] = &[counters::SERVICE_RETRIES, counters::VERIFY_REJECTS];
 
 /// Time delta of one span present in both traces.
 #[derive(Debug, Clone)]
@@ -312,13 +322,24 @@ fn compare_metrics(base: &TraceNode, new: &TraceNode, path: &str, out: &mut Trac
                 .push((format!("{path}: {name}"), true)),
         }
     }
-    for (name, _) in &new.counters {
+    for (name, new_v) in &new.counters {
         if new.counters.iter().filter(|(k, _)| k == name).count() > 1 {
             continue;
         }
         if base.counter(name).is_none() {
-            out.counter_unmatched
-                .push((format!("{path}: {name}"), false));
+            if STRICT_COUNTERS.contains(&name.as_str()) && *new_v > 0.0 {
+                // Recovery work appeared where the baseline had none:
+                // treat the absent baseline as 0 so it gates.
+                out.counter_deltas.push(CounterDelta {
+                    path: path.to_string(),
+                    name: name.clone(),
+                    base: 0.0,
+                    new: *new_v,
+                });
+            } else {
+                out.counter_unmatched
+                    .push((format!("{path}: {name}"), false));
+            }
         }
     }
     for b_hist in &base.histograms {
@@ -479,6 +500,30 @@ mod tests {
         let d2 = diff_traces(&bare, &base, 0.25);
         assert!(!d2.is_regression(), "a brand-new counter is fine");
         assert!(d2.render().contains("counter ONLY in new trace"));
+    }
+
+    #[test]
+    fn recovery_counters_gate_even_when_new() {
+        use crate::counters;
+        let base = trace_with_counter(5e6, &[]);
+        // Retries appearing where the baseline ran clean is a regression…
+        let retried = trace_with_counter(5e6, &[(counters::SERVICE_RETRIES, 2.0)]);
+        let d = diff_traces(&base, &retried, 0.25);
+        assert!(d.is_regression(), "new retry.count must gate");
+        assert!(d
+            .counter_regressions()
+            .iter()
+            .any(|c| c.name == counters::SERVICE_RETRIES && c.ratio() == f64::INFINITY));
+        // …and so are verify rejects.
+        let rejected = trace_with_counter(5e6, &[(counters::VERIFY_REJECTS, 1.0)]);
+        assert!(diff_traces(&base, &rejected, 0.25).is_regression());
+        // A zero-valued strict counter stays informational.
+        let clean = trace_with_counter(5e6, &[(counters::SERVICE_RETRIES, 0.0)]);
+        assert!(!diff_traces(&base, &clean, 0.25).is_regression());
+        // Matched on both sides, the normal growth threshold applies.
+        let b2 = trace_with_counter(5e6, &[(counters::SERVICE_RETRIES, 4.0)]);
+        let n2 = trace_with_counter(5e6, &[(counters::SERVICE_RETRIES, 4.0)]);
+        assert!(!diff_traces(&b2, &n2, 0.25).is_regression());
     }
 
     #[test]

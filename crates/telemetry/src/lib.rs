@@ -154,6 +154,14 @@ pub mod counters {
     pub const RUNTIME_SHARDS: &str = "runtime.shards";
     /// Jobs a fleet worker stole from another device's queue.
     pub const RUNTIME_STEALS: &str = "runtime.steals";
+    /// Faults the chaos injector fired into this job/run.
+    pub const FAULT_INJECTED: &str = "fault.injected";
+    /// Stage re-executions the service performed recovering from faults.
+    pub const SERVICE_RETRIES: &str = "retry.count";
+    /// Times a device entered quarantine (circuit breaker tripped).
+    pub const QUARANTINE_EVENTS: &str = "quarantine.events";
+    /// Proofs the verify-before-return guard rejected as corrupted.
+    pub const VERIFY_REJECTS: &str = "verify.rejects";
     /// Gauge on device-lane spans: simulated start offset of the span's
     /// operation within its fleet timeline (what the timeline renderer
     /// aligns lanes by).

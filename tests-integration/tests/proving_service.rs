@@ -6,18 +6,20 @@ use gzkp_curves::bls12_381::Bls12_381;
 use gzkp_curves::bn254::Bn254;
 use gzkp_curves::pairing::PairingConfig;
 use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
-use gzkp_gpu_sim::v100;
+use gzkp_gpu_sim::{v100, FaultPlan, FaultRates};
 use gzkp_groth16::{proof_from_bytes, proof_to_bytes, prove, setup, verify, ProverEngines};
 use gzkp_msm::GzkpMsm;
 use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_runtime::HealthPolicy;
 use gzkp_service::{
-    Groth16Task, JobError, JobOptions, Priority, ProofTask, ProvingService, ServiceConfig,
-    SubmitError, TaskOutput,
+    Groth16Task, JobError, JobOptions, Priority, ProofTask, ProvingService, RetryPolicy,
+    ServiceConfig, SubmitError, TaskOutput,
 };
 use gzkp_telemetry::TelemetrySink;
 use gzkp_workloads::synthetic::synthetic_circuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -306,6 +308,211 @@ fn graceful_shutdown_drains_in_flight_jobs() {
         let result = h.wait();
         assert_eq!(result.outcome.unwrap().proof, (i as u64).to_le_bytes());
     }
+}
+
+#[test]
+fn parked_retry_is_drained_at_shutdown() {
+    // Every stage execution faults, so the job can only ever sit parked
+    // in a retry backoff; shutdown must return it instead of waiting the
+    // backoff out (or dropping it silently).
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        chaos: Some(FaultPlan {
+            rates: FaultRates {
+                kernel: 1.0,
+                ..FaultRates::default()
+            },
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_retries: 1000,
+            backoff: Duration::from_millis(300),
+            max_backoff: Duration::from_millis(300),
+        },
+        ..ServiceConfig::default()
+    });
+    let handle = service
+        .submit(Box::new(NopTask(1)), JobOptions::default())
+        .unwrap();
+    // Let the job fault and park for its 300 ms backoff.
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = service.shutdown();
+    assert_eq!(handle.wait().outcome.unwrap_err(), JobError::Drained);
+    assert_eq!(stats.drained, 1);
+    assert!(stats.faults_injected >= 1);
+    assert_eq!(stats.completed + stats.failed, 0);
+}
+
+#[test]
+fn backpressure_still_applies_with_a_quarantined_device() {
+    // Two-device fleet with device 1 benched: capacity accounting must
+    // not change — both workers keep running (on device 0), and the
+    // bounded queue still rejects the overflow submission.
+    let service = ProvingService::start(ServiceConfig {
+        queue_capacity: 2,
+        devices: gzkp_runtime::parse_devices("2").unwrap(),
+        health: HealthPolicy {
+            probation: Duration::from_secs(60),
+            ..HealthPolicy::default()
+        },
+        ..ServiceConfig::default()
+    });
+    assert!(service.fleet().unwrap().force_quarantine(1));
+
+    let gates: Vec<_> = (0..2)
+        .map(|_| {
+            let started = Arc::new(Latch::default());
+            let release = Arc::new(Latch::default());
+            let handle = service
+                .submit(
+                    Box::new(GateTask {
+                        started: started.clone(),
+                        release: release.clone(),
+                    }),
+                    JobOptions::default(),
+                )
+                .unwrap();
+            started.wait();
+            (handle, release)
+        })
+        .collect();
+    let a = service
+        .submit(Box::new(NopTask(1)), JobOptions::default())
+        .unwrap();
+    let b = service
+        .submit(Box::new(NopTask(2)), JobOptions::default())
+        .unwrap();
+    let err = service
+        .submit(Box::new(NopTask(3)), JobOptions::default())
+        .unwrap_err();
+    assert_eq!(err, SubmitError::QueueFull { capacity: 2 });
+
+    for (handle, release) in gates {
+        release.open();
+        assert!(handle.wait().outcome.is_ok());
+    }
+    assert!(a.wait().outcome.is_ok() && b.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.quarantines, 1);
+}
+
+/// Task whose proof fails verification the first `rejects` times the
+/// guard checks it.
+struct RejectingTask {
+    rejects: u32,
+    checks: AtomicU32,
+}
+
+impl ProofTask for RejectingTask {
+    fn key_id(&self) -> u64 {
+        0
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        Ok(TaskOutput {
+            proof: vec![0xAB; 8],
+            report: None,
+        })
+    }
+    fn verify_output(&self, _output: &TaskOutput) -> Option<bool> {
+        Some(self.checks.fetch_add(1, Ordering::Relaxed) >= self.rejects)
+    }
+}
+
+#[test]
+fn verify_reject_recovers_with_one_reexecution() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        retry: RetryPolicy {
+            backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let handle = service
+        .submit(
+            Box::new(RejectingTask {
+                rejects: 1,
+                checks: AtomicU32::new(0),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    assert!(handle.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.verify_rejects, 1);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn verify_reject_twice_surfaces_an_error() {
+    let service = ProvingService::start(ServiceConfig {
+        workers: 1,
+        retry: RetryPolicy {
+            backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+        ..ServiceConfig::default()
+    });
+    let handle = service
+        .submit(
+            Box::new(RejectingTask {
+                rejects: u32::MAX,
+                checks: AtomicU32::new(0),
+            }),
+            JobOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(
+        handle.wait().outcome.unwrap_err(),
+        JobError::Failed("proof failed verification after re-execution".into())
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.verify_rejects, 2);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn retry_lands_on_a_different_device() {
+    // Device 0 always faults, device 1 never does — but device 1 starts
+    // quarantined, so the first placement must pick device 0, fault, and
+    // the retry (after device 1's window expires) must migrate there.
+    let service = ProvingService::start(ServiceConfig {
+        devices: gzkp_runtime::parse_devices("2").unwrap(),
+        chaos: Some(FaultPlan {
+            rates: FaultRates {
+                kernel: 1.0,
+                ..FaultRates::default()
+            },
+            device_scale: vec![1.0, 0.0],
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::from_millis(300),
+            max_backoff: Duration::from_millis(300),
+        },
+        health: HealthPolicy {
+            probation: Duration::from_millis(150),
+            ..HealthPolicy::default()
+        },
+        ..ServiceConfig::default()
+    });
+    assert!(service.fleet().unwrap().force_quarantine(1));
+    let handle = service
+        .submit(Box::new(NopTask(9)), JobOptions::default())
+        .unwrap();
+    assert!(handle.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.faults_injected, 1, "exactly one fault on device 0");
+    assert_eq!(stats.retries, 1, "one migration to the clean device");
+    assert_eq!(stats.cpu_fallbacks, 0, "device 1 came back in time");
 }
 
 /// Direct prover bytes for the service to match.

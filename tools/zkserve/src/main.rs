@@ -4,6 +4,7 @@
 //! zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N]
 //!                             [--deadline-ms N] [--compare]
 //!                             [--devices N[,spec]] [--fleet-trace PATH]
+//!                             [--chaos SPEC]
 //! zkserve example
 //! ```
 //!
@@ -24,6 +25,16 @@
 //! the fleet's `runtime → dev{n} → {h2d,kernel,d2h}` span trace as JSON
 //! for `zkprof render --timeline`.
 //!
+//! `--chaos` arms the seeded fault injector for the service replay. The
+//! spec is `seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X]`
+//! `[,dead=I+J]` (see `gzkp_gpu_sim::FaultPlan::parse`): e.g.
+//! `--chaos 7,rate=0.1,dead=1` injects every fault kind at 10% per stage
+//! with device 1 permanently dead. Chaos implies verify-before-return —
+//! every proof is checked against its verifying key before it is
+//! surfaced — and the run prints an injected/recovery report. Combined
+//! with `--compare`, the byte-identical assertion demonstrates that
+//! recovery never changes a proof.
+//!
 //! `example` prints a starter workload file to stdout.
 
 use gzkp_gpu_sim::v100;
@@ -35,7 +46,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N] \
-         [--deadline-ms N] [--compare] [--devices N[,spec]] [--fleet-trace PATH]\n  \
+         [--deadline-ms N] [--compare] [--devices N[,spec]] [--fleet-trace PATH] \
+         [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,dead=I+J]]\n  \
          zkserve example"
     );
     ExitCode::from(2)
@@ -72,6 +84,15 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
                 }
             }
             "--fleet-trace" => fleet_trace = Some(it.next()?.to_string()),
+            "--chaos" => {
+                cfg.chaos = match gzkp_gpu_sim::FaultPlan::parse(it.next()?) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("zkserve: --chaos: {e}");
+                        return None;
+                    }
+                }
+            }
             "--compare" => compare = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => return None,
@@ -144,6 +165,31 @@ fn main() -> ExitCode {
             });
             let outcome = run_service(&prepared, run.cfg.clone(), &device);
             report("service", &outcome);
+            if let Some(chaos) = &outcome.chaos {
+                println!(
+                    "{:>10}: injected {} (kernel {} transfer {} hang {} corrupt {})  \
+                     dead-hits {}",
+                    "chaos",
+                    chaos.injected(),
+                    chaos.kernel,
+                    chaos.transfer,
+                    chaos.hang,
+                    chaos.corrupt,
+                    chaos.dead_hits,
+                );
+                if let Some(stats) = &outcome.stats {
+                    println!(
+                        "{:>10}: retries {}  verify-rejects {}  quarantines {}  \
+                         cpu-fallbacks {}  drained {}",
+                        "recovery",
+                        stats.retries,
+                        stats.verify_rejects,
+                        stats.quarantines,
+                        stats.cpu_fallbacks,
+                        stats.drained,
+                    );
+                }
+            }
             if let Some(fleet) = &outcome.fleet {
                 print!("{}", fleet.render());
             }
