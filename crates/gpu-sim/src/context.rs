@@ -1,0 +1,79 @@
+//! Trace-context propagation: the `(job, stage, device)` identity a proof
+//! request carries through every layer it touches.
+//!
+//! The service mints a [`TraceContext`] when it schedules a stage; fleet
+//! placement stamps the device on; the command-stream ops, the chaos
+//! fault oracle, and the metrics layer all key off the same context. One
+//! formatting rule ([`TraceContext::op_label`]) is what makes a timeline
+//! op, a fault-log entry, and a per-stage latency sample refer to the
+//! same unit of work.
+
+/// Propagated identity of one scheduled proof stage: which job, which
+/// pipeline stage, and (once placed) which device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Service-assigned job id.
+    pub job: u64,
+    /// Pipeline stage label (`"poly"`, `"msm"`; see `telemetry::names`).
+    pub stage: &'static str,
+    /// Device index the stage is placed on; `None` before placement or on
+    /// the host CPU fallback.
+    pub device: Option<usize>,
+}
+
+impl TraceContext {
+    /// Context for a stage of `job` before placement.
+    pub fn new(job: u64, stage: &'static str) -> Self {
+        TraceContext {
+            job,
+            stage,
+            device: None,
+        }
+    }
+
+    /// Stamps the placement device onto the context.
+    #[must_use]
+    pub fn on_device(mut self, device: Option<usize>) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// The command-stream op label this stage's operations carry
+    /// (`"job3.msm"`); device lanes already encode the device, so the
+    /// label stays device-free and stable across re-placements.
+    pub fn op_label(&self) -> String {
+        format!("job{}.{}", self.job, self.stage)
+    }
+
+    /// Device label for metrics (`"dev0"`), when placed.
+    pub fn device_label(&self) -> Option<String> {
+        self.device.map(|d| format!("dev{d}"))
+    }
+}
+
+impl std::fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.device {
+            Some(d) => write!(f, "job{}.{}@dev{d}", self.job, self.stage),
+            None => write!(f, "job{}.{}", self.job, self.stage),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        let ctx = TraceContext::new(3, "msm");
+        assert_eq!(ctx.op_label(), "job3.msm");
+        assert_eq!(ctx.device_label(), None);
+        assert_eq!(ctx.to_string(), "job3.msm");
+        let placed = ctx.on_device(Some(1));
+        assert_eq!(placed.op_label(), "job3.msm", "label is device-free");
+        assert_eq!(placed.device_label().as_deref(), Some("dev1"));
+        assert_eq!(placed.to_string(), "job3.msm@dev1");
+        assert_eq!(placed.on_device(None), ctx);
+    }
+}

@@ -328,6 +328,20 @@ impl FaultInjector {
         None
     }
 
+    /// [`FaultInjector::roll`] keyed by a propagated [`TraceContext`].
+    ///
+    /// Delegates to `roll` with the context's fields, so the draw
+    /// sequence is identical to calling `roll` directly — existing chaos
+    /// seeds keep producing the same fault logs.
+    pub fn roll_ctx(
+        &self,
+        ctx: &crate::context::TraceContext,
+        attempt: u32,
+        corruptible: bool,
+    ) -> Option<FaultKind> {
+        self.roll(ctx.device, ctx.job, ctx.stage, attempt, corruptible)
+    }
+
     /// Whether `device` is in the plan's dead set.
     pub fn is_dead(&self, device: usize) -> bool {
         self.plan.dead.contains(&device)
@@ -463,6 +477,23 @@ mod tests {
             assert_eq!(inj.roll(Some(1), job, "msm", 0, false), None);
         }
         assert!(dev0_fired > 0, "scale 1.0 must keep firing");
+    }
+
+    #[test]
+    fn roll_ctx_matches_roll() {
+        use crate::context::TraceContext;
+        let a = FaultInjector::new(FaultPlan::uniform(42, 0.3));
+        let b = FaultInjector::new(FaultPlan::uniform(42, 0.3));
+        for job in 0..30u64 {
+            for stage in ["poly", "msm"] {
+                let ctx = TraceContext::new(job, stage).on_device(Some(0));
+                assert_eq!(
+                    a.roll_ctx(&ctx, 0, stage == "msm"),
+                    b.roll(Some(0), job, stage, 0, stage == "msm"),
+                );
+            }
+        }
+        assert_eq!(a.events(), b.events());
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub fn prove_with_telemetry<P: PairingConfig, R: Rng + ?Sized>(
     rng: &mut R,
     sink: &dyn TelemetrySink,
 ) -> Result<(Proof<P>, ProveReport), SynthesisError> {
-    let _prove_span = telemetry::span(sink, "prove");
+    let _prove_span = telemetry::span(sink, telemetry::counters::SPAN_PROVE);
     let poly = prove_poly(cs, pk, engines.ntt, sink)?;
     Ok(prove_msm(pk, engines, poly, rng, sink))
 }
@@ -167,7 +167,7 @@ pub fn prove_poly<P: PairingConfig>(
     let qap = QapWitness::from_r1cs(cs)?;
     assert_eq!(pk.domain_size, qap.domain.size, "key domain mismatch");
     let poly = {
-        let _poly_span = telemetry::span(sink, "poly");
+        let _poly_span = telemetry::span(sink, telemetry::counters::SPAN_POLY);
         poly_stage_traced(&qap, ntt, sink)
     };
 
@@ -201,7 +201,7 @@ pub fn prove_msm<P: PairingConfig, R: Rng + ?Sized>(
         _curve,
     } = poly;
 
-    let _msm_span = telemetry::span(sink, "msm");
+    let _msm_span = telemetry::span(sink, telemetry::counters::SPAN_MSM);
     let mut msm_report = StageReport::new("MSM");
 
     // The five MSMs are independent once POLY finishes, so they execute

@@ -15,11 +15,64 @@ use gzkp_gpu_sim::device::DeviceConfig;
 use gzkp_gpu_sim::stream::{DeviceTimeline, EngineKind, StreamId};
 use gzkp_gpu_sim::transfer::HostMem;
 use gzkp_telemetry::counters;
+use gzkp_telemetry::metrics::{Counter, Gauge, MetricsRegistry};
 use gzkp_telemetry::trace::{Trace, TraceNode};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+
+/// What happened to a device, for the fault/quarantine history shown in
+/// the `zkserve` fleet table and as `!` markers in `zkprof render
+/// --timeline` health lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthEventKind {
+    /// A retryable stage failure (kernel fault, transfer timeout).
+    SoftFault,
+    /// A device-gone failure (hang) — trips the breaker immediately.
+    HardFault,
+    /// The circuit breaker tripped; the device stopped taking placements.
+    Quarantined,
+    /// A probation probe succeeded; the device is healthy again.
+    Recovered,
+}
+
+impl HealthEventKind {
+    /// Short label used in tables and timeline health-lane spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthEventKind::SoftFault => "soft-fault",
+            HealthEventKind::HardFault => "hard-fault",
+            HealthEventKind::Quarantined => "quarantined",
+            HealthEventKind::Recovered => "recovered",
+        }
+    }
+}
+
+/// One entry in a device's fault/quarantine history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthEvent {
+    /// What happened.
+    pub kind: HealthEventKind,
+    /// Position on the device's *simulated* timeline when it happened —
+    /// the marker coordinate for `zkprof render --timeline`.
+    pub sim_ns: f64,
+}
+
+/// Lock-free per-device metric handles, attached once by
+/// [`FleetRuntime::attach_metrics`]. All series carry a
+/// `device="dev{n}"` label.
+struct DeviceCells {
+    stages: Counter,
+    steals: Counter,
+    shards: Counter,
+    h2d_bytes: Counter,
+    d2h_bytes: Counter,
+    busy_ns: Gauge,
+    elapsed_ns: Gauge,
+    quarantine_ns: Gauge,
+    quarantines: Counter,
+}
 
 /// Relative sustained throughput of a device: SM count times per-SM MAC
 /// rate. Only ratios matter — it weights the least-loaded placement so a
@@ -50,6 +103,10 @@ struct DeviceRuntime {
     shards: AtomicU64,
     /// Circuit-breaker state (see [`crate::health`]).
     health: Mutex<DeviceHealth>,
+    /// Fault/quarantine history, in record order.
+    events: Mutex<Vec<HealthEvent>>,
+    /// Live metric handles, when a registry is attached.
+    cells: OnceLock<DeviceCells>,
 }
 
 impl DeviceRuntime {
@@ -71,6 +128,8 @@ impl DeviceRuntime {
             steals: AtomicU64::new(0),
             shards: AtomicU64::new(0),
             health: Mutex::new(DeviceHealth::new(policy)),
+            events: Mutex::new(Vec::new()),
+            cells: OnceLock::new(),
         }
     }
 }
@@ -105,6 +164,10 @@ pub struct DeviceUtilization {
     /// Compute busy time over the *fleet* makespan — the number an
     /// operator reads to spot a starved or oversubscribed device.
     pub busy_frac: f64,
+    /// Wall-clock nanoseconds this device has spent quarantined.
+    pub quarantine_ns: u64,
+    /// Fault/quarantine history, in record order (empty on clean runs).
+    pub history: Vec<HealthEvent>,
 }
 
 /// Fleet-wide utilization: the makespan plus one row per device.
@@ -138,6 +201,14 @@ impl FleetUtilization {
                 d.kernel_ns / 1e6,
                 d.busy_frac * 100.0,
             );
+            if !d.history.is_empty() {
+                let events: Vec<String> = d
+                    .history
+                    .iter()
+                    .map(|e| format!("{}@{:.1}ms", e.kind.label(), e.sim_ns / 1e6))
+                    .collect();
+                let _ = writeln!(out, "{:<18} history: {}", "", events.join(" "));
+            }
         }
         let _ = writeln!(out, "fleet makespan {:.3} ms", self.elapsed_ns / 1e6);
         out
@@ -231,6 +302,26 @@ impl FleetRuntime {
         self.devices[dev].jobs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Attaches per-device live-metric series (`device="dev{n}"` labels)
+    /// to `registry`. Idempotent; before this is called every recording
+    /// path skips metrics at the cost of one `OnceLock` load.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        for (i, d) in self.devices.iter().enumerate() {
+            let dev = format!("dev{i}");
+            let _ = d.cells.set(DeviceCells {
+                stages: registry.counter_with(counters::DEVICE_STAGES, "device", &dev),
+                steals: registry.counter_with(counters::RUNTIME_STEALS, "device", &dev),
+                shards: registry.counter_with(counters::RUNTIME_SHARDS, "device", &dev),
+                h2d_bytes: registry.counter_with(counters::RUNTIME_H2D_BYTES, "device", &dev),
+                d2h_bytes: registry.counter_with(counters::RUNTIME_D2H_BYTES, "device", &dev),
+                busy_ns: registry.gauge_with(counters::DEVICE_BUSY_NS, "device", &dev),
+                elapsed_ns: registry.gauge_with(counters::DEVICE_ELAPSED_NS, "device", &dev),
+                quarantine_ns: registry.gauge_with(counters::DEVICE_QUARANTINE_NS, "device", &dev),
+                quarantines: registry.counter_with(counters::QUARANTINE_EVENTS, "device", &dev),
+            });
+        }
+    }
+
     /// Marks one placed stage on `dev` as finished.
     pub fn complete(&self, dev: usize) {
         self.devices[dev].inflight.fetch_sub(1, Ordering::Relaxed);
@@ -239,11 +330,43 @@ impl FleetRuntime {
     /// Counts a work steal *by* device `dev` (the thief).
     pub fn record_steal(&self, dev: usize) {
         self.devices[dev].steals.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.devices[dev].cells.get() {
+            c.steals.inc();
+        }
     }
 
     /// Counts `count` bucket-range MSM shards executed on device `dev`.
     pub fn record_shards(&self, dev: usize, count: u64) {
         self.devices[dev].shards.fetch_add(count, Ordering::Relaxed);
+        if let Some(c) = self.devices[dev].cells.get() {
+            c.shards.add(count);
+        }
+    }
+
+    /// Simulated elapsed time on `dev`'s timeline right now.
+    fn elapsed_sim_ns(&self, dev: usize) -> f64 {
+        self.devices[dev]
+            .lanes
+            .lock()
+            .expect("fleet lanes mutex")
+            .timeline
+            .elapsed_ns()
+    }
+
+    fn push_event(&self, dev: usize, kind: HealthEventKind, sim_ns: f64) {
+        self.devices[dev]
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(HealthEvent { kind, sim_ns });
+    }
+
+    /// Refreshes `dev`'s quarantine-time gauge from its breaker state.
+    fn refresh_quarantine_gauge(&self, dev: usize, now: Instant) {
+        if let Some(c) = self.devices[dev].cells.get() {
+            c.quarantine_ns
+                .set(self.health(dev).quarantined_ns(now) as f64);
+        }
     }
 
     fn health(&self, dev: usize) -> std::sync::MutexGuard<'_, DeviceHealth> {
@@ -257,21 +380,57 @@ impl FleetRuntime {
     }
 
     /// Records a successful stage on `dev`: closes its circuit breaker.
-    pub fn record_success(&self, dev: usize) {
-        self.health(dev).on_success();
+    /// Returns `true` when this success recovered a degraded device (the
+    /// event is added to the device's history).
+    pub fn record_success(&self, dev: usize) -> bool {
+        let now = Instant::now();
+        let recovered = self.health(dev).on_success(now);
+        if recovered {
+            self.push_event(dev, HealthEventKind::Recovered, self.elapsed_sim_ns(dev));
+        }
+        self.refresh_quarantine_gauge(dev, now);
+        recovered
     }
 
     /// Records a failed stage on `dev`. `hard` marks device-gone faults
     /// (hangs) that trip the breaker immediately. Returns `true` when the
     /// failure newly quarantined the device.
     pub fn record_failure(&self, dev: usize, hard: bool) -> bool {
-        self.health(dev).on_failure(Instant::now(), hard)
+        let now = Instant::now();
+        let newly = self.health(dev).on_failure(now, hard);
+        let sim_ns = self.elapsed_sim_ns(dev);
+        self.push_event(
+            dev,
+            if hard {
+                HealthEventKind::HardFault
+            } else {
+                HealthEventKind::SoftFault
+            },
+            sim_ns,
+        );
+        if newly {
+            self.push_event(dev, HealthEventKind::Quarantined, sim_ns);
+            if let Some(c) = self.devices[dev].cells.get() {
+                c.quarantines.inc();
+            }
+        }
+        self.refresh_quarantine_gauge(dev, now);
+        newly
     }
 
     /// Quarantines `dev` immediately (operator action). Returns `true`
     /// when the device was not already quarantined.
     pub fn force_quarantine(&self, dev: usize) -> bool {
-        self.health(dev).force_quarantine(Instant::now())
+        let now = Instant::now();
+        let newly = self.health(dev).force_quarantine(now);
+        if newly {
+            self.push_event(dev, HealthEventKind::Quarantined, self.elapsed_sim_ns(dev));
+            if let Some(c) = self.devices[dev].cells.get() {
+                c.quarantines.inc();
+            }
+        }
+        self.refresh_quarantine_gauge(dev, now);
+        newly
     }
 
     /// Whether `dev` currently accepts placements (healthy, or due for
@@ -359,16 +518,42 @@ impl FleetRuntime {
             );
             last = ev.at_ns();
         }
+        if let Some(c) = self.devices[dev].cells.get() {
+            c.stages.inc();
+            c.h2d_bytes.add(h2d_bytes);
+            c.d2h_bytes.add(d2h_bytes);
+            c.busy_ns.set(lanes.timeline.busy_ns(EngineKind::Compute));
+            c.elapsed_ns.set(lanes.timeline.elapsed_ns());
+        }
         last
+    }
+
+    /// [`FleetRuntime::record_stage`] keyed by a propagated
+    /// [`gzkp_gpu_sim::TraceContext`]: the stage's timeline ops are
+    /// labeled `job{id}.{stage}.{h2d,kernel,d2h}`, so the command
+    /// streams, the fault log and the metrics all name the same unit of
+    /// work.
+    pub fn record_stage_ctx(
+        &self,
+        ctx: &gzkp_gpu_sim::TraceContext,
+        h2d_bytes: u64,
+        kernel_ns: f64,
+        d2h_bytes: u64,
+    ) -> f64 {
+        let dev = ctx
+            .device
+            .expect("record_stage_ctx requires a placed context");
+        self.record_stage(dev, &ctx.op_label(), h2d_bytes, kernel_ns, d2h_bytes)
     }
 
     /// Utilization snapshot: per-device engine busy times and counters
     /// against the fleet makespan.
     pub fn utilization(&self) -> FleetUtilization {
+        let now = Instant::now();
         let mut rows = Vec::with_capacity(self.devices.len());
         for (index, d) in self.devices.iter().enumerate() {
             let lanes = d.lanes.lock().expect("fleet lanes mutex");
-            rows.push(DeviceUtilization {
+            let row = DeviceUtilization {
                 index,
                 name: d.config.name.to_string(),
                 jobs: d.jobs.load(Ordering::Relaxed),
@@ -382,7 +567,21 @@ impl FleetRuntime {
                 d2h_ns: lanes.timeline.busy_ns(EngineKind::D2h),
                 elapsed_ns: lanes.timeline.elapsed_ns(),
                 busy_frac: 0.0,
-            });
+                quarantine_ns: self.health(index).quarantined_ns(now),
+                history: d
+                    .events
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            };
+            // A snapshot is also a good moment to bring the live gauges
+            // up to date for devices that stopped recording stages.
+            if let Some(c) = d.cells.get() {
+                c.busy_ns.set(row.kernel_ns);
+                c.elapsed_ns.set(row.elapsed_ns);
+                c.quarantine_ns.set(row.quarantine_ns as f64);
+            }
+            rows.push(row);
         }
         let elapsed_ns = rows.iter().fold(0.0f64, |m, r| m.max(r.elapsed_ns));
         for r in &mut rows {
@@ -405,7 +604,7 @@ impl FleetRuntime {
     /// --timeline` aligns into per-device ASCII rows.
     pub fn trace(&self) -> Trace {
         let util = self.utilization();
-        let mut runtime = TraceNode::new("runtime");
+        let mut runtime = TraceNode::new(counters::SPAN_RUNTIME);
         runtime.time_ns = util.elapsed_ns;
         let mut total_h2d = 0u64;
         let mut total_d2h = 0u64;
@@ -456,6 +655,21 @@ impl FleetRuntime {
                 }
                 node.children.push(lane);
             }
+            // Fault/quarantine markers ride in a fourth `health` lane —
+            // only when events exist, so clean-run traces stay
+            // byte-identical to pre-observability ones.
+            let events = d.events.lock().unwrap_or_else(PoisonError::into_inner);
+            if !events.is_empty() {
+                let mut lane = TraceNode::new(counters::SPAN_HEALTH);
+                for e in events.iter() {
+                    let mut span = TraceNode::new(e.kind.label());
+                    span.values
+                        .push((counters::SPAN_START_NS.to_string(), e.sim_ns));
+                    lane.children.push(span);
+                }
+                node.children.push(lane);
+            }
+            drop(events);
             runtime.children.push(node);
         }
         runtime

@@ -72,6 +72,11 @@ pub struct DeviceHealth {
     window: Duration,
     /// Times this device has entered quarantine.
     quarantines: u64,
+    /// When the device left `Healthy` (set on quarantine entry, cleared
+    /// by the successful probe that restores it).
+    degraded_since: Option<Instant>,
+    /// Wall-clock time spent degraded over closed intervals.
+    degraded_total: Duration,
 }
 
 impl DeviceHealth {
@@ -84,6 +89,8 @@ impl DeviceHealth {
             until: Instant::now(),
             window: policy.probation,
             quarantines: 0,
+            degraded_since: None,
+            degraded_total: Duration::ZERO,
         }
     }
 
@@ -103,11 +110,17 @@ impl DeviceHealth {
     }
 
     /// Records a successful stage: closes the breaker and resets the
-    /// backoff window.
-    pub fn on_success(&mut self) {
+    /// backoff window. Returns `true` when this success *recovered* the
+    /// device (it was quarantined or probing rather than healthy).
+    pub fn on_success(&mut self, now: Instant) -> bool {
+        let recovered = self.state(now) != HealthState::Healthy;
+        if let Some(since) = self.degraded_since.take() {
+            self.degraded_total += now.saturating_duration_since(since);
+        }
         self.consecutive = 0;
         self.state = HealthState::Healthy;
         self.window = self.policy.probation;
+        recovered
     }
 
     /// Records a failed stage. `hard` marks faults that indicate the
@@ -125,10 +138,7 @@ impl DeviceHealth {
             // to one probe per max_probation.
             self.window = (self.window * 2).min(self.policy.max_probation);
         }
-        self.state = HealthState::Quarantined;
-        self.until = now + self.window;
-        self.consecutive = 0;
-        self.quarantines += 1;
+        self.enter_quarantine(now);
         true
     }
 
@@ -138,16 +148,34 @@ impl DeviceHealth {
         if self.state == HealthState::Quarantined {
             return false;
         }
+        self.enter_quarantine(now);
+        true
+    }
+
+    fn enter_quarantine(&mut self, now: Instant) {
         self.state = HealthState::Quarantined;
         self.until = now + self.window;
         self.consecutive = 0;
         self.quarantines += 1;
-        true
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+        }
     }
 
     /// Times this device has entered quarantine.
     pub fn quarantine_count(&self) -> u64 {
         self.quarantines
+    }
+
+    /// Total wall-clock nanoseconds the device has spent degraded
+    /// (quarantined or awaiting its recovery probe), including the
+    /// still-open interval if it is degraded at `now`.
+    pub fn quarantined_ns(&self, now: Instant) -> u64 {
+        let open = self
+            .degraded_since
+            .map(|since| now.saturating_duration_since(since))
+            .unwrap_or(Duration::ZERO);
+        (self.degraded_total + open).as_nanos() as u64
     }
 }
 
@@ -181,7 +209,7 @@ mod tests {
         let t0 = Instant::now();
         h.on_failure(t0, false);
         h.on_failure(t0, false);
-        h.on_success();
+        assert!(!h.on_success(t0), "healthy device does not 'recover'");
         h.on_failure(t0, false);
         h.on_failure(t0, false);
         assert!(h.available(t0), "streak restarted after a success");
@@ -204,9 +232,30 @@ mod tests {
         let later = t0 + Duration::from_millis(150);
         assert_eq!(h.state(later), HealthState::Probation);
         assert!(h.available(later), "probation admits the probe");
-        // Successful probe → healthy with the window reset.
-        h.on_success();
+        // Successful probe → healthy with the window reset, reported as
+        // a recovery.
+        assert!(h.on_success(later));
         assert_eq!(h.state(later), HealthState::Healthy);
+    }
+
+    #[test]
+    fn quarantined_time_accumulates_until_recovery() {
+        let mut h = DeviceHealth::new(policy());
+        let t0 = Instant::now();
+        assert_eq!(h.quarantined_ns(t0), 0);
+        h.on_failure(t0, true);
+        let mid = t0 + Duration::from_millis(200);
+        assert_eq!(h.quarantined_ns(mid), 200_000_000, "open interval counts");
+        // Recovery closes the interval; time stops accumulating.
+        assert!(h.on_success(mid));
+        let later = mid + Duration::from_millis(500);
+        assert_eq!(h.quarantined_ns(later), 200_000_000);
+        // A second quarantine accumulates on top.
+        h.on_failure(later, true);
+        assert_eq!(
+            h.quarantined_ns(later + Duration::from_millis(100)),
+            300_000_000
+        );
     }
 
     #[test]

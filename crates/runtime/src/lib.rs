@@ -42,7 +42,7 @@ pub mod health;
 pub mod planner;
 pub mod spec;
 
-pub use fleet::{DeviceUtilization, FleetRuntime, FleetUtilization};
+pub use fleet::{DeviceUtilization, FleetRuntime, FleetUtilization, HealthEvent, HealthEventKind};
 pub use health::{DeviceHealth, HealthPolicy, HealthState};
 pub use planner::MsmShardPlan;
 pub use spec::{device_by_name, fleet_label, parse_devices};

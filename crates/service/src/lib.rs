@@ -192,6 +192,11 @@ pub struct ServiceConfig {
     pub retry: RetryPolicy,
     /// Circuit-breaker policy of the device fleet (fleet mode only).
     pub health: gzkp_runtime::HealthPolicy,
+    /// Live metrics: when set, the service registers its counters,
+    /// queue-depth gauge, and latency histograms in this registry (and
+    /// attaches per-device fleet series in fleet mode). `None` (the
+    /// default) records nothing — the hot path pays one branch per site.
+    pub metrics: Option<std::sync::Arc<gzkp_telemetry::MetricsRegistry>>,
 }
 
 impl Default for ServiceConfig {
@@ -211,6 +216,7 @@ impl Default for ServiceConfig {
             chaos: None,
             retry: RetryPolicy::default(),
             health: gzkp_runtime::HealthPolicy::default(),
+            metrics: None,
         }
     }
 }

@@ -3,10 +3,13 @@
 
 use crate::job::{JobError, JobHandle, JobResult, JobShared, ProofTask, TaskOutput};
 use crate::{JobOptions, Priority, ServiceConfig, SubmitError};
-use gzkp_gpu_sim::{FaultInjector, FaultKind};
+use gzkp_gpu_sim::{FaultInjector, FaultKind, TraceContext};
 use gzkp_msm::PreprocessStore;
 use gzkp_runtime::{FleetRuntime, FleetUtilization};
-use gzkp_telemetry::{counters, NoopSink, TelemetrySink, Trace, TraceRecorder};
+use gzkp_telemetry::{
+    counters, Counter, Gauge, LatencyHistogram, MetricsRegistry, NoopSink, TelemetrySink, Trace,
+    TraceRecorder,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -75,6 +78,52 @@ struct Queue {
     next_id: u64,
 }
 
+/// Cached live-metrics handles, resolved once at service start so the
+/// hot path never touches the registry's name table. All cells are
+/// lock-free atomics shared with whoever else snapshots the registry.
+struct ServiceMetrics {
+    accepted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    deadline_missed: Counter,
+    cancelled: Counter,
+    drained: Counter,
+    failed: Counter,
+    retries: Counter,
+    faults_injected: Counter,
+    verify_rejects: Counter,
+    cpu_fallbacks: Counter,
+    queue_depth: Gauge,
+    queue_wait: LatencyHistogram,
+    job_latency: LatencyHistogram,
+    stage_poly: LatencyHistogram,
+    stage_msm: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    fn new(reg: &MetricsRegistry) -> Self {
+        let stage = |label| reg.histogram_with(counters::STAGE_LATENCY_NS, "stage", label);
+        ServiceMetrics {
+            accepted: reg.counter(counters::SERVICE_ACCEPTED),
+            rejected: reg.counter(counters::SERVICE_REJECTED),
+            completed: reg.counter(counters::SERVICE_COMPLETED),
+            deadline_missed: reg.counter(counters::SERVICE_DEADLINE_MISSED),
+            cancelled: reg.counter(counters::SERVICE_CANCELLED),
+            drained: reg.counter(counters::SERVICE_DRAINED),
+            failed: reg.counter(counters::SERVICE_FAILED),
+            retries: reg.counter(counters::SERVICE_RETRIES),
+            faults_injected: reg.counter(counters::FAULT_INJECTED),
+            verify_rejects: reg.counter(counters::VERIFY_REJECTS),
+            cpu_fallbacks: reg.counter(counters::SERVICE_CPU_FALLBACKS),
+            queue_depth: reg.gauge(counters::SERVICE_QUEUE_DEPTH),
+            queue_wait: reg.histogram(counters::SERVICE_QUEUE_WAIT_NS),
+            job_latency: reg.histogram(counters::SERVICE_JOB_LATENCY_NS),
+            stage_poly: stage(counters::SPAN_POLY),
+            stage_msm: stage(counters::SPAN_MSM),
+        }
+    }
+}
+
 #[derive(Default)]
 struct StatCells {
     accepted: AtomicU64,
@@ -136,11 +185,21 @@ struct Inner {
     /// Chaos mode: the deterministic fault oracle rolled before every
     /// stage execution.
     injector: Option<Arc<FaultInjector>>,
+    /// Live metrics handles, present iff [`ServiceConfig::metrics`] is.
+    metrics: Option<ServiceMetrics>,
 }
 
 enum Stage {
     Poly,
     Msm,
+}
+
+/// Publishes the live queue depth. Queue lock held by the caller, so the
+/// gauge is always a value the queue actually had.
+fn gauge_queue_depth(inner: &Inner, q: &Queue) {
+    if let Some(m) = &inner.metrics {
+        m.queue_depth.set((q.pending.len() + q.staged.len()) as f64);
+    }
 }
 
 /// The running service: worker threads plus the shared state they
@@ -166,6 +225,12 @@ impl ProvingService {
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
         let worker_count = fleet.as_ref().map_or(cfg.workers.max(1), |f| f.len());
+        let metrics = cfg.metrics.as_deref().map(|reg| {
+            if let Some(f) = &fleet {
+                f.attach_metrics(reg);
+            }
+            ServiceMetrics::new(reg)
+        });
         let inner = Arc::new(Inner {
             store: Arc::new(PreprocessStore::new(cfg.prep_cache_bytes)),
             queue: Mutex::new(Queue {
@@ -182,6 +247,7 @@ impl ProvingService {
             stats: StatCells::default(),
             fleet,
             injector,
+            metrics,
             cfg,
         });
         let workers = (0..worker_count)
@@ -240,6 +306,9 @@ impl ProvingService {
         }
         if q.pending.len() + q.staged.len() >= self.inner.cfg.queue_capacity {
             self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.inner.metrics {
+                m.rejected.inc();
+            }
             return Err(SubmitError::QueueFull {
                 capacity: self.inner.cfg.queue_capacity,
             });
@@ -263,7 +332,9 @@ impl ProvingService {
             submitted: now,
             queue_wait: Duration::ZERO,
             shared: shared.clone(),
-            recorder: opts.trace.then(|| TraceRecorder::new("service")),
+            recorder: opts
+                .trace
+                .then(|| TraceRecorder::new(counters::SPAN_SERVICE)),
             started: false,
             spans_open: false,
             device: None,
@@ -276,6 +347,10 @@ impl ProvingService {
         });
         q.open += 1;
         self.inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.inner.metrics {
+            m.accepted.inc();
+        }
+        gauge_queue_depth(&self.inner, &q);
         drop(q);
         self.inner.work_cv.notify_one();
         Ok(JobHandle { id, shared })
@@ -417,6 +492,9 @@ fn place_job(inner: &Inner, fleet: &FleetRuntime, job: &mut Job, own: usize) {
             }
             job.task.bind_device(&gzkp_gpu_sim::cpu_xeon());
             inner.stats.cpu_fallbacks.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &inner.metrics {
+                m.cpu_fallbacks.inc();
+            }
         }
     }
 }
@@ -493,17 +571,31 @@ fn pick(
     Some(list.remove(idx))
 }
 
+/// The job's propagated trace context for one stage execution:
+/// job id → stage → current device binding.
+fn stage_ctx(job: &Job, stage: &'static str) -> TraceContext {
+    TraceContext::new(job.id, stage).on_device(job.device)
+}
+
 /// Rolls the chaos oracle for one stage execution. Returns the injected
 /// fault, distinguishing dead-device hits (placement events that neither
 /// consume a draw nor advance the job's attempt index) from drawn faults.
-fn roll_fault(inner: &Inner, job: &mut Job, stage: &str, corruptible: bool) -> Option<FaultKind> {
+fn roll_fault(
+    inner: &Inner,
+    job: &mut Job,
+    stage: &'static str,
+    corruptible: bool,
+) -> Option<FaultKind> {
     let inj = inner.injector.as_deref()?;
     let dead_hit = job.device.is_some_and(|d| inj.is_dead(d));
-    let kind = inj.roll(job.device, job.id, stage, job.attempt, corruptible)?;
+    let kind = inj.roll_ctx(&stage_ctx(job, stage), job.attempt, corruptible)?;
     if !dead_hit {
         job.attempt += 1;
         job.faults += 1;
         inner.stats.faults_injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &inner.metrics {
+            m.faults_injected.inc();
+        }
     }
     Some(kind)
 }
@@ -532,9 +624,12 @@ fn retry_or_fail(inner: &Inner, mut job: Job, reason: &str, hard: bool, to_stage
     }
     job.retries += 1;
     inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.metrics {
+        m.retries.inc();
+    }
     if let Some(rec) = &job.recorder {
-        rec.span_start("retry");
-        rec.span_end("retry");
+        rec.span_start(counters::SPAN_RETRY);
+        rec.span_end(counters::SPAN_RETRY);
     }
     let policy = &inner.cfg.retry;
     let exp = job.retries.saturating_sub(1).min(16);
@@ -549,6 +644,7 @@ fn retry_or_fail(inner: &Inner, mut job: Job, reason: &str, hard: bool, to_stage
     } else {
         q.pending.push(job);
     }
+    gauge_queue_depth(inner, &q);
     drop(q);
     inner.work_cv.notify_one();
 }
@@ -559,12 +655,15 @@ fn run_poly(inner: &Inner, mut job: Job) {
         // re-enter without reopening the service spans.
         job.started = true;
         job.queue_wait = job.submitted.elapsed();
+        if let Some(m) = &inner.metrics {
+            m.queue_wait.record(job.queue_wait.as_nanos() as u64);
+        }
         if let Some(rec) = &job.recorder {
-            rec.span_start("service");
-            rec.span_start("queue_wait");
+            rec.span_start(counters::SPAN_SERVICE);
+            rec.span_start(counters::SPAN_QUEUE_WAIT);
             rec.span_time(job.queue_wait.as_nanos() as f64);
-            rec.span_end("queue_wait");
-            rec.span_start("execute");
+            rec.span_end(counters::SPAN_QUEUE_WAIT);
+            rec.span_start(counters::SPAN_EXECUTE);
             job.spans_open = true;
         }
     }
@@ -574,10 +673,11 @@ fn run_poly(inner: &Inner, mut job: Job) {
     if job.expired(Instant::now()) {
         return resolve(inner, job, Err(JobError::DeadlineMissed));
     }
-    if let Some(kind) = roll_fault(inner, &mut job, "poly", false) {
+    if let Some(kind) = roll_fault(inner, &mut job, counters::SPAN_POLY, false) {
         let hard = kind == FaultKind::DeviceHang;
         return retry_or_fail(inner, job, &format!("poly {kind}"), hard, false);
     }
+    let stage_start = Instant::now();
     let outcome = {
         let task = &mut job.task;
         let sink: &dyn TelemetrySink = match &job.recorder {
@@ -586,13 +686,15 @@ fn run_poly(inner: &Inner, mut job: Job) {
         };
         catch_unwind(AssertUnwindSafe(|| task.poly(sink)))
     };
+    if let Some(m) = &inner.metrics {
+        m.stage_poly.record(stage_start.elapsed().as_nanos() as u64);
+    }
     match outcome {
         Ok(Ok(())) => {
             if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
                 let p = job.task.poly_profile();
-                fleet.record_stage(
-                    dev,
-                    &format!("job{}.poly", job.id),
+                fleet.record_stage_ctx(
+                    &stage_ctx(&job, counters::SPAN_POLY),
                     p.h2d_bytes,
                     p.kernel_ns,
                     p.d2h_bytes,
@@ -618,7 +720,7 @@ fn run_msm(inner: &Inner, mut job: Job) {
     }
     // The MSM stage is the corruptible one: its output is the serialized
     // proof, which the verify-before-return guard can actually check.
-    let corruption = match roll_fault(inner, &mut job, "msm", true) {
+    let corruption = match roll_fault(inner, &mut job, counters::SPAN_MSM, true) {
         Some(FaultKind::SilentCorruption) => true,
         Some(kind) => {
             let hard = kind == FaultKind::DeviceHang;
@@ -628,6 +730,7 @@ fn run_msm(inner: &Inner, mut job: Job) {
         }
         None => false,
     };
+    let stage_start = Instant::now();
     let outcome = {
         let task = &mut job.task;
         let sink: &dyn TelemetrySink = match &job.recorder {
@@ -636,6 +739,9 @@ fn run_msm(inner: &Inner, mut job: Job) {
         };
         catch_unwind(AssertUnwindSafe(|| task.msm(sink)))
     };
+    if let Some(m) = &inner.metrics {
+        m.stage_msm.record(stage_start.elapsed().as_nanos() as u64);
+    }
     match outcome {
         Ok(Ok(mut output)) => {
             if corruption {
@@ -648,9 +754,8 @@ fn run_msm(inner: &Inner, mut job: Job) {
             }
             if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
                 let p = job.task.msm_profile(&output);
-                fleet.record_stage(
-                    dev,
-                    &format!("job{}.msm", job.id),
+                fleet.record_stage_ctx(
+                    &stage_ctx(&job, counters::SPAN_MSM),
                     p.h2d_bytes,
                     p.kernel_ns,
                     p.d2h_bytes,
@@ -662,6 +767,9 @@ fn run_msm(inner: &Inner, mut job: Job) {
             if job.task.verify_output(&output) == Some(false) {
                 job.verify_rejects += 1;
                 inner.stats.verify_rejects.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &inner.metrics {
+                    m.verify_rejects.inc();
+                }
                 if !corruption {
                     // Genuine (non-injected) corruption still advances the
                     // fault-draw index; injected corruption already did at
@@ -726,6 +834,19 @@ fn resolve_locked(
         Err(JobError::Failed(_)) => &inner.stats.failed,
     };
     stat.fetch_add(1, Ordering::Relaxed);
+    if let Some(m) = &inner.metrics {
+        let counter = match &outcome {
+            Ok(_) => &m.completed,
+            Err(JobError::DeadlineMissed) => &m.deadline_missed,
+            Err(JobError::Cancelled) => &m.cancelled,
+            Err(JobError::Drained) => &m.drained,
+            Err(JobError::Failed(_)) => &m.failed,
+        };
+        counter.inc();
+        m.job_latency
+            .record(job.submitted.elapsed().as_nanos() as u64);
+        m.queue_depth.set((q.pending.len() + q.staged.len()) as f64);
+    }
 
     if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
         fleet.complete(dev);
@@ -733,8 +854,8 @@ fn resolve_locked(
 
     let trace = job.recorder.take().map(|rec| {
         if job.spans_open {
-            rec.span_end("execute");
-            rec.span_end("service");
+            rec.span_end(counters::SPAN_EXECUTE);
+            rec.span_end(counters::SPAN_SERVICE);
         }
         rec.counter(counters::SERVICE_ACCEPTED, 1.0);
         rec.counter(

@@ -1,0 +1,141 @@
+//! Folded-stack export: turns a [`Trace`] span tree into the
+//! flamegraph-compatible "folded" text format (`frame;frame;frame count`
+//! per line) consumed by `flamegraph.pl`, inferno, speedscope, and the
+//! like.
+//!
+//! Each line carries one stack's *self* time — the span's time minus its
+//! children's — in integer nanoseconds, so the flamegraph's widths sum
+//! to the trace's total simulated time. Identical stacks (repeated
+//! sibling spans, per-job service spans sharing names) are merged by
+//! summing their counts, as the format requires. Zero-self-time interior
+//! spans are omitted (their time lives in their children); every frame
+//! still appears as a prefix of its descendants' stacks.
+
+use crate::trace::{Trace, TraceNode};
+
+/// Renders `trace` in folded-stack format, root spans first,
+/// lexicographically sorted for deterministic output. Frame separators
+/// (`;`) inside span names are rewritten to `:` so stacks stay
+/// unambiguous.
+pub fn folded_stacks(trace: &Trace) -> String {
+    let mut stacks: Vec<(String, u64)> = Vec::new();
+    let mut prefix = String::new();
+    for child in &trace.root.children {
+        walk(child, &mut prefix, &mut stacks);
+    }
+    stacks.sort();
+    let mut out = String::new();
+    for (stack, count) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&count.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn frame_name(name: &str) -> String {
+    name.replace(';', ":")
+}
+
+fn walk(node: &TraceNode, prefix: &mut String, stacks: &mut Vec<(String, u64)>) {
+    let saved = prefix.len();
+    if !prefix.is_empty() {
+        prefix.push(';');
+    }
+    prefix.push_str(&frame_name(&node.name));
+    let child_ns: f64 = node.children.iter().map(|c| c.time_ns).sum();
+    // Negative self time can only come from float error; clamp to zero.
+    let self_ns = (node.time_ns - child_ns).max(0.0).round() as u64;
+    if self_ns > 0 {
+        if let Some(entry) = stacks.iter_mut().find(|(s, _)| *s == *prefix) {
+            entry.1 += self_ns;
+        } else {
+            stacks.push((prefix.clone(), self_ns));
+        }
+    }
+    for child in &node.children {
+        walk(child, prefix, stacks);
+    }
+    prefix.truncate(saved);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceNode;
+
+    fn node(name: &str, time_ns: f64, children: Vec<TraceNode>) -> TraceNode {
+        let mut n = TraceNode::new(name);
+        n.time_ns = time_ns;
+        n.children = children;
+        n
+    }
+
+    fn sample() -> Trace {
+        // prove(100) -> poly(60: self 10 + ntt 50), msm(30), self 10
+        let root = node(
+            "root",
+            100.0,
+            vec![node(
+                "prove",
+                100.0,
+                vec![
+                    node("poly", 60.0, vec![node("ntt[0]", 50.0, vec![])]),
+                    node("msm", 30.0, vec![]),
+                ],
+            )],
+        );
+        Trace::new("gzkp", "V100", root)
+    }
+
+    #[test]
+    fn folded_format_self_times_sum_to_total() {
+        let text = folded_stacks(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "prove 10",
+                "prove;msm 30",
+                "prove;poly 10",
+                "prove;poly;ntt[0] 50",
+            ]
+        );
+        // Every line is `stack count` with non-empty `;`-separated frames.
+        let mut total = 0u64;
+        for line in &lines {
+            let (stack, count) = line.rsplit_once(' ').expect("stack count");
+            assert!(!stack.is_empty() && stack.split(';').all(|f| !f.is_empty()));
+            total += count.parse::<u64>().expect("integer count");
+        }
+        assert_eq!(total, 100, "self times sum to the root total");
+    }
+
+    #[test]
+    fn repeated_stacks_merge() {
+        // Two sibling spans with the same name (per-job service spans).
+        let root = node(
+            "root",
+            50.0,
+            vec![node("service", 20.0, vec![]), node("service", 30.0, vec![])],
+        );
+        let text = folded_stacks(&Trace::new("gzkp", "svc", root));
+        assert_eq!(text, "service 50\n");
+    }
+
+    #[test]
+    fn separator_in_names_is_rewritten() {
+        let root = node("root", 5.0, vec![node("a;b", 5.0, vec![])]);
+        let text = folded_stacks(&Trace::new("gzkp", "d", root));
+        assert_eq!(text, "a:b 5\n");
+    }
+
+    #[test]
+    fn empty_and_zero_time_traces_render_empty() {
+        let empty = Trace::new("gzkp", "d", TraceNode::new("root"));
+        assert_eq!(folded_stacks(&empty), "");
+        let zero = node("root", 0.0, vec![node("prove", 0.0, vec![])]);
+        assert_eq!(folded_stacks(&Trace::new("gzkp", "d", zero)), "");
+    }
+}

@@ -25,9 +25,18 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod flame;
+pub mod metrics;
+pub mod names;
 pub mod trace;
 
 pub use diff::{diff_traces, StageDelta, TraceDiff};
+pub use flame::folded_stacks;
+pub use metrics::{
+    render_top, Counter, Gauge, HistogramSample, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, SloAlert, SloPolicy, SloReport, SloTracker, SnapshotExporter,
+    METRICS_SCHEMA_VERSION,
+};
 pub use trace::{
     render_timeline, render_trace, Histogram, Trace, TraceError, TraceNode, SCHEMA_VERSION,
 };
@@ -110,63 +119,10 @@ pub fn span<'a>(sink: &'a dyn TelemetrySink, name: &'a str) -> SpanGuard<'a> {
 // Shared emit helpers
 // ---------------------------------------------------------------------------
 
-/// Standard counter names (kept in one place so producers and `zkprof`
-/// agree).
-pub mod counters {
-    /// 64-bit multiply-accumulate equivalents (the simulator's compute
-    /// unit; field multiplications dominate it).
-    pub const MAC_OPS: &str = "mac_ops";
-    /// DRAM sectors moved.
-    pub const DRAM_SECTORS: &str = "dram_sectors";
-    /// Field multiplications performed by NTT butterflies.
-    pub const NTT_FIELD_MULS: &str = "ntt.field_muls";
-    /// Point additions in the MSM (mixed + full).
-    pub const MSM_PADD: &str = "msm.padd";
-    /// Point doublings in the MSM (on-the-fly checkpoint weights).
-    pub const MSM_PDBL: &str = "msm.pdbl";
-    /// Peak simulated device memory, bytes (a gauge, kept as max).
-    pub const PEAK_DEVICE_BYTES: &str = "device.peak_bytes";
-    /// Non-empty buckets in the MSM's consolidated bucket space.
-    pub const MSM_OCCUPIED_BUCKETS: &str = "msm.occupied_buckets";
-    /// Field inversions performed by the batch-affine accumulator (one
-    /// per Montgomery-batched reduction round).
-    pub const MSM_BATCH_INVERSIONS: &str = "msm.batch_inversions";
-    /// Field inversions amortized away by Montgomery batching: affine
-    /// PADDs that shared a batched inversion instead of paying their own.
-    pub const MSM_BATCH_INV_SAVED: &str = "msm.batch_inv_saved";
-    /// Jobs the proving service accepted into its queue.
-    pub const SERVICE_ACCEPTED: &str = "service.accepted";
-    /// Jobs the proving service rejected at submit (queue full).
-    pub const SERVICE_REJECTED: &str = "service.rejected";
-    /// Jobs that ran to completion through the proving service.
-    pub const SERVICE_COMPLETED: &str = "service.completed";
-    /// Jobs dropped because their deadline expired before/between stages.
-    pub const SERVICE_DEADLINE_MISSED: &str = "service.deadline_missed";
-    /// Jobs cancelled cooperatively via their handle.
-    pub const SERVICE_CANCELLED: &str = "service.cancelled";
-    /// Wall-clock nanoseconds a job waited in the service queue.
-    pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
-    /// Simulated bytes uploaded host→device by the fleet runtime.
-    pub const RUNTIME_H2D_BYTES: &str = "runtime.h2d_bytes";
-    /// Simulated bytes downloaded device→host by the fleet runtime.
-    pub const RUNTIME_D2H_BYTES: &str = "runtime.d2h_bytes";
-    /// Bucket-range shards the memory planner split MSMs into.
-    pub const RUNTIME_SHARDS: &str = "runtime.shards";
-    /// Jobs a fleet worker stole from another device's queue.
-    pub const RUNTIME_STEALS: &str = "runtime.steals";
-    /// Faults the chaos injector fired into this job/run.
-    pub const FAULT_INJECTED: &str = "fault.injected";
-    /// Stage re-executions the service performed recovering from faults.
-    pub const SERVICE_RETRIES: &str = "retry.count";
-    /// Times a device entered quarantine (circuit breaker tripped).
-    pub const QUARANTINE_EVENTS: &str = "quarantine.events";
-    /// Proofs the verify-before-return guard rejected as corrupted.
-    pub const VERIFY_REJECTS: &str = "verify.rejects";
-    /// Gauge on device-lane spans: simulated start offset of the span's
-    /// operation within its fleet timeline (what the timeline renderer
-    /// aligns lanes by).
-    pub const SPAN_START_NS: &str = "start_ns";
-}
+/// Compatibility alias for [`names`] — counter constants were originally
+/// published under `telemetry::counters`; new code should use
+/// `telemetry::names`.
+pub use self::names as counters;
 
 /// Feeds one simulated stage into the sink: every kernel report, plus the
 /// rolled-up [`counters::MAC_OPS`] and [`counters::DRAM_SECTORS`].
@@ -423,6 +379,22 @@ mod tests {
         let h = log2_histogram([0u64, 1, 1, 2, 3, 8, 9, 1024].into_iter());
         // zeros+ones land in bucket 0; 2..3 in bucket 1; 8..9 in 3; 1024 in 10.
         assert_eq!(h, vec![(0, 3), (1, 2), (3, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn log2_histogram_edge_cases_are_total() {
+        // Empty input: an empty (not panicking) histogram.
+        assert_eq!(log2_histogram(std::iter::empty()), vec![]);
+        // Single sample: exactly one bucket with count 1.
+        assert_eq!(log2_histogram([7u64].into_iter()), vec![(2, 1)]);
+        assert_eq!(log2_histogram([0u64].into_iter()), vec![(0, 1)]);
+        // u64::MAX has zero leading zeros and must land in bucket 63
+        // without shifting out of range.
+        assert_eq!(log2_histogram([u64::MAX].into_iter()), vec![(63, 1)]);
+        assert_eq!(
+            log2_histogram([0, 1, u64::MAX, u64::MAX].into_iter()),
+            vec![(0, 2), (63, 2)]
+        );
     }
 
     #[test]

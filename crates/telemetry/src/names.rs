@@ -1,0 +1,157 @@
+//! The single registry of telemetry name strings: span names, counter and
+//! gauge names, histogram/metric names, and device-lane labels.
+//!
+//! Every emit site in the workspace references these constants instead of
+//! repeating string literals, so a typo'd name is a compile error rather
+//! than a silently-empty `zkprof diff` column or a metrics series nobody
+//! scrapes. `zkprof`, the SLO tracker, and the dashboards consume the
+//! same constants, which is what keeps producer and consumer agreeing on
+//! the wire names.
+//!
+//! Naming convention: dot-separated lowercase (`service.queue_wait_ns`);
+//! the Prometheus exposition rewrites dots to underscores and prefixes
+//! `gzkp_`. Duration-valued series end in `_ns` (simulated or wall-clock
+//! nanoseconds; the doc comment says which).
+
+// -- span names (trace tree) ------------------------------------------------
+
+/// Root span of one Groth16 proof.
+pub const SPAN_PROVE: &str = "prove";
+/// Polynomial stage (NTTs + coefficient work) of a proof.
+pub const SPAN_POLY: &str = "poly";
+/// Multi-scalar-multiplication stage of a proof.
+pub const SPAN_MSM: &str = "msm";
+/// Per-job service envelope span (`service → queue_wait/execute`).
+pub const SPAN_SERVICE: &str = "service";
+/// Wall-clock span a job spent queued before first schedule.
+pub const SPAN_QUEUE_WAIT: &str = "queue_wait";
+/// Span covering a job's on-worker execution.
+pub const SPAN_EXECUTE: &str = "execute";
+/// Span recorded for each fault-recovery re-execution.
+pub const SPAN_RETRY: &str = "retry";
+/// Root span of a fleet trace (`runtime → dev{n} → lanes`).
+pub const SPAN_RUNTIME: &str = "runtime";
+/// Device-health event lane in a fleet trace (fault/quarantine markers).
+pub const SPAN_HEALTH: &str = "health";
+
+// -- device-lane names ------------------------------------------------------
+//
+// These mirror `gzkp_gpu_sim::EngineKind::label()`; a telemetry unit test
+// asserts they stay equal (gpu-sim sits below this crate and cannot
+// reference it).
+
+/// Host→device copy-engine lane.
+pub const LANE_H2D: &str = "h2d";
+/// Compute-engine lane.
+pub const LANE_KERNEL: &str = "kernel";
+/// Device→host copy-engine lane.
+pub const LANE_D2H: &str = "d2h";
+
+// -- engine counters --------------------------------------------------------
+
+/// 64-bit multiply-accumulate equivalents (the simulator's compute
+/// unit; field multiplications dominate it).
+pub const MAC_OPS: &str = "mac_ops";
+/// DRAM sectors moved.
+pub const DRAM_SECTORS: &str = "dram_sectors";
+/// Field multiplications performed by NTT butterflies.
+pub const NTT_FIELD_MULS: &str = "ntt.field_muls";
+/// Point additions in the MSM (mixed + full).
+pub const MSM_PADD: &str = "msm.padd";
+/// Point doublings in the MSM (on-the-fly checkpoint weights).
+pub const MSM_PDBL: &str = "msm.pdbl";
+/// Peak simulated device memory, bytes (a gauge, kept as max).
+pub const PEAK_DEVICE_BYTES: &str = "device.peak_bytes";
+/// Non-empty buckets in the MSM's consolidated bucket space.
+pub const MSM_OCCUPIED_BUCKETS: &str = "msm.occupied_buckets";
+/// Field inversions performed by the batch-affine accumulator (one
+/// per Montgomery-batched reduction round).
+pub const MSM_BATCH_INVERSIONS: &str = "msm.batch_inversions";
+/// Field inversions amortized away by Montgomery batching: affine
+/// PADDs that shared a batched inversion instead of paying their own.
+pub const MSM_BATCH_INV_SAVED: &str = "msm.batch_inv_saved";
+
+// -- proving-service counters -----------------------------------------------
+
+/// Jobs the proving service accepted into its queue.
+pub const SERVICE_ACCEPTED: &str = "service.accepted";
+/// Jobs the proving service rejected at submit (queue full).
+pub const SERVICE_REJECTED: &str = "service.rejected";
+/// Jobs that ran to completion through the proving service.
+pub const SERVICE_COMPLETED: &str = "service.completed";
+/// Jobs dropped because their deadline expired before/between stages.
+pub const SERVICE_DEADLINE_MISSED: &str = "service.deadline_missed";
+/// Jobs cancelled cooperatively via their handle.
+pub const SERVICE_CANCELLED: &str = "service.cancelled";
+/// Jobs that exhausted their retry budget and surfaced an error.
+pub const SERVICE_FAILED: &str = "service.failed";
+/// Jobs abandoned because the service shut down before running them.
+pub const SERVICE_DRAINED: &str = "service.drained";
+/// Stages re-placed on the host CPU after every device quarantined.
+pub const SERVICE_CPU_FALLBACKS: &str = "service.cpu_fallbacks";
+/// Wall-clock nanoseconds a job waited in the service queue.
+pub const SERVICE_QUEUE_WAIT_NS: &str = "service.queue_wait_ns";
+/// Wall-clock nanoseconds from job accept to terminal outcome
+/// (latency histogram).
+pub const SERVICE_JOB_LATENCY_NS: &str = "service.job_latency_ns";
+/// Jobs currently queued or executing (live gauge).
+pub const SERVICE_QUEUE_DEPTH: &str = "service.queue_depth";
+/// Wall-clock nanoseconds one pipeline stage spent executing (histogram,
+/// labeled `stage=poly|msm`).
+pub const STAGE_LATENCY_NS: &str = "stage.latency_ns";
+
+// -- fleet-runtime counters -------------------------------------------------
+
+/// Simulated bytes uploaded host→device by the fleet runtime.
+pub const RUNTIME_H2D_BYTES: &str = "runtime.h2d_bytes";
+/// Simulated bytes downloaded device→host by the fleet runtime.
+pub const RUNTIME_D2H_BYTES: &str = "runtime.d2h_bytes";
+/// Bucket-range shards the memory planner split MSMs into.
+pub const RUNTIME_SHARDS: &str = "runtime.shards";
+/// Jobs a fleet worker stole from another device's queue.
+pub const RUNTIME_STEALS: &str = "runtime.steals";
+/// Stages a device executed (per-device counter, labeled `device=devN`).
+pub const DEVICE_STAGES: &str = "device.stages";
+/// Simulated nanoseconds a device's compute engine was busy (gauge,
+/// labeled `device=devN`).
+pub const DEVICE_BUSY_NS: &str = "device.busy_ns";
+/// Simulated nanoseconds elapsed on a device's timeline (gauge, labeled
+/// `device=devN`; `busy/elapsed` is the utilization the SLO tracker
+/// reports).
+pub const DEVICE_ELAPSED_NS: &str = "device.elapsed_ns";
+/// Simulated nanoseconds a device has spent quarantined (gauge, labeled
+/// `device=devN`).
+pub const DEVICE_QUARANTINE_NS: &str = "device.quarantine_ns";
+
+// -- fault / recovery counters ----------------------------------------------
+
+/// Faults the chaos injector fired into this job/run.
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// Stage re-executions the service performed recovering from faults.
+pub const SERVICE_RETRIES: &str = "retry.count";
+/// Times a device entered quarantine (circuit breaker tripped).
+pub const QUARANTINE_EVENTS: &str = "quarantine.events";
+/// Proofs the verify-before-return guard rejected as corrupted.
+pub const VERIFY_REJECTS: &str = "verify.rejects";
+
+// -- trace-structure gauges -------------------------------------------------
+
+/// Gauge on device-lane spans: simulated start offset of the span's
+/// operation within its fleet timeline (what the timeline renderer
+/// aligns lanes by).
+pub const SPAN_START_NS: &str = "start_ns";
+
+#[cfg(test)]
+mod tests {
+    use gzkp_gpu_sim::EngineKind;
+
+    /// gpu-sim cannot depend on this crate, so its lane labels are pinned
+    /// here instead: `EngineKind::label()` and the `LANE_*` constants are
+    /// the same wire names.
+    #[test]
+    fn lane_names_match_engine_labels() {
+        assert_eq!(EngineKind::H2d.label(), super::LANE_H2D);
+        assert_eq!(EngineKind::Compute.label(), super::LANE_KERNEL);
+        assert_eq!(EngineKind::D2h.label(), super::LANE_D2H);
+    }
+}

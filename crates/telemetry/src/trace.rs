@@ -231,13 +231,15 @@ pub fn render_trace(trace: &Trace) -> String {
 /// axis: every lane is a fixed-width row whose filled cells mark when its
 /// ops ran in simulated time, so upload/compute/download overlap — and
 /// gaps — line up visually across devices. Lane glyphs: `=` for H2D
-/// copies, `#` for kernels, `-` for D2H copies.
+/// copies, `#` for kernels, `-` for D2H copies, and `!` for health
+/// events (faults, quarantines, recoveries) on the `health` marker lane
+/// the fleet emits when a device degraded during the run.
 ///
 /// Returns `None` when the trace has no `runtime` node with device lanes
 /// (i.e. it is not a fleet trace).
 pub fn render_timeline(trace: &Trace) -> Option<String> {
     const COLS: usize = 64;
-    let runtime = trace.root.child("runtime")?;
+    let runtime = trace.root.child(crate::names::SPAN_RUNTIME)?;
     let devices: Vec<&TraceNode> = runtime
         .children
         .iter()
@@ -267,8 +269,9 @@ pub fn render_timeline(trace: &Trace) -> Option<String> {
     for dev in devices {
         for (li, lane) in dev.children.iter().enumerate() {
             let glyph = match lane.name.as_str() {
-                "h2d" => '=',
-                "d2h" => '-',
+                crate::names::LANE_H2D => '=',
+                crate::names::LANE_D2H => '-',
+                crate::names::SPAN_HEALTH => '!',
                 _ => '#',
             };
             let mut row = [' '; COLS];

@@ -3,6 +3,9 @@
 //! ```text
 //! zkprof render <trace.json> [--timeline]
 //! zkprof diff <base.json> <new.json> [--threshold <fraction>]
+//! zkprof flame <trace.json> [-o <out.folded>]
+//! zkprof slo <metrics.json> [--max-miss-rate F] [--max-queue-p99-ms F]
+//!                           [--max-quarantine-frac F]
 //! ```
 //!
 //! `render` pretty-prints the span tree of a `gzkp-trace.json` with the
@@ -14,17 +17,32 @@
 //! span-by-span and exits with status 1 when any stage slowed down by
 //! more than the threshold (default 5%) or the span trees no longer line
 //! up — so it can gate CI on performance regressions.
+//!
+//! `flame` exports a trace's span tree in the flamegraph "folded" stack
+//! format (`frame;frame count` per line, counts in self-time
+//! nanoseconds), ready for `flamegraph.pl`, inferno, or speedscope;
+//! `-o PATH` writes to a file instead of stdout. `slo` evaluates a
+//! metrics snapshot (as written by `zkserve run --metrics`) against SLO
+//! thresholds and exits with status 1 on any burn-rate alert — the CI
+//! gate for chaos smoke runs. Flags override the default policy; pass
+//! `--max-miss-rate 0` to require a run with zero deadline misses.
 
 use std::process::ExitCode;
 
-use gzkp_telemetry::{diff_traces, render_timeline, render_trace, Trace, TraceError};
+use gzkp_telemetry::{
+    diff_traces, folded_stacks, render_timeline, render_trace, MetricsSnapshot, SloPolicy,
+    SloTracker, Trace, TraceError,
+};
 
 const DEFAULT_THRESHOLD: f64 = 0.05;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zkprof render <trace.json> [--timeline]\n  \
-         zkprof diff <base.json> <new.json> [--threshold <fraction>]"
+         zkprof diff <base.json> <new.json> [--threshold <fraction>]\n  \
+         zkprof flame <trace.json> [-o <out.folded>]\n  \
+         zkprof slo <metrics.json> [--max-miss-rate F] [--max-queue-p99-ms F] \
+         [--max-quarantine-frac F]"
     );
     ExitCode::from(2)
 }
@@ -99,8 +117,105 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        Some("flame") => {
+            let Some((path, out)) = parse_flame_args(&args[1..]) else {
+                return usage();
+            };
+            let trace = match load(&path) {
+                Ok(t) => t,
+                Err(code) => return code,
+            };
+            let folded = folded_stacks(&trace);
+            match out {
+                Some(out_path) => {
+                    if let Err(e) = std::fs::write(&out_path, &folded) {
+                        eprintln!("zkprof: {out_path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    eprintln!("zkprof: folded stacks written to {out_path}");
+                }
+                None => print!("{folded}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Some("slo") => {
+            let Some((path, policy)) = parse_slo_args(&args[1..]) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("zkprof: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let snapshot = match MetricsSnapshot::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("zkprof: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = SloTracker::new(policy).evaluate(&snapshot);
+            println!("{}", report.render());
+            if report.healthy {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         _ => usage(),
     }
+}
+
+/// Parses `<trace.json> [-o <out.folded>]`.
+fn parse_flame_args(rest: &[String]) -> Option<(String, Option<String>)> {
+    let mut path = None;
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => out = Some(it.next()?.to_string()),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some((path?, out))
+}
+
+/// Parses `<metrics.json>` plus SLO threshold overrides.
+fn parse_slo_args(rest: &[String]) -> Option<(String, SloPolicy)> {
+    let mut path = None;
+    let mut policy = SloPolicy::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-miss-rate" => {
+                let v: f64 = it.next()?.parse().ok()?;
+                if !v.is_finite() || v < 0.0 {
+                    return None;
+                }
+                policy.max_deadline_miss_rate = v;
+            }
+            "--max-queue-p99-ms" => {
+                let v: f64 = it.next()?.parse().ok()?;
+                if !v.is_finite() || v < 0.0 {
+                    return None;
+                }
+                policy.max_queue_wait_p99_ns = (v * 1e6) as u64;
+            }
+            "--max-quarantine-frac" => {
+                let v: f64 = it.next()?.parse().ok()?;
+                if !v.is_finite() || v < 0.0 {
+                    return None;
+                }
+                policy.max_quarantine_frac = v;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some((path?, policy))
 }
 
 /// Parses `<trace.json> [--timeline]`.
@@ -179,6 +294,43 @@ mod tests {
     fn diff_args_explicit_threshold() {
         let (_, t) = parse_diff_args(&s(&["a.json", "b.json", "--threshold", "0.25"])).unwrap();
         assert_eq!(t, 0.25);
+    }
+
+    #[test]
+    fn flame_args_parse() {
+        assert_eq!(
+            parse_flame_args(&s(&["t.json"])),
+            Some(("t.json".into(), None))
+        );
+        assert_eq!(
+            parse_flame_args(&s(&["t.json", "-o", "out.folded"])),
+            Some(("t.json".into(), Some("out.folded".into())))
+        );
+        assert!(parse_flame_args(&s(&[])).is_none());
+        assert!(parse_flame_args(&s(&["t.json", "--bogus"])).is_none());
+    }
+
+    #[test]
+    fn slo_args_parse_and_override() {
+        let (path, policy) = parse_slo_args(&s(&["m.json"])).unwrap();
+        assert_eq!(path, "m.json");
+        assert_eq!(policy, SloPolicy::default());
+        let (_, policy) = parse_slo_args(&s(&[
+            "m.json",
+            "--max-miss-rate",
+            "0",
+            "--max-queue-p99-ms",
+            "250",
+            "--max-quarantine-frac",
+            "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(policy.max_deadline_miss_rate, 0.0);
+        assert_eq!(policy.max_queue_wait_p99_ns, 250_000_000);
+        assert_eq!(policy.max_quarantine_frac, 0.5);
+        assert!(parse_slo_args(&s(&["m.json", "--max-miss-rate", "-1"])).is_none());
+        assert!(parse_slo_args(&s(&["m.json", "--max-miss-rate", "nan"])).is_none());
+        assert!(parse_slo_args(&s(&["a.json", "b.json"])).is_none());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N]
 //!                             [--deadline-ms N] [--compare]
 //!                             [--devices N[,spec]] [--fleet-trace PATH]
-//!                             [--chaos SPEC]
+//!                             [--chaos SPEC] [--metrics PATH] [--prom PATH]
+//! zkserve top <metrics.json> [--watch SECS]
 //! zkserve example
 //! ```
 //!
@@ -35,19 +36,38 @@
 //! with `--compare`, the byte-identical assertion demonstrates that
 //! recovery never changes a proof.
 //!
+//! `--metrics PATH` arms the live observability layer: the service and
+//! fleet register their counters, gauges, and latency histograms in a
+//! [`gzkp_telemetry::MetricsRegistry`], a background exporter rewrites
+//! `PATH` as a JSON [`gzkp_telemetry::MetricsSnapshot`] every 500 ms
+//! while the replay runs (so `zkserve top PATH --watch 1` in another
+//! terminal is a live dashboard), and the final snapshot — with an
+//! embedded SLO report — is written on completion. `--prom PATH`
+//! additionally writes the snapshot in Prometheus text exposition
+//! format on the same cadence.
+//!
+//! `top` renders a metrics snapshot file as an ASCII dashboard (job
+//! counts, queue/stage/e2e latency percentiles, SLO status, per-device
+//! utilization bars). `--watch SECS` clears the screen and re-renders
+//! every interval until interrupted.
+//!
 //! `example` prints a starter workload file to stdout.
 
 use gzkp_gpu_sim::v100;
 use gzkp_service::{prepare, run_sequential, run_service, ReplayOutcome, ServiceConfig};
+use gzkp_telemetry::{render_top, MetricsRegistry, MetricsSnapshot, SloTracker, SnapshotExporter};
 use gzkp_workloads::requests::RequestWorkload;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N] \
          [--deadline-ms N] [--compare] [--devices N[,spec]] [--fleet-trace PATH] \
-         [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,dead=I+J]]\n  \
+         [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,dead=I+J]] \
+         [--metrics PATH] [--prom PATH]\n  \
+         zkserve top <metrics.json> [--watch SECS]\n  \
          zkserve example"
     );
     ExitCode::from(2)
@@ -58,6 +78,8 @@ struct RunArgs {
     cfg: ServiceConfig,
     compare: bool,
     fleet_trace: Option<String>,
+    metrics: Option<String>,
+    prom: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Option<RunArgs> {
@@ -65,6 +87,8 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
     let mut cfg = ServiceConfig::default();
     let mut compare = false;
     let mut fleet_trace = None;
+    let mut metrics = None;
+    let mut prom = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -84,6 +108,8 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
                 }
             }
             "--fleet-trace" => fleet_trace = Some(it.next()?.to_string()),
+            "--metrics" => metrics = Some(it.next()?.to_string()),
+            "--prom" => prom = Some(it.next()?.to_string()),
             "--chaos" => {
                 cfg.chaos = match gzkp_gpu_sim::FaultPlan::parse(it.next()?) {
                     Ok(plan) => Some(plan),
@@ -98,12 +124,43 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
             _ => return None,
         }
     }
+    if prom.is_some() && metrics.is_none() {
+        eprintln!("zkserve: --prom requires --metrics");
+        return None;
+    }
     Some(RunArgs {
         path: path?,
         cfg,
         compare,
         fleet_trace,
+        metrics,
+        prom,
     })
+}
+
+/// Parses `top <metrics.json> [--watch SECS]`.
+fn parse_top_args(args: &[String]) -> Option<(String, Option<u64>)> {
+    let mut path = None;
+    let mut watch = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--watch" => {
+                let secs: u64 = it.next()?.parse().ok()?;
+                watch = Some(secs.max(1));
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            _ => return None,
+        }
+    }
+    Some((path?, watch))
+}
+
+/// Reads and renders one dashboard frame from a metrics snapshot file.
+fn top_frame(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snap = MetricsSnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(render_top(&snap))
 }
 
 fn report(label: &str, outcome: &ReplayOutcome) {
@@ -131,6 +188,35 @@ fn main() -> ExitCode {
         Some("example") => {
             println!("{}", RequestWorkload::example().to_json());
             ExitCode::SUCCESS
+        }
+        Some("top") => {
+            let Some((path, watch)) = parse_top_args(&args[1..]) else {
+                return usage();
+            };
+            match watch {
+                None => match top_frame(&path) {
+                    Ok(frame) => {
+                        print!("{frame}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("zkserve: {e}");
+                        ExitCode::from(2)
+                    }
+                },
+                Some(secs) => loop {
+                    // Clear the screen and home the cursor between frames;
+                    // a transiently unreadable file (the exporter may be
+                    // mid-rewrite) just skips one refresh.
+                    match top_frame(&path) {
+                        Ok(frame) => print!("\x1b[2J\x1b[H{frame}"),
+                        Err(e) => eprintln!("zkserve: {e}"),
+                    }
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    std::thread::sleep(Duration::from_secs(secs));
+                },
+            }
         }
         Some("run") => {
             let Some(run) = parse_run_args(&args[1..]) else {
@@ -163,8 +249,40 @@ fn main() -> ExitCode {
                 report("sequential", &b);
                 b
             });
-            let outcome = run_service(&prepared, run.cfg.clone(), &device);
+            let mut cfg = run.cfg.clone();
+            let exporter = run.metrics.as_ref().map(|path| {
+                let registry = Arc::new(MetricsRegistry::new());
+                cfg.metrics = Some(registry.clone());
+                SnapshotExporter::start(
+                    registry,
+                    Some(SloTracker::new(gzkp_telemetry::SloPolicy::default())),
+                    path,
+                    run.prom.as_ref().map(Into::into),
+                    Duration::from_millis(500),
+                )
+            });
+            let outcome = run_service(&prepared, cfg, &device);
             report("service", &outcome);
+            if let Some(exporter) = exporter {
+                let path = run.metrics.as_deref().unwrap_or("");
+                match exporter.stop() {
+                    Ok(snapshot) => {
+                        if let Some(slo) = &snapshot.slo {
+                            // `render()` carries its own `slo:` prefix.
+                            let line = slo.render();
+                            println!("{:>10}: {}", "slo", line.trim_start_matches("slo: "));
+                        }
+                        println!("{:>10}: metrics snapshot written to {path}", "metrics");
+                        if let Some(prom) = &run.prom {
+                            println!("{:>10}: prometheus exposition written to {prom}", "metrics");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("zkserve: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             if let Some(chaos) = &outcome.chaos {
                 println!(
                     "{:>10}: injected {} (kernel {} transfer {} hang {} corrupt {})  \
@@ -228,5 +346,50 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn run_args_parse_metrics_flags() {
+        let run = parse_run_args(&s(&["w.json", "--metrics", "m.json"])).unwrap();
+        assert_eq!(run.metrics.as_deref(), Some("m.json"));
+        assert!(run.prom.is_none());
+        let run =
+            parse_run_args(&s(&["w.json", "--metrics", "m.json", "--prom", "m.prom"])).unwrap();
+        assert_eq!(run.prom.as_deref(), Some("m.prom"));
+        assert!(
+            parse_run_args(&s(&["w.json", "--prom", "m.prom"])).is_none(),
+            "--prom without --metrics is rejected"
+        );
+        let run = parse_run_args(&s(&["w.json"])).unwrap();
+        assert!(run.metrics.is_none());
+    }
+
+    #[test]
+    fn top_args_parse() {
+        assert_eq!(
+            parse_top_args(&s(&["m.json"])),
+            Some(("m.json".into(), None))
+        );
+        assert_eq!(
+            parse_top_args(&s(&["m.json", "--watch", "2"])),
+            Some(("m.json".into(), Some(2)))
+        );
+        assert_eq!(
+            parse_top_args(&s(&["--watch", "0", "m.json"])),
+            Some(("m.json".into(), Some(1))),
+            "watch interval is clamped to at least 1s"
+        );
+        assert!(parse_top_args(&s(&[])).is_none());
+        assert!(parse_top_args(&s(&["m.json", "--bogus"])).is_none());
+        assert!(parse_top_args(&s(&["m.json", "--watch", "x"])).is_none());
     }
 }
