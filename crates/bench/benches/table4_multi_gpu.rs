@@ -1,36 +1,97 @@
-//! Table 4: the Zcash workloads on four V100s.
+//! Table 4: the Zcash workloads on multiple V100s — scheduled through the
+//! real cross-device runtime ([`gzkp_runtime::FleetRuntime`]) instead of
+//! the old closed-form `multi_gpu_time_ns` estimate.
 //!
-//! Per §5.2: the seven data-independent NTTs are spread across cards (two
-//! sequential rounds on four cards); each MSM is decomposed horizontally
-//! into four sub-MSMs — one per card, each using all GZKP optimizations —
-//! followed by an inter-card combination transfer.
+//! Per §5.2: the seven data-independent NTTs are spread across cards
+//! (`ceil(7/D)` sequential rounds per card); each MSM is decomposed
+//! horizontally into per-card sub-MSMs followed by an inter-card
+//! combination — here the combination is a device→device transfer on the
+//! fleet's NVLink P2P path into a merge kernel on card 0, overlapping
+//! the other cards' remaining work exactly as the command-stream
+//! simulator schedules it. Each workload reports BG vs GZKP at four
+//! cards plus GZKP's scaling at 1/2/4 devices, all as fleet-timeline
+//! makespans.
 
 use gzkp_bench::{speedup, Recorder};
 use gzkp_curves::bls12_381;
 use gzkp_ff::fields::Fr381;
-use gzkp_gpu_sim::kernel::multi_gpu_time_ns;
 use gzkp_gpu_sim::v100;
-use gzkp_msm::{GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger};
+use gzkp_msm::{CurveCost, GzkpMsm, MsmEngine, ScalarVec, SubMsmPippenger};
 use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_ntt::{BaselineGpuNtt, GzkpNtt};
+use gzkp_runtime::FleetRuntime;
 use gzkp_workloads::zcash::zcash_workloads;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const CARDS: usize = 4;
+/// Bucket spill each card ships with its partial sums in the inter-card
+/// combination (the paper's transfer term; the partial points alone are
+/// a few hundred bytes).
+const COMBINE_SPILL_BYTES: u64 = 1 << 20;
 
-/// Splits a scalar vector into four card-local quarters.
-fn quarters(sv_raw: &[gzkp_ff::fields::Fr381]) -> Vec<ScalarVec> {
-    let chunk = sv_raw.len().div_ceil(CARDS);
+/// Splits a scalar vector into `cards` card-local slices.
+fn slices(sv_raw: &[Fr381], cards: usize) -> Vec<ScalarVec> {
+    let chunk = sv_raw.len().div_ceil(cards);
     sv_raw.chunks(chunk).map(ScalarVec::from_field).collect()
 }
 
-/// One MSM over four cards: per-card plan + combination transfer
-/// (each card ships its partial G1/G2 sums — a few hundred bytes — plus
-/// bucket spill; modelled as 1 MB per card).
-fn msm4_ms<C: gzkp_curves::CurveParams>(engine: &dyn MsmEngine<C>, parts: &[ScalarVec]) -> f64 {
-    let per_card: Vec<f64> = parts.iter().map(|p| engine.plan(p).total_ns()).collect();
-    multi_gpu_time_ns(&v100(), &per_card, (CARDS as u64) * (1 << 20)) / 1e6
+/// Schedules one horizontally-decomposed MSM on the fleet: card `d` runs
+/// a plan-priced sub-MSM over its slice, every card `> 0` ships its
+/// partial over the P2P path to card 0, and a combination kernel runs
+/// there per arriving partial.
+fn fleet_msm<C: gzkp_curves::CurveParams>(
+    fleet: &FleetRuntime,
+    engine: &dyn MsmEngine<C>,
+    parts: &[ScalarVec],
+    label: &str,
+) {
+    let cost = CurveCost::of::<C>();
+    let mut done = Vec::new();
+    for (d, part) in parts.iter().enumerate() {
+        let kernel_ns = engine.plan(part).total_ns();
+        let h2d = part.len() as u64 * (cost.affine_bytes() + 8 * part.limbs_per_scalar() as u64);
+        done.push(fleet.record_stage(d, &format!("{label}.card{d}"), h2d, kernel_ns, 0));
+    }
+    for (d, &done_at) in done.iter().enumerate().skip(1) {
+        let payload = cost.jacobian_bytes() + COMBINE_SPILL_BYTES;
+        fleet.record_p2p(d, 0, &format!("{label}.combine{d}"), payload, done_at);
+        fleet.record_stage(0, &format!("{label}.combine{d}"), 0, 10_000.0, 0);
+    }
+    fleet.record_stage(0, &format!("{label}.result"), 0, 0.0, cost.jacobian_bytes());
+}
+
+/// Full-workload makespan on `cards` V100s: `ceil(7/cards)` NTT rounds
+/// per card (two at four cards), then the five decomposed MSMs.
+fn fleet_prove_ms(
+    cards: usize,
+    ntt_round_ns: f64,
+    msm_g1: &dyn MsmEngine<bls12_381::G1Config>,
+    msm_g2: &dyn MsmEngine<bls12_381::G2Config>,
+    sparse: &[Fr381],
+    dense: &[Fr381],
+) -> f64 {
+    let fleet = FleetRuntime::new(vec![v100(); cards]);
+    let rounds = 7usize.div_ceil(cards);
+    for d in 0..cards {
+        for r in 0..rounds {
+            fleet.record_stage(d, &format!("poly.round{r}.card{d}"), 0, ntt_round_ns, 0);
+        }
+    }
+    let sparse_q = slices(sparse, cards);
+    let dense_q = slices(dense, cards);
+    fleet_msm(&fleet, msm_g1, &sparse_q, "msm.a");
+    fleet_msm(&fleet, msm_g1, &sparse_q, "msm.b_g1");
+    fleet_msm(&fleet, msm_g1, &dense_q, "msm.h");
+    fleet_msm(&fleet, msm_g1, &sparse_q, "msm.l");
+    fleet_msm(&fleet, msm_g2, &sparse_q, "msm.b_g2");
+    if cards > 1 {
+        assert_eq!(
+            fleet.p2p_transfers() as usize,
+            5 * (cards - 1),
+            "every sub-MSM combination must cross the P2P path"
+        );
+    }
+    fleet.utilization().elapsed_ns / 1e6
 }
 
 fn main() {
@@ -45,37 +106,42 @@ fn main() {
 
     for w in zcash_workloads() {
         let log_n = w.domain_size().trailing_zeros();
-        let sparse_raw = w.sparse_scalars::<Fr381, _>(&mut rng);
-        let dense_raw = w.dense_scalars::<Fr381, _>(&mut rng);
-        let sparse_q = quarters(&sparse_raw);
-        let dense_q = quarters(&dense_raw);
+        let sparse = w.sparse_scalars::<Fr381, _>(&mut rng);
+        let dense = w.dense_scalars::<Fr381, _>(&mut rng);
 
-        // POLY: 7 NTTs over 4 cards → 2 sequential rounds per card.
-        let poly_bg = 2.0 * GpuNttEngine::<Fr381>::cost(&bg_ntt, log_n).total_ms();
-        let poly_gzkp = 2.0 * GpuNttEngine::<Fr381>::cost(&gzkp_ntt, log_n).total_ms();
+        let bg_round = GpuNttEngine::<Fr381>::cost(&bg_ntt, log_n).total_ns();
+        let gzkp_round = GpuNttEngine::<Fr381>::cost(&gzkp_ntt, log_n).total_ns();
 
-        // MSM: 5 MSMs, each 4-way split.
-        let msm_of = |g1: &dyn MsmEngine<bls12_381::G1Config>,
-                      g2: &dyn MsmEngine<bls12_381::G2Config>| {
-            msm4_ms(g1, &sparse_q) * 2.0
-                + msm4_ms(g1, &dense_q)
-                + msm4_ms(g1, &sparse_q)
-                + msm4_ms(g2, &sparse_q)
-        };
-        let msm_bg = msm_of(&bg_msm, &bg_msm);
-        let msm_gzkp = msm_of(&gzkp_msm, &gzkp_msm);
-
-        let bg = poly_bg + msm_bg;
-        let ours = poly_gzkp + msm_gzkp;
+        let bg = fleet_prove_ms(4, bg_round, &bg_msm, &bg_msm, &sparse, &dense);
+        let ours = fleet_prove_ms(4, gzkp_round, &gzkp_msm, &gzkp_msm, &sparse, &dense);
         rec.row(
             w.name,
             "ms",
             vec![
-                ("BG-POLY".into(), poly_bg),
-                ("BG-MSM".into(), msm_bg),
-                ("GZKP-POLY".into(), poly_gzkp),
-                ("GZKP-MSM".into(), msm_gzkp),
+                ("BG-4xV100".into(), bg),
+                ("GZKP-4xV100".into(), ours),
                 ("speedup".into(), speedup(bg, ours)),
+            ],
+        );
+
+        // GZKP device scaling: the same proof at 1, 2, and 4 cards.
+        let at = |cards| fleet_prove_ms(cards, gzkp_round, &gzkp_msm, &gzkp_msm, &sparse, &dense);
+        let (one, two, four) = (at(1), at(2), at(4));
+        println!(
+            "{:>16}: 1xV100 {one:8.2} ms | 2x {two:8.2} ms ({:.2}x) | 4x {four:8.2} ms ({:.2}x)",
+            w.name,
+            speedup(one, two),
+            speedup(one, four),
+        );
+        rec.row(
+            format!("{}_scaling", w.name),
+            "ms",
+            vec![
+                ("1xV100".into(), one),
+                ("2xV100".into(), two),
+                ("4xV100".into(), four),
+                ("2x-speedup".into(), speedup(one, two)),
+                ("4x-speedup".into(), speedup(one, four)),
             ],
         );
     }

@@ -57,4 +57,6 @@ pub use kernel::{
 };
 pub use report::{render_stage, utilization, Bottleneck, Utilization};
 pub use stream::{DeviceTimeline, EngineKind, Event, StreamId, StreamOp};
-pub use transfer::{transfer_bandwidth, transfer_time_ns, CopyDir, HostMem};
+pub use transfer::{
+    d2d_time_ns, link_kind, transfer_bandwidth, transfer_time_ns, CopyDir, HostMem, LinkKind,
+};

@@ -30,15 +30,18 @@ pub enum EngineKind {
     Compute,
     /// Device-to-host DMA engine.
     D2h,
+    /// Device-to-device copy engine (NVLink P2P or host-staged fallback).
+    P2p,
 }
 
 impl EngineKind {
-    /// Stable span/lane label: `"h2d"`, `"kernel"`, `"d2h"`.
+    /// Stable span/lane label: `"h2d"`, `"kernel"`, `"d2h"`, `"p2p"`.
     pub fn label(self) -> &'static str {
         match self {
             EngineKind::H2d => "h2d",
             EngineKind::Compute => "kernel",
             EngineKind::D2h => "d2h",
+            EngineKind::P2p => "p2p",
         }
     }
 
@@ -47,6 +50,7 @@ impl EngineKind {
             EngineKind::H2d => 0,
             EngineKind::Compute => 1,
             EngineKind::D2h => 2,
+            EngineKind::P2p => 3,
         }
     }
 }
@@ -66,6 +70,14 @@ impl Event {
     /// Simulated completion time of the recorded operation.
     pub fn at_ns(self) -> f64 {
         self.at_ns
+    }
+
+    /// Event completing at an externally computed time. Used to order one
+    /// device's streams after another device's work (cross-device P2P):
+    /// the destination timeline waits on an event carrying the source
+    /// timeline's completion time.
+    pub fn at(at_ns: f64) -> Self {
+        Event { at_ns }
     }
 }
 
@@ -94,11 +106,12 @@ pub struct StreamOp {
 #[derive(Debug, Clone)]
 pub struct DeviceTimeline {
     device: DeviceConfig,
-    engine_free: [f64; 3],
+    engine_free: [f64; 4],
     streams: Vec<f64>,
     ops: Vec<StreamOp>,
     h2d_bytes: u64,
     d2h_bytes: u64,
+    p2p_bytes: u64,
 }
 
 impl DeviceTimeline {
@@ -106,11 +119,12 @@ impl DeviceTimeline {
     pub fn new(device: DeviceConfig) -> Self {
         DeviceTimeline {
             device,
-            engine_free: [0.0; 3],
+            engine_free: [0.0; 4],
             streams: Vec::new(),
             ops: Vec::new(),
             h2d_bytes: 0,
             d2h_bytes: 0,
+            p2p_bytes: 0,
         }
     }
 
@@ -168,6 +182,14 @@ impl DeviceTimeline {
         self.issue(stream, EngineKind::D2h, name, t, bytes)
     }
 
+    /// Enqueue a device-to-device copy of `bytes` with a pre-computed
+    /// duration (priced by [`crate::transfer::d2d_time_ns`], which knows
+    /// both link ends; the timeline only knows its own device).
+    pub fn d2d(&mut self, stream: StreamId, name: &str, bytes: u64, duration_ns: f64) -> Event {
+        self.p2p_bytes += bytes;
+        self.issue(stream, EngineKind::P2p, name, duration_ns, bytes)
+    }
+
     /// Enqueue a kernel with a pre-computed duration (e.g. a
     /// [`crate::kernel::StageReport`] total).
     pub fn kernel_ns(&mut self, stream: StreamId, name: &str, duration_ns: f64) -> Event {
@@ -208,6 +230,11 @@ impl DeviceTimeline {
     /// Total bytes downloaded.
     pub fn d2h_bytes(&self) -> u64 {
         self.d2h_bytes
+    }
+
+    /// Total bytes moved device-to-device.
+    pub fn p2p_bytes(&self) -> u64 {
+        self.p2p_bytes
     }
 }
 
@@ -284,6 +311,37 @@ mod tests {
         assert!(pipelined < serial * 0.8);
         assert_eq!(tl.h2d_bytes(), bytes * n as u64);
         assert!(tl.busy_ns(EngineKind::Compute) > tl.busy_ns(EngineKind::H2d));
+    }
+
+    #[test]
+    fn d2d_runs_on_its_own_engine() {
+        // A D2D merge copy must not contend with the H2D upload engine:
+        // NVLink P2P has its own port on real hardware.
+        let mut tl = DeviceTimeline::new(v100());
+        let a = tl.stream();
+        let b = tl.stream();
+        tl.h2d(a, "up", 1 << 20, HostMem::Pinned);
+        tl.d2d(b, "merge", 1 << 20, 30_000.0);
+        let copy_t = transfer_time_ns(tl.device(), 1 << 20, HostMem::Pinned);
+        assert!((tl.elapsed_ns() - copy_t.max(30_000.0)).abs() < 1e-6);
+        assert_eq!(tl.p2p_bytes(), 1 << 20);
+        assert_eq!(tl.h2d_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn external_event_orders_cross_device_work() {
+        // Device B's merge kernel waits on an event carrying device A's
+        // completion time — the cross-device ordering primitive.
+        let mut a = DeviceTimeline::new(v100());
+        let sa = a.stream();
+        let done_a = a.kernel_ns(sa, "partial", 500_000.0);
+
+        let mut b = DeviceTimeline::new(v100());
+        let sb = b.stream();
+        b.wait(sb, Event::at(done_a.at_ns()));
+        b.d2d(sb, "recv", 4096, 12_000.0);
+        b.kernel_ns(sb, "merge", 8_000.0);
+        assert!((b.elapsed_ns() - (500_000.0 + 12_000.0 + 8_000.0)).abs() < 1e-6);
     }
 
     #[test]

@@ -59,6 +59,58 @@ pub fn transfer_time_ns(dev: &DeviceConfig, bytes: u64, mem: HostMem) -> f64 {
     dev.interconnect_latency_ns + bytes as f64 / transfer_bandwidth(dev, mem)
 }
 
+/// Minimum `interconnect_bytes_per_ns` at which an endpoint is considered
+/// NVLink-attached. V100 presets carry 25 B/ns (NVLink), GTX 1080 Ti 12
+/// B/ns (PCIe 3.0 x16): the classification splits exactly between them.
+pub const NVLINK_MIN_BW: f64 = 20.0;
+
+/// Submission latency of a direct NVLink P2P copy. Far below the PCIe
+/// host-copy latency: no host round-trip, no driver bounce buffer — just
+/// a cudaMemcpyPeer enqueue over the fabric.
+pub const NVLINK_P2P_LATENCY_NS: f64 = 2_000.0;
+
+/// How a device-to-device copy is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Both endpoints sit on the NVLink fabric: direct peer copy.
+    NvlinkP2p,
+    /// At least one endpoint is PCIe-only: staged through pinned host
+    /// memory (D2H on the source, then H2D on the destination).
+    HostStaged,
+}
+
+/// Classify the link between two devices: NVLink P2P only when *both*
+/// endpoints are NVLink-attached, else the copy must bounce via the host.
+pub fn link_kind(src: &DeviceConfig, dst: &DeviceConfig) -> LinkKind {
+    if src.interconnect_bytes_per_ns >= NVLINK_MIN_BW
+        && dst.interconnect_bytes_per_ns >= NVLINK_MIN_BW
+    {
+        LinkKind::NvlinkP2p
+    } else {
+        LinkKind::HostStaged
+    }
+}
+
+/// Simulated time to move `bytes` from `src`'s memory to `dst`'s memory.
+///
+/// NVLink P2P pays one small submission latency and streams at the
+/// slower endpoint's link rate; the host-staged fallback pays the full
+/// D2H + H2D round-trip through a pinned bounce buffer.
+pub fn d2d_time_ns(src: &DeviceConfig, dst: &DeviceConfig, bytes: u64) -> f64 {
+    match link_kind(src, dst) {
+        LinkKind::NvlinkP2p => {
+            let bw = src
+                .interconnect_bytes_per_ns
+                .min(dst.interconnect_bytes_per_ns);
+            NVLINK_P2P_LATENCY_NS + bytes as f64 / bw
+        }
+        LinkKind::HostStaged => {
+            transfer_time_ns(src, bytes, HostMem::Pinned)
+                + transfer_time_ns(dst, bytes, HostMem::Pinned)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +148,38 @@ mod tests {
         let tv = transfer_time_ns(&v100(), bytes, HostMem::Pinned);
         let tg = transfer_time_ns(&gtx1080ti(), bytes, HostMem::Pinned);
         assert!(tv < tg);
+    }
+
+    #[test]
+    fn v100_pair_classifies_as_nvlink() {
+        assert_eq!(link_kind(&v100(), &v100()), LinkKind::NvlinkP2p);
+        assert_eq!(link_kind(&v100(), &gtx1080ti()), LinkKind::HostStaged);
+        assert_eq!(link_kind(&gtx1080ti(), &gtx1080ti()), LinkKind::HostStaged);
+    }
+
+    #[test]
+    fn nvlink_p2p_beats_host_staging() {
+        // A direct peer copy between V100s must be much cheaper than
+        // bouncing the same bytes through host memory.
+        let bytes = 64u64 << 20;
+        let direct = d2d_time_ns(&v100(), &v100(), bytes);
+        let staged = transfer_time_ns(&v100(), bytes, HostMem::Pinned)
+            + transfer_time_ns(&v100(), bytes, HostMem::Pinned);
+        assert!(direct < staged * 0.6);
+    }
+
+    #[test]
+    fn pcie_pair_pays_host_round_trip() {
+        let bytes = 16u64 << 20;
+        let t = d2d_time_ns(&gtx1080ti(), &gtx1080ti(), bytes);
+        let staged = 2.0 * transfer_time_ns(&gtx1080ti(), bytes, HostMem::Pinned);
+        assert!((t - staged).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_p2p_copy_is_latency_bound() {
+        let t = d2d_time_ns(&v100(), &v100(), 256);
+        assert!(t < NVLINK_P2P_LATENCY_NS * 1.01);
+        assert!(t >= NVLINK_P2P_LATENCY_NS);
     }
 }

@@ -38,6 +38,16 @@ impl<P: PairingConfig> PartialEq for Proof<P> {
 impl<P: PairingConfig> Eq for Proof<P> {}
 
 /// Engine selection for the prover.
+///
+/// The prover is placement-agnostic: it never asks an engine *where* it
+/// runs, so single-device engines and the multi-device
+/// `gzkp_runtime::CrossDeviceMsm` (bucket-range shards on distinct
+/// devices, partial sums merged over the P2P path) slot in here
+/// unchanged — and because the blinding factors `r, s` are drawn from
+/// the caller's RNG *after* the five MSMs complete, identical engine
+/// results mean byte-identical proofs regardless of placement. The
+/// `fleet_single_proof` bench and the `cross_device_msm` proptests
+/// hold every engine to that contract.
 pub struct ProverEngines<'a, P: PairingConfig> {
     /// NTT engine for the POLY stage.
     pub ntt: &'a dyn GpuNttEngine<P::Fr>,

@@ -773,6 +773,38 @@ impl GzkpMsm {
         stage
     }
 
+    /// Freezes one MSM into a [`ShardTask`] of `shards` bucket-range
+    /// partials for cross-device execution. The window size `k` and
+    /// checkpoint interval `M` are fixed by *this* (reference) engine, so
+    /// every device computes against the same digit decomposition and
+    /// checkpoint tables — which is what makes the merged result
+    /// bit-identical to this engine's own single-device run regardless of
+    /// how many devices execute the ranges or in what order.
+    pub fn shard_task<C: CurveParams>(
+        &self,
+        points: &[Affine<C>],
+        scalars: &ScalarVec,
+        shards: usize,
+    ) -> ShardTask<C> {
+        assert_eq!(points.len(), scalars.len());
+        let n = points.len();
+        let k = self.k_for(n);
+        let windows = scalars.num_windows(k);
+        let m = self.interval_for::<C>(n, windows);
+        let pre = self.preprocess_cached(points, k, m, windows);
+        let loads = Self::bucket_loads(scalars, k, m);
+        let ranges = Self::balanced_ranges(&loads, shards.max(1));
+        ShardTask {
+            pre,
+            loads,
+            ranges,
+            k,
+            m,
+            windows,
+            n,
+        }
+    }
+
     /// Dense-uniform bucket load synthesis at scale `n` (Tables 7/8 sweeps).
     fn dense_loads(&self, n: usize, k: u32, windows: usize, m: u32) -> Vec<(u64, u64)> {
         let buckets = (1usize << k) - 1;
@@ -942,6 +974,187 @@ impl<C: CurveParams> MsmEngine<C> for GzkpMsm {
     }
 }
 
+/// One MSM frozen into bucket-range partials that distinct devices can
+/// execute independently (the cross-device realization of the paper's
+/// multi-GPU split, Table 4 / SZKP's cross-chip partitioning).
+///
+/// All parameters — window size, checkpoint interval, checkpoint tables,
+/// bucket loads, range boundaries — are fixed at construction by the
+/// reference engine ([`GzkpMsm::shard_task`]); executing engines only
+/// contribute their device for kernel pricing and their thread pool for
+/// the fold. Each [`Self::partial`] is an exact group element, and
+/// merging the partials in range order ([`Self::merge`]) reproduces the
+/// reference engine's single-device result bit for bit.
+pub struct ShardTask<C: CurveParams> {
+    pre: Arc<Vec<Vec<Affine<C>>>>,
+    loads: Vec<(u64, u64)>,
+    ranges: Vec<(usize, usize)>,
+    k: u32,
+    m: u32,
+    windows: usize,
+    n: usize,
+}
+
+impl<C: CurveParams> ShardTask<C> {
+    /// The bucket-index ranges, one per shard, in merge order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Number of bucket-range shards.
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Window size `k` frozen by the reference engine.
+    pub fn window(&self) -> u32 {
+        self.k
+    }
+
+    /// Checkpoint interval `M` frozen by the reference engine.
+    pub fn checkpoint_interval(&self) -> u32 {
+        self.m
+    }
+
+    /// Bytes a device must stream to execute one range: every pass reads
+    /// all checkpoint levels, the scalars, and the `p_index` (bucket
+    /// ranges filter by digit value, not point index, so the full point
+    /// stream is needed regardless of the range).
+    pub fn pass_bytes(&self) -> u64 {
+        let cost = CurveCost::of::<C>();
+        let levels = GzkpMsm::levels(self.windows, self.m) as u64;
+        let sbytes = <C::Scalar as PrimeField>::MODULUS_BITS.div_ceil(64) as u64 * 8;
+        self.n as u64 * (cost.affine_bytes() * levels + sbytes + 8)
+    }
+
+    /// Bytes shipped to the device owning range `index` when the host
+    /// pre-partitions the entry stream by bucket range (the cross-device
+    /// schedule): only the checkpoint rows whose digit lands in the range
+    /// travel, so the upload scales with the range's share of the total
+    /// entry load. This asymmetry with [`Self::pass_bytes`] is
+    /// deliberate — a *single* device running every pass cannot hold the
+    /// partition and must re-stream everything, while distinct devices
+    /// each hold exactly their slice. Never less than the scalars +
+    /// `p_index` (every device needs the digit stream to index its
+    /// slice).
+    pub fn pass_bytes_for(&self, index: usize) -> u64 {
+        if self.ranges.len() <= 1 {
+            return self.pass_bytes();
+        }
+        let (lo, hi) = self.ranges[index];
+        let total: u64 = self.loads.iter().map(|&(e, _)| e).sum();
+        let share: u64 = self.loads[lo..hi].iter().map(|&(e, _)| e).sum();
+        let cost = CurveCost::of::<C>();
+        let levels = GzkpMsm::levels(self.windows, self.m) as u64;
+        let sbytes = <C::Scalar as PrimeField>::MODULUS_BITS.div_ceil(64) as u64 * 8;
+        let full = self.n as u128 * (cost.affine_bytes() * levels) as u128;
+        let points = (full * share as u128 / total.max(1) as u128) as u64;
+        points + self.n as u64 * (sbytes + 8)
+    }
+
+    /// Bytes of one merged partial (a single Jacobian point): the payload
+    /// of the device→device partial-sum merge.
+    pub fn partial_bytes(&self) -> u64 {
+        CurveCost::of::<C>().jacobian_bytes()
+    }
+
+    /// Simulated kernel time of range `index` on `engine`'s device:
+    /// the point-merge over the range's bucket loads plus the local
+    /// prefix reduction of its buckets. This is the scheduling cost the
+    /// fleet overlaps uploads and P2P merges against.
+    pub fn range_kernel_ns(&self, engine: &GzkpMsm, index: usize) -> f64 {
+        let (lo, hi) = self.ranges[index];
+        let cost = CurveCost::of::<C>();
+        let merge = simulate_kernel(
+            &engine.device,
+            &engine.merge_kernel::<C>(&self.loads[lo..hi]),
+        );
+        let buckets = (hi - lo).max(1) as u64;
+        let red_blocks = (buckets / 256).max(1) as usize;
+        let reduce = simulate_kernel(
+            &engine.device,
+            &KernelSpec::uniform(
+                format!("gzkp.bucket-reduce({lo}..{hi})"),
+                256,
+                16 * 1024,
+                engine.backend,
+                cost.speedup_limbs(),
+                red_blocks,
+                BlockCost {
+                    mac_ops: 2.0 * (buckets / red_blocks as u64) as f64 * cost.padd(),
+                    dram_sectors: (buckets / red_blocks as u64) * cost.jacobian_bytes()
+                        / engine.device.sector_bytes,
+                    shared_bytes: 256 * cost.jacobian_bytes(),
+                },
+            ),
+        );
+        merge.time_ns + reduce.time_ns
+    }
+
+    /// Executes range `index` with `engine`'s fold configuration
+    /// (batch-affine / parallel), returning the exact partial group
+    /// element and its operation stats. Deterministic at every thread
+    /// count: affine intermediates are exact, so the partial bytes do not
+    /// depend on how the fold was parallelized.
+    pub fn partial(
+        &self,
+        engine: &GzkpMsm,
+        scalars: &ScalarVec,
+        index: usize,
+    ) -> (Projective<C>, MsmStats) {
+        let (lo, hi) = self.ranges[index];
+        let mut stats = MsmStats::default();
+        let partial = if engine.batch_affine {
+            let tasks = if engine.parallel {
+                rayon::current_num_threads().max(1)
+            } else {
+                1
+            };
+            let sub = GzkpMsm::balanced_ranges(&self.loads[lo..hi], tasks);
+            let abs: Vec<(usize, usize)> = sub.iter().map(|&(a, b)| (lo + a, lo + b)).collect();
+            let mut buckets = vec![Affine::<C>::identity(); hi - lo];
+            let s = engine.fold_bucket_ranges(
+                &self.pre,
+                scalars,
+                self.k,
+                self.m,
+                self.windows,
+                &abs,
+                &mut buckets,
+                lo,
+            );
+            stats.batch_padds += s.batch_padds;
+            stats.batch_inversions += s.batch_inversions;
+            let projective: Vec<Projective<C>> =
+                buckets.iter().map(Affine::to_projective).collect();
+            bucket_reduce_range(&projective, lo as u64)
+        } else {
+            let buckets = engine.fold_projective_range(
+                &self.pre,
+                scalars,
+                self.k,
+                self.m,
+                self.windows,
+                lo,
+                hi,
+            );
+            bucket_reduce_range(&buckets, lo as u64)
+        };
+        (partial, stats)
+    }
+
+    /// Merges per-range partials in range order — the same left fold
+    /// [`GzkpMsm::msm_sharded`] performs, hence the same bytes.
+    pub fn merge(&self, partials: &[Projective<C>]) -> Projective<C> {
+        assert_eq!(partials.len(), self.ranges.len());
+        let mut result = Projective::<C>::identity();
+        for partial in partials {
+            result = result.add(partial);
+        }
+        result
+    }
+}
+
 /// Profiling-based window configuration (§4.1): evaluates the dense-load
 /// plan for a range of window sizes and returns the fastest.
 pub fn profile_window_size<C: CurveParams>(device: &DeviceConfig, n: usize) -> u32 {
@@ -1028,6 +1241,39 @@ mod tests {
         let whole = engine.msm(&pts, &sv).result;
         for shards in [2usize, 5] {
             assert_eq!(engine.msm_sharded(&pts, &sv, shards).result, whole);
+        }
+    }
+
+    #[test]
+    fn shard_task_partials_merge_bit_identically() {
+        // The cross-device contract: partials computed by *different*
+        // engine instances (different devices, different fold configs)
+        // against one frozen task merge to the reference engine's exact
+        // single-device bytes.
+        let (pts, sv) = setup(96, 49);
+        let reference = GzkpMsm::new(v100());
+        let whole = reference.msm(&pts, &sv);
+        for shards in [2usize, 3, 4] {
+            let task = reference.shard_task::<G1Config>(&pts, &sv, shards);
+            assert_eq!(task.num_ranges(), shards);
+            let other = GzkpMsm {
+                parallel: false,
+                ..GzkpMsm::new(gzkp_gpu_sim::gtx1080ti())
+            };
+            let partials: Vec<_> = (0..task.num_ranges())
+                .map(|i| {
+                    let engine = if i % 2 == 0 { &reference } else { &other };
+                    task.partial(engine, &sv, i).0
+                })
+                .collect();
+            let merged = task.merge(&partials);
+            assert_eq!(
+                gzkp_curves::compress(&merged.to_affine()),
+                gzkp_curves::compress(&whole.result.to_affine()),
+                "shards={shards}"
+            );
+            assert!(task.range_kernel_ns(&reference, 0) > 0.0);
+            assert!(task.pass_bytes() > 0 && task.partial_bytes() > 0);
         }
     }
 

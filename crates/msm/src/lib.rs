@@ -48,7 +48,7 @@ pub use cpu::CpuMsm;
 pub use engine::{
     bucket_reduce, bucket_reduce_range, naive_msm, CurveCost, MsmEngine, MsmRun, MsmStats,
 };
-pub use gzkp::{profile_window_size, GzkpMsm};
+pub use gzkp::{profile_window_size, GzkpMsm, ShardTask};
 pub use scalars::{bucket_histogram, default_window_size, window_loads, ScalarVec};
 pub use signed::SignedGzkpMsm;
 pub use store::PreprocessStore;

@@ -12,8 +12,8 @@
 
 use crate::health::{DeviceHealth, HealthPolicy, HealthState};
 use gzkp_gpu_sim::device::DeviceConfig;
-use gzkp_gpu_sim::stream::{DeviceTimeline, EngineKind, StreamId};
-use gzkp_gpu_sim::transfer::HostMem;
+use gzkp_gpu_sim::stream::{DeviceTimeline, EngineKind, Event, StreamId};
+use gzkp_gpu_sim::transfer::{d2d_time_ns, link_kind, HostMem, LinkKind};
 use gzkp_telemetry::counters;
 use gzkp_telemetry::metrics::{Counter, Gauge, MetricsRegistry};
 use gzkp_telemetry::trace::{Trace, TraceNode};
@@ -68,6 +68,7 @@ struct DeviceCells {
     shards: Counter,
     h2d_bytes: Counter,
     d2h_bytes: Counter,
+    p2p_bytes: Counter,
     busy_ns: Gauge,
     elapsed_ns: Gauge,
     quarantine_ns: Gauge,
@@ -81,12 +82,20 @@ pub fn throughput_weight(config: &DeviceConfig) -> f64 {
     f64::from(config.num_sms) * config.mac64_per_ns_per_sm
 }
 
-/// The three streams a device schedules stages onto.
+/// Safety factor of [`FleetRuntime::place_for_deadline`]'s urgency test:
+/// a job is urgent when its slack is less than its modeled remaining
+/// cost times this margin (queueing, retries and host overhead are not
+/// in the model, so cutting it to 1.0 would declare urgency only after
+/// the deadline is already at risk).
+pub const URGENCY_MARGIN: f64 = 2.0;
+
+/// The four streams a device schedules stages onto.
 struct Lanes {
     timeline: DeviceTimeline,
     upload: StreamId,
     execute: StreamId,
     download: StreamId,
+    p2p: StreamId,
 }
 
 /// One device's runtime state: its timeline plus placement counters.
@@ -115,6 +124,7 @@ impl DeviceRuntime {
         let upload = timeline.stream();
         let execute = timeline.stream();
         let download = timeline.stream();
+        let p2p = timeline.stream();
         DeviceRuntime {
             config,
             lanes: Mutex::new(Lanes {
@@ -122,6 +132,7 @@ impl DeviceRuntime {
                 upload,
                 execute,
                 download,
+                p2p,
             }),
             inflight: AtomicU64::new(0),
             jobs: AtomicU64::new(0),
@@ -153,12 +164,18 @@ pub struct DeviceUtilization {
     pub h2d_bytes: u64,
     /// Bytes downloaded.
     pub d2h_bytes: u64,
+    /// Bytes moved device↔device through this device's P2P port
+    /// (each transfer shows on both endpoints; fleet totals are counted
+    /// once, see [`FleetRuntime::p2p_bytes`]).
+    pub p2p_bytes: u64,
     /// Upload-engine busy time.
     pub h2d_ns: f64,
     /// Compute-engine busy time.
     pub kernel_ns: f64,
     /// Download-engine busy time.
     pub d2h_ns: f64,
+    /// P2P-engine busy time.
+    pub p2p_ns: f64,
     /// This device's own makespan.
     pub elapsed_ns: f64,
     /// Compute busy time over the *fleet* makespan — the number an
@@ -185,19 +202,20 @@ impl FleetUtilization {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10} {:>12} {:>7}",
-            "device", "jobs", "steals", "shards", "quar", "h2d MB", "kernel ms", "util"
+            "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10} {:>9} {:>12} {:>7}",
+            "device", "jobs", "steals", "shards", "quar", "h2d MB", "p2p MB", "kernel ms", "util"
         );
         for d in &self.devices {
             let _ = writeln!(
                 out,
-                "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10.1} {:>12.3} {:>6.1}%",
+                "{:<18} {:>5} {:>6} {:>6} {:>5} {:>10.1} {:>9.1} {:>12.3} {:>6.1}%",
                 format!("dev{} {}", d.index, d.name),
                 d.jobs,
                 d.steals,
                 d.shards,
                 d.quarantines,
                 d.h2d_bytes as f64 / (1024.0 * 1024.0),
+                d.p2p_bytes as f64 / (1024.0 * 1024.0),
                 d.kernel_ns / 1e6,
                 d.busy_frac * 100.0,
             );
@@ -222,6 +240,11 @@ impl FleetUtilization {
 /// devices never contend.
 pub struct FleetRuntime {
     devices: Vec<DeviceRuntime>,
+    /// Fleet-wide D2D traffic, counted once per transfer (each endpoint's
+    /// timeline also shows the op, so summing per-device port bytes would
+    /// double-count).
+    p2p_bytes: AtomicU64,
+    p2p_transfers: AtomicU64,
 }
 
 impl FleetRuntime {
@@ -247,6 +270,8 @@ impl FleetRuntime {
                 .into_iter()
                 .map(|c| DeviceRuntime::new(c, policy))
                 .collect(),
+            p2p_bytes: AtomicU64::new(0),
+            p2p_transfers: AtomicU64::new(0),
         }
     }
 
@@ -314,6 +339,7 @@ impl FleetRuntime {
                 shards: registry.counter_with(counters::RUNTIME_SHARDS, "device", &dev),
                 h2d_bytes: registry.counter_with(counters::RUNTIME_H2D_BYTES, "device", &dev),
                 d2h_bytes: registry.counter_with(counters::RUNTIME_D2H_BYTES, "device", &dev),
+                p2p_bytes: registry.counter_with(counters::RUNTIME_P2P_BYTES, "device", &dev),
                 busy_ns: registry.gauge_with(counters::DEVICE_BUSY_NS, "device", &dev),
                 elapsed_ns: registry.gauge_with(counters::DEVICE_ELAPSED_NS, "device", &dev),
                 quarantine_ns: registry.gauge_with(counters::DEVICE_QUARANTINE_NS, "device", &dev),
@@ -475,6 +501,123 @@ impl FleetRuntime {
         best.or_else(|| avoid.filter(|&d| self.available(d)))
     }
 
+    /// Deadline-aware device claim. `remaining_cost_ns` is the job's
+    /// modeled remaining work (simulated nanoseconds on one device);
+    /// `slack_ns` is the wall-clock budget left before its deadline
+    /// (`None` = no deadline). A job whose slack comfortably covers its
+    /// cost gets the least-loaded available device, like any other; one
+    /// whose slack is tighter than `remaining_cost_ns ×`
+    /// [`URGENCY_MARGIN`] is *urgent* and claims up to `max_devices`
+    /// available devices — fastest first — so a near-deadline large
+    /// proof can take the whole fleet and split its MSMs across it.
+    ///
+    /// Every returned device is already [`Self::assign`]ed; pair each
+    /// with [`Self::complete`]. Returns an empty list when the whole
+    /// fleet is quarantined.
+    pub fn place_for_deadline(
+        &self,
+        remaining_cost_ns: f64,
+        slack_ns: Option<f64>,
+        max_devices: usize,
+    ) -> Vec<usize> {
+        let mut avail: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| self.available(d))
+            .collect();
+        if avail.is_empty() {
+            return Vec::new();
+        }
+        let urgent = slack_ns.is_some_and(|s| s < remaining_cost_ns * URGENCY_MARGIN);
+        if !urgent || max_devices <= 1 {
+            let mut best = avail[0];
+            for &dev in &avail[1..] {
+                if self.load(dev) < self.load(best) {
+                    best = dev;
+                }
+            }
+            self.assign(best);
+            return vec![best];
+        }
+        avail.sort_by(|&a, &b| {
+            throughput_weight(&self.devices[b].config)
+                .total_cmp(&throughput_weight(&self.devices[a].config))
+                .then(a.cmp(&b))
+        });
+        avail.truncate(max_devices);
+        for &dev in &avail {
+            self.assign(dev);
+        }
+        avail
+    }
+
+    /// Total device↔device bytes the fleet has routed (each transfer
+    /// counted once, regardless of link class).
+    pub fn p2p_bytes(&self) -> u64 {
+        self.p2p_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total device↔device transfers the fleet has routed.
+    pub fn p2p_transfers(&self) -> u64 {
+        self.p2p_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Schedules a device→device partial-sum transfer: `bytes` leave
+    /// `src` no earlier than `after_ns` (the completion of the kernel
+    /// that produced them), cross the link, and land on `dst`, whose
+    /// execute stream is then ordered after the arrival — so a merge
+    /// kernel recorded on `dst` right after this call starts when the
+    /// partial is actually resident. NVLink pairs copy directly over
+    /// their P2P engines; mixed links pay the host-staged D2H + H2D
+    /// round-trip (see [`gzkp_gpu_sim::d2d_time_ns`]). The op shows on
+    /// both endpoints' `p2p` lanes. Returns the simulated arrival time.
+    pub fn record_p2p(
+        &self,
+        src: usize,
+        dst: usize,
+        label: &str,
+        bytes: u64,
+        after_ns: f64,
+    ) -> f64 {
+        assert_ne!(src, dst, "P2P transfer needs two distinct devices");
+        let link = link_kind(&self.devices[src].config, &self.devices[dst].config);
+        let dur = d2d_time_ns(&self.devices[src].config, &self.devices[dst].config, bytes);
+        let name = format!(
+            "{label}.{}",
+            match link {
+                LinkKind::NvlinkP2p => "p2p",
+                LinkKind::HostStaged => "p2p-staged",
+            }
+        );
+        // Lock both devices' lanes in index order so concurrent merges
+        // between overlapping device pairs cannot deadlock.
+        let (lo, hi) = (src.min(dst), src.max(dst));
+        let guard_lo = self.devices[lo].lanes.lock().expect("fleet lanes mutex");
+        let guard_hi = self.devices[hi].lanes.lock().expect("fleet lanes mutex");
+        let (mut src_lanes, mut dst_lanes) = if src == lo {
+            (guard_lo, guard_hi)
+        } else {
+            (guard_hi, guard_lo)
+        };
+        let sp = src_lanes.p2p;
+        src_lanes.timeline.wait(sp, Event::at(after_ns));
+        let sent = src_lanes.timeline.d2d(sp, &name, bytes, dur);
+        // Mirror on the destination port, aligned to the send: both ends'
+        // engines must be free, so the arrival is the later completion.
+        let dp = dst_lanes.p2p;
+        dst_lanes.timeline.wait(dp, Event::at(sent.at_ns() - dur));
+        let received = dst_lanes.timeline.d2d(dp, &name, bytes, dur);
+        let arrival = sent.at_ns().max(received.at_ns());
+        let ex = dst_lanes.execute;
+        dst_lanes.timeline.wait(ex, Event::at(arrival));
+        drop(src_lanes);
+        drop(dst_lanes);
+        self.p2p_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.p2p_transfers.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.devices[src].cells.get() {
+            c.p2p_bytes.add(bytes);
+        }
+        arrival
+    }
+
     /// Schedules one proof stage on device `dev`: upload `h2d_bytes` of
     /// pinned host memory, run `kernel_ns` of compute ordered after the
     /// upload, download `d2h_bytes` ordered after the kernel. Returns the
@@ -494,6 +637,7 @@ impl FleetRuntime {
             upload,
             execute,
             download,
+            ..
         } = *lanes;
         let mut last = 0.0f64;
         if h2d_bytes > 0 {
@@ -562,9 +706,11 @@ impl FleetRuntime {
                 quarantines: self.quarantine_count(index),
                 h2d_bytes: lanes.timeline.h2d_bytes(),
                 d2h_bytes: lanes.timeline.d2h_bytes(),
+                p2p_bytes: lanes.timeline.p2p_bytes(),
                 h2d_ns: lanes.timeline.busy_ns(EngineKind::H2d),
                 kernel_ns: lanes.timeline.busy_ns(EngineKind::Compute),
                 d2h_ns: lanes.timeline.busy_ns(EngineKind::D2h),
+                p2p_ns: lanes.timeline.busy_ns(EngineKind::P2p),
                 elapsed_ns: lanes.timeline.elapsed_ns(),
                 busy_frac: 0.0,
                 quarantine_ns: self.health(index).quarantined_ns(now),
@@ -639,8 +785,27 @@ impl FleetRuntime {
                 counters::RUNTIME_D2H_BYTES.to_string(),
                 row.d2h_bytes as f64,
             ));
+            if row.p2p_bytes > 0 {
+                node.counters.push((
+                    counters::RUNTIME_P2P_BYTES.to_string(),
+                    row.p2p_bytes as f64,
+                ));
+            }
             let lanes = d.lanes.lock().expect("fleet lanes mutex");
-            for engine in [EngineKind::H2d, EngineKind::Compute, EngineKind::D2h] {
+            for engine in [
+                EngineKind::H2d,
+                EngineKind::Compute,
+                EngineKind::D2h,
+                EngineKind::P2p,
+            ] {
+                // The P2P lane appears only when the device actually
+                // routed D2D traffic, so clean single-device traces stay
+                // byte-identical to pre-P2P ones.
+                if engine == EngineKind::P2p
+                    && !lanes.timeline.ops().iter().any(|o| o.engine == engine)
+                {
+                    continue;
+                }
                 let mut lane = TraceNode::new(engine.label());
                 lane.time_ns = lanes.timeline.busy_ns(engine);
                 for op in lanes.timeline.ops().iter().filter(|o| o.engine == engine) {
@@ -688,6 +853,17 @@ impl FleetRuntime {
             runtime.counters.push((
                 counters::QUARANTINE_EVENTS.to_string(),
                 total_quarantines as f64,
+            ));
+        }
+        let p2p_transfers = self.p2p_transfers();
+        if p2p_transfers > 0 {
+            runtime.counters.push((
+                counters::RUNTIME_P2P_BYTES.to_string(),
+                self.p2p_bytes() as f64,
+            ));
+            runtime.counters.push((
+                counters::RUNTIME_P2P_TRANSFERS.to_string(),
+                p2p_transfers as f64,
             ));
         }
         let mut root = TraceNode::new("root");
@@ -781,6 +957,90 @@ mod tests {
         let table = util.render();
         assert!(table.contains("dev0 V100"));
         assert!(table.contains("util"));
+    }
+
+    #[test]
+    fn p2p_transfer_orders_destination_after_source_kernel() {
+        let fleet = FleetRuntime::new(vec![v100(), v100()]);
+        // dev1 computes a partial; its bytes cross to dev0; a merge
+        // kernel on dev0 must start only after arrival.
+        let done1 = fleet.record_stage(1, "job0.msm.shard1", 1 << 20, 2.0e6, 0);
+        let bytes = 4096u64;
+        let arrival = fleet.record_p2p(1, 0, "job0.msm.merge1", bytes, done1);
+        let dur = gzkp_gpu_sim::d2d_time_ns(fleet.config(1), fleet.config(0), bytes);
+        assert!((arrival - (done1 + dur)).abs() < 1e-6);
+        let merged = fleet.record_stage(0, "job0.msm.merge1", 0, 10_000.0, 0);
+        assert!((merged - (arrival + 10_000.0)).abs() < 1e-6);
+        assert_eq!(fleet.p2p_bytes(), bytes);
+        assert_eq!(fleet.p2p_transfers(), 1);
+        // Both endpoints show the transfer on their P2P port.
+        let util = fleet.utilization();
+        assert_eq!(util.devices[0].p2p_bytes, bytes);
+        assert_eq!(util.devices[1].p2p_bytes, bytes);
+        assert!(util.devices[0].p2p_ns > 0.0);
+        // The trace grows a p2p lane on both devices, NVLink-named, and
+        // fleet-level counters count the transfer once.
+        let trace = fleet.trace();
+        for dev in ["dev0", "dev1"] {
+            let lane = trace.find(&["runtime", dev, "p2p"]).expect("p2p lane");
+            assert_eq!(lane.children.len(), 1);
+            assert!(lane.children[0].name.ends_with(".p2p"));
+        }
+        let runtime = trace.find(&["runtime"]).unwrap();
+        assert_eq!(
+            runtime.counter(counters::RUNTIME_P2P_BYTES),
+            Some(bytes as f64)
+        );
+        assert_eq!(runtime.counter(counters::RUNTIME_P2P_TRANSFERS), Some(1.0));
+    }
+
+    #[test]
+    fn pcie_pair_routes_host_staged() {
+        let fleet = FleetRuntime::new(vec![gtx1080ti(), gtx1080ti()]);
+        fleet.record_p2p(0, 1, "job0.msm.merge0", 4096, 0.0);
+        let trace = fleet.trace();
+        let lane = trace.find(&["runtime", "dev0", "p2p"]).unwrap();
+        assert!(lane.children[0].name.ends_with(".p2p-staged"));
+    }
+
+    #[test]
+    fn clean_trace_has_no_p2p_lane_or_counters() {
+        let fleet = FleetRuntime::new(vec![v100(), v100()]);
+        fleet.record_stage(0, "p", 1024, 1.0e6, 0);
+        let trace = fleet.trace();
+        assert!(trace.find(&["runtime", "dev0", "p2p"]).is_none());
+        let runtime = trace.find(&["runtime"]).unwrap();
+        assert_eq!(runtime.counter(counters::RUNTIME_P2P_BYTES), None);
+        assert_eq!(runtime.counter(counters::RUNTIME_P2P_TRANSFERS), None);
+    }
+
+    #[test]
+    fn relaxed_deadline_takes_one_device_urgent_takes_fleet() {
+        let fleet = FleetRuntime::new(vec![v100(), gtx1080ti(), v100()]);
+        // Plenty of slack: a single least-loaded device, like place().
+        let calm = fleet.place_for_deadline(1.0e9, Some(10.0e9), usize::MAX);
+        assert_eq!(calm, vec![0]);
+        for &d in &calm {
+            fleet.complete(d);
+        }
+        // No deadline at all is never urgent.
+        let none = fleet.place_for_deadline(1.0e9, None, usize::MAX);
+        assert_eq!(none.len(), 1);
+        for &d in &none {
+            fleet.complete(d);
+        }
+        // Slack under cost × margin: claim every available device,
+        // fastest first.
+        let urgent = fleet.place_for_deadline(1.0e9, Some(1.5e9), usize::MAX);
+        assert_eq!(urgent, vec![0, 2, 1], "V100s first, then the 1080 Ti");
+        assert!(urgent.iter().all(|&d| fleet.inflight(d) >= 1));
+        for &d in &urgent {
+            fleet.complete(d);
+        }
+        // The claim cap holds, and quarantined devices are skipped.
+        assert!(fleet.record_failure(0, true));
+        let capped = fleet.place_for_deadline(1.0e9, Some(0.5e9), 2);
+        assert_eq!(capped, vec![2, 1]);
     }
 
     #[test]

@@ -8,16 +8,22 @@
 //! the functional splitting lives in `gzkp_msm::GzkpMsm::msm_sharded`,
 //! this crate owns the planning and placement policy around it).
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * [`spec`] — parsing of `zkserve --devices N[,spec]` fleet descriptions
 //!   into [`gzkp_gpu_sim::DeviceConfig`]s;
 //! * [`fleet`] — [`FleetRuntime`]: per-device [`gzkp_gpu_sim::DeviceTimeline`]s
-//!   with copy/compute/download streams, throughput-weighted least-loaded
-//!   placement, steal accounting, per-device utilization snapshots and a
-//!   `runtime→dev{n}→{h2d,kernel,d2h}` telemetry trace;
+//!   with copy/compute/download/P2P streams, throughput-weighted
+//!   least-loaded and deadline-aware placement, steal accounting,
+//!   device↔device transfers ([`FleetRuntime::record_p2p`], NVLink or
+//!   host-staged), per-device utilization snapshots and a
+//!   `runtime→dev{n}→{h2d,kernel,d2h,p2p}` telemetry trace;
 //! * [`planner`] — [`MsmShardPlan`]: the memory check deciding whether an
-//!   MSM runs whole or as device-sized bucket-range shards;
+//!   MSM runs whole or as device-sized bucket-range shards, and
+//!   [`FleetMsmPlan`]: its multi-device extension assigning every shard
+//!   a device;
+//! * [`crossdev`] — [`CrossDeviceMsm`]: the MSM engine executing one
+//!   proof's shards across devices with P2P partial-sum merging;
 //! * [`health`] — [`DeviceHealth`]: the consecutive-failure circuit
 //!   breaker (quarantine + probation re-probe) behind
 //!   [`FleetRuntime::place_available`].
@@ -37,12 +43,16 @@
 
 #![warn(missing_docs)]
 
+pub mod crossdev;
 pub mod fleet;
 pub mod health;
 pub mod planner;
 pub mod spec;
 
-pub use fleet::{DeviceUtilization, FleetRuntime, FleetUtilization, HealthEvent, HealthEventKind};
+pub use crossdev::CrossDeviceMsm;
+pub use fleet::{
+    DeviceUtilization, FleetRuntime, FleetUtilization, HealthEvent, HealthEventKind, URGENCY_MARGIN,
+};
 pub use health::{DeviceHealth, HealthPolicy, HealthState};
-pub use planner::MsmShardPlan;
+pub use planner::{FleetMsmPlan, MsmShardPlan};
 pub use spec::{device_by_name, fleet_label, parse_devices};

@@ -53,6 +53,70 @@ impl MsmShardPlan {
     }
 }
 
+/// A multi-device execution plan for one MSM: the single-device sizing
+/// decision extended with a device assignment for every bucket-range
+/// shard. The shard count is the larger of the memory-driven split (the
+/// task must fit each device) and the claimed device count (every device
+/// should get work); shards are assigned round-robin in range order —
+/// ranges are balanced by entry load, so each device receives a nearly
+/// equal share at any shard count, and the merge order stays the range
+/// order regardless of placement (which is what keeps the merged result
+/// bit-identical to the single-device run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMsmPlan {
+    /// The single-device sizing this plan extends (memory evidence).
+    pub base: MsmShardPlan,
+    /// Claimed fleet device indices, primary first (partials merge
+    /// toward the primary).
+    pub devices: Vec<usize>,
+    /// Total bucket-range shards.
+    pub shards: usize,
+    /// Fleet device index executing each shard, in range/merge order.
+    pub assignments: Vec<usize>,
+}
+
+impl FleetMsmPlan {
+    /// Plans an MSM of `n` points of curve `C` across `devices` (fleet
+    /// indices, primary first), sized against the reference `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty device list — plan against at least the
+    /// primary device.
+    pub fn for_task<C: CurveParams>(engine: &GzkpMsm, n: usize, devices: &[usize]) -> Self {
+        assert!(!devices.is_empty(), "fleet plan needs at least one device");
+        let base = MsmShardPlan::for_task::<C>(engine, n);
+        let shards = base.shards.max(devices.len());
+        let assignments = (0..shards).map(|i| devices[i % devices.len()]).collect();
+        FleetMsmPlan {
+            base,
+            devices: devices.to_vec(),
+            shards,
+            assignments,
+        }
+    }
+
+    /// Whether the plan spreads one proof's MSM over multiple devices.
+    pub fn is_cross_device(&self) -> bool {
+        self.devices.len() > 1
+    }
+
+    /// The primary device: partial sums merge toward it and the result
+    /// reads back from it.
+    pub fn primary(&self) -> usize {
+        self.devices[0]
+    }
+
+    /// Shard indices assigned to fleet device `dev`, in range order.
+    pub fn shards_for(&self, dev: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d == dev).then_some(i))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +130,35 @@ mod tests {
         assert_eq!(plan.shards, 1);
         assert!(!plan.is_sharded());
         assert!(plan.fits());
+    }
+
+    #[test]
+    fn fleet_plan_round_robins_shards_over_devices() {
+        let engine = GzkpMsm::new(v100());
+        let plan = FleetMsmPlan::for_task::<bn254::G1Config>(&engine, 1 << 16, &[2, 0, 1]);
+        assert!(plan.is_cross_device());
+        assert_eq!(plan.primary(), 2);
+        // A fitting task still gets one shard per claimed device.
+        assert_eq!(plan.base.shards, 1);
+        assert_eq!(plan.shards, 3);
+        assert_eq!(plan.assignments, vec![2, 0, 1]);
+        assert_eq!(plan.shards_for(0), vec![1]);
+        // A single claimed device degenerates to the base plan.
+        let solo = FleetMsmPlan::for_task::<bn254::G1Config>(&engine, 1 << 16, &[1]);
+        assert!(!solo.is_cross_device());
+        assert_eq!(solo.shards, solo.base.shards);
+    }
+
+    #[test]
+    fn fleet_plan_keeps_memory_driven_shards() {
+        // When memory forces more shards than there are devices, the
+        // device assignment wraps and every shard still has an owner.
+        let engine = GzkpMsm::new(gtx1080ti());
+        let plan = FleetMsmPlan::for_task::<t753::G1Config>(&engine, 1 << 25, &[0, 1]);
+        assert!(plan.base.shards > 2);
+        assert_eq!(plan.shards, plan.base.shards);
+        assert_eq!(plan.assignments.len(), plan.shards);
+        assert!(!plan.shards_for(0).is_empty() && !plan.shards_for(1).is_empty());
     }
 
     #[test]

@@ -7,8 +7,9 @@ use gzkp_gpu_sim::device::DeviceConfig;
 use gzkp_groth16::prove::{prove_msm, prove_poly, PolyArtifacts, ProveReport, ProverEngines};
 use gzkp_groth16::r1cs::ConstraintSystem;
 use gzkp_groth16::{proof_to_bytes, verify_proof_bytes, ProvingKey, VerifyingKey};
-use gzkp_msm::{GzkpMsm, PreprocessStore};
+use gzkp_msm::{GzkpMsm, MsmEngine, PreprocessStore};
 use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_runtime::{CrossDeviceMsm, FleetRuntime};
 use gzkp_telemetry::{TelemetrySink, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,9 +45,29 @@ pub trait ProofTask: Send {
     /// Fleet placement and work stealing move stages between
     /// heterogeneous devices; every engine must produce the identical
     /// functional result on any device (only simulated cost changes).
-    /// Tasks without device-specific state ignore the call.
+    /// Tasks without device-specific state ignore the call. Must also
+    /// drop any cross-device binding from an earlier
+    /// [`ProofTask::bind_fleet`].
     fn bind_device(&mut self, device: &DeviceConfig) {
         let _ = device;
+    }
+
+    /// Binds the task's MSM stage to several fleet devices at once
+    /// (`devices[0]` is the primary; partial sums merge toward it over
+    /// the P2P path and the task's MSM engines record directly onto
+    /// `fleet`'s timelines). Returns `false` — the default — when the
+    /// task cannot split its MSMs, in which case the scheduler falls
+    /// back to single-device placement.
+    fn bind_fleet(&mut self, fleet: &Arc<FleetRuntime>, devices: &[usize], job_id: u64) -> bool {
+        let _ = (fleet, devices, job_id);
+        false
+    }
+
+    /// Modeled simulated cost of the task's MSM stage on its current
+    /// device, for deadline-urgency placement. Zero (the default) opts
+    /// the task out of cross-device escalation.
+    fn msm_cost_estimate_ns(&self) -> f64 {
+        0.0
     }
 
     /// Transfer/compute profile of the POLY stage that just ran, for the
@@ -120,6 +141,10 @@ pub struct Groth16Task<P: PairingConfig> {
     ntt: GzkpNtt,
     msm_g1: GzkpMsm,
     msm_g2: GzkpMsm,
+    /// Cross-device MSM engines, present while the job is fleet-bound
+    /// ([`ProofTask::bind_fleet`]); cleared by any single-device rebind.
+    cross_g1: Option<CrossDeviceMsm>,
+    cross_g2: Option<CrossDeviceMsm>,
     seed: u64,
     poly_out: Option<PolyArtifacts<P>>,
     /// Scalar bytes the MSM stage will upload; captured at the end of
@@ -153,6 +178,8 @@ impl<P: PairingConfig> Groth16Task<P> {
             ntt: GzkpNtt::auto::<P::Fr>(device),
             msm_g1,
             msm_g2,
+            cross_g1: None,
+            cross_g2: None,
             seed,
             poly_out: None,
             msm_h2d_bytes: 0,
@@ -198,8 +225,14 @@ where
             .ok_or_else(|| "msm stage scheduled before poly stage".to_string())?;
         let engines = ProverEngines::<P> {
             ntt: &self.ntt,
-            msm_g1: &self.msm_g1,
-            msm_g2: &self.msm_g2,
+            msm_g1: self
+                .cross_g1
+                .as_ref()
+                .map_or(&self.msm_g1 as &dyn MsmEngine<P::G1>, |c| c),
+            msm_g2: self
+                .cross_g2
+                .as_ref()
+                .map_or(&self.msm_g2 as &dyn MsmEngine<P::G2>, |c| c),
         };
         let mut rng = StdRng::seed_from_u64(self.seed);
         let (proof, report) = prove_msm::<P, _>(&self.pk, &engines, poly, &mut rng, sink);
@@ -217,6 +250,42 @@ where
         self.ntt = self.ntt.rebind::<P::Fr>(device.clone());
         self.msm_g1.device = device.clone();
         self.msm_g2.device = device.clone();
+        self.cross_g1 = None;
+        self.cross_g2 = None;
+    }
+
+    fn bind_fleet(&mut self, fleet: &Arc<FleetRuntime>, devices: &[usize], job_id: u64) -> bool {
+        if devices.is_empty() {
+            return false;
+        }
+        // The single-device engines stay the bit-identity reference: the
+        // cross engines freeze their window/checkpoint parameters and use
+        // the claimed devices only for kernel pricing and transfers.
+        self.msm_g1.device = fleet.config(devices[0]).clone();
+        self.msm_g2.device = fleet.config(devices[0]).clone();
+        self.ntt = self.ntt.rebind::<P::Fr>(fleet.config(devices[0]).clone());
+        self.cross_g1 = Some(CrossDeviceMsm::new(
+            self.msm_g1.clone(),
+            fleet.clone(),
+            devices.to_vec(),
+            format!("job{job_id}.msm_g1"),
+        ));
+        self.cross_g2 = Some(CrossDeviceMsm::new(
+            self.msm_g2.clone(),
+            fleet.clone(),
+            devices.to_vec(),
+            format!("job{job_id}.msm_g2"),
+        ));
+        true
+    }
+
+    fn msm_cost_estimate_ns(&self) -> f64 {
+        let g1 = |n| MsmEngine::<P::G1>::plan_dense(&self.msm_g1, n).total_ns();
+        g1(self.pk.a_query.len())
+            + g1(self.pk.b_g1_query.len())
+            + g1(self.pk.h_query.len())
+            + g1(self.pk.l_query.len())
+            + MsmEngine::<P::G2>::plan_dense(&self.msm_g2, self.pk.b_g2_query.len()).total_ns()
     }
 
     fn poly_profile(&self) -> StageProfile {

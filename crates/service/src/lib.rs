@@ -63,7 +63,7 @@ pub mod service;
 
 pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, StageProfile, TaskOutput};
 pub use replay::{prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome};
-pub use service::{ProvingService, ServiceStats};
+pub use service::{ProvingService, ServiceStats, VERIFY_VOTE_RUNS};
 
 use std::time::Duration;
 
@@ -185,6 +185,16 @@ pub struct ServiceConfig {
     /// command streams, and per-device utilization available through
     /// [`ProvingService::fleet_utilization`].
     pub devices: Vec<gzkp_gpu_sim::device::DeviceConfig>,
+    /// Cross-device single-proof MSM (fleet mode only): when a job's MSM
+    /// stage is urgent — its deadline slack is under
+    /// [`gzkp_runtime::URGENCY_MARGIN`]× the task's modeled remaining MSM
+    /// cost — the scheduler claims several devices at once
+    /// ([`gzkp_runtime::FleetRuntime::place_for_deadline`]) and the task
+    /// executes each MSM as bucket-range shards across them with
+    /// partial-sum merges over the device↔device P2P path. Proof bytes
+    /// are identical to the single-device path; only the simulated
+    /// schedule changes. Off by default.
+    pub cross_device: bool,
     /// Chaos mode: a seeded [`gzkp_gpu_sim::FaultPlan`] injected into
     /// every stage execution. `None` (the default) runs fault-free.
     pub chaos: Option<gzkp_gpu_sim::FaultPlan>,
@@ -213,6 +223,7 @@ impl Default for ServiceConfig {
             default_deadline: Some(Duration::from_secs(60)),
             key_affinity: true,
             devices: Vec::new(),
+            cross_device: false,
             chaos: None,
             retry: RetryPolicy::default(),
             health: gzkp_runtime::HealthPolicy::default(),

@@ -37,6 +37,13 @@ struct Job {
     /// Fleet mode: the device the job is currently bound to (engines
     /// rebuilt for it). `None` until first placement; a steal rebinds it.
     device: Option<usize>,
+    /// Cross-device MSM: the non-primary devices the job additionally
+    /// claimed (`device` holds the primary). Empty for single-device
+    /// placements; released together with the primary.
+    extra_devices: Vec<usize>,
+    /// Verification votes cast for this job (each verify-before-return
+    /// check of a produced proof is one vote).
+    verify_votes: u32,
     /// Fault-draw index: advances on every injected fault and verify
     /// reject (never on dead-device hits), so the injected sequence per
     /// job is a pure function of the chaos seed.
@@ -92,6 +99,7 @@ struct ServiceMetrics {
     retries: Counter,
     faults_injected: Counter,
     verify_rejects: Counter,
+    verify_votes: Counter,
     cpu_fallbacks: Counter,
     queue_depth: Gauge,
     queue_wait: LatencyHistogram,
@@ -114,6 +122,7 @@ impl ServiceMetrics {
             retries: reg.counter(counters::SERVICE_RETRIES),
             faults_injected: reg.counter(counters::FAULT_INJECTED),
             verify_rejects: reg.counter(counters::VERIFY_REJECTS),
+            verify_votes: reg.counter(counters::VERIFY_VOTES),
             cpu_fallbacks: reg.counter(counters::SERVICE_CPU_FALLBACKS),
             queue_depth: reg.gauge(counters::SERVICE_QUEUE_DEPTH),
             queue_wait: reg.histogram(counters::SERVICE_QUEUE_WAIT_NS),
@@ -136,6 +145,7 @@ struct StatCells {
     retries: AtomicU64,
     faults_injected: AtomicU64,
     verify_rejects: AtomicU64,
+    verify_votes: AtomicU64,
     cpu_fallbacks: AtomicU64,
 }
 
@@ -164,6 +174,11 @@ pub struct ServiceStats {
     pub faults_injected: u64,
     /// Proofs the verify-before-return guard rejected.
     pub verify_rejects: u64,
+    /// Verification votes cast by the guard (one per produced proof it
+    /// checked; a rejected proof triggers re-execution until a run's
+    /// proof verifies or [`VERIFY_VOTE_RUNS`] runs have all been
+    /// rejected).
+    pub verify_votes: u64,
     /// Devices quarantined by the fleet's circuit breaker.
     pub quarantines: u64,
     /// Stage executions degraded to the host CPU path because no fleet
@@ -193,6 +208,12 @@ enum Stage {
     Poly,
     Msm,
 }
+
+/// Error-correcting re-execution: a proof the verify-before-return guard
+/// rejects is re-proven (from POLY, with fresh placement) until one run's
+/// proof verifies; only when this many runs have *all* been rejected does
+/// the job fail. Each verification is counted in `verify.votes`.
+pub const VERIFY_VOTE_RUNS: u32 = 3;
 
 /// Publishes the live queue depth. Queue lock held by the caller, so the
 /// gauge is always a value the queue actually had.
@@ -338,6 +359,8 @@ impl ProvingService {
             started: false,
             spans_open: false,
             device: None,
+            extra_devices: Vec::new(),
+            verify_votes: 0,
             attempt: 0,
             retries: 0,
             faults: 0,
@@ -379,6 +402,7 @@ impl ProvingService {
             retries: s.retries.load(Ordering::Relaxed),
             faults_injected: s.faults_injected.load(Ordering::Relaxed),
             verify_rejects: s.verify_rejects.load(Ordering::Relaxed),
+            verify_votes: s.verify_votes.load(Ordering::Relaxed),
             quarantines: self
                 .inner
                 .fleet
@@ -463,14 +487,49 @@ fn worker_loop(inner: &Inner, wid: usize) {
         let Some((mut job, stage)) = picked else {
             return;
         };
-        if let (Some(fleet), Some(own)) = (inner.fleet.as_deref(), own) {
-            place_job(inner, fleet, &mut job, own);
+        if let (Some(fleet), Some(own)) = (inner.fleet.as_ref(), own) {
+            let cross = matches!(stage, Stage::Msm)
+                && inner.cfg.cross_device
+                && fleet.len() > 1
+                && place_job_cross(fleet, &mut job);
+            if !cross {
+                place_job(inner, fleet, &mut job, own);
+            }
         }
         match stage {
             Stage::Poly => run_poly(inner, job),
             Stage::Msm => run_msm(inner, job),
         }
     }
+}
+
+/// Deadline-aware cross-device placement of a picked MSM stage: claims
+/// the device set [`FleetRuntime::place_for_deadline`] grants for the
+/// task's modeled remaining cost and binds the task's MSM engines across
+/// it ([`ProofTask::bind_fleet`]). Returns `false` — leaving the job for
+/// ordinary single-device placement — when the grant is a single device
+/// or the task cannot split its MSMs.
+fn place_job_cross(fleet: &Arc<FleetRuntime>, job: &mut Job) -> bool {
+    let remaining = job.task.msm_cost_estimate_ns();
+    if remaining <= 0.0 {
+        return false;
+    }
+    let slack = job
+        .deadline
+        .map(|d| d.saturating_duration_since(Instant::now()).as_nanos() as f64);
+    let devices = fleet.place_for_deadline(remaining, slack, fleet.len());
+    if devices.len() < 2 || !job.task.bind_fleet(fleet, &devices, job.id) {
+        for d in devices {
+            fleet.complete(d);
+        }
+        return false;
+    }
+    if let Some(prev) = job.device.take() {
+        fleet.complete(prev);
+    }
+    job.device = Some(devices[0]);
+    job.extra_devices = devices[1..].to_vec();
+    true
 }
 
 /// Health-aware placement of a picked job: the worker's own device when
@@ -611,6 +670,9 @@ fn retry_or_fail(inner: &Inner, mut job: Job, reason: &str, hard: bool, to_stage
         fleet.complete(dev);
         fleet.record_failure(dev, hard);
         job.avoid_device = Some(dev);
+        for d in job.extra_devices.drain(..) {
+            fleet.complete(d);
+        }
     }
     if job.attempt > inner.cfg.retry.max_retries {
         return resolve(
@@ -752,19 +814,33 @@ fn run_msm(inner: &Inner, mut job: Job) {
                     *byte ^= 0x40;
                 }
             }
-            if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
-                let p = job.task.msm_profile(&output);
-                fleet.record_stage_ctx(
-                    &stage_ctx(&job, counters::SPAN_MSM),
-                    p.h2d_bytes,
-                    p.kernel_ns,
-                    p.d2h_bytes,
-                );
-                if p.shards > 0 {
-                    fleet.record_shards(dev, p.shards);
+            // Cross-device MSMs record their own per-device/P2P schedule
+            // directly onto the fleet timelines while the stage runs;
+            // re-recording the aggregate profile here would double-count.
+            if job.extra_devices.is_empty() {
+                if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
+                    let p = job.task.msm_profile(&output);
+                    fleet.record_stage_ctx(
+                        &stage_ctx(&job, counters::SPAN_MSM),
+                        p.h2d_bytes,
+                        p.kernel_ns,
+                        p.d2h_bytes,
+                    );
+                    if p.shards > 0 {
+                        fleet.record_shards(dev, p.shards);
+                    }
                 }
             }
-            if job.task.verify_output(&output) == Some(false) {
+            let verdict = job.task.verify_output(&output);
+            if verdict.is_some() {
+                // Every verification of a produced proof is one vote.
+                job.verify_votes += 1;
+                inner.stats.verify_votes.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &inner.metrics {
+                    m.verify_votes.inc();
+                }
+            }
+            if verdict == Some(false) {
                 job.verify_rejects += 1;
                 inner.stats.verify_rejects.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = &inner.metrics {
@@ -776,21 +852,24 @@ fn run_msm(inner: &Inner, mut job: Job) {
                     // roll time.
                     job.attempt += 1;
                 }
-                if job.verify_rejects > 1 {
+                if job.verify_rejects >= VERIFY_VOTE_RUNS {
                     if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device.take()) {
                         fleet.complete(dev);
                         fleet.record_failure(dev, false);
+                        for d in job.extra_devices.drain(..) {
+                            fleet.complete(d);
+                        }
                     }
                     return resolve(
                         inner,
                         job,
-                        Err(JobError::Failed(
-                            "proof failed verification after re-execution".to_string(),
-                        )),
+                        Err(JobError::Failed(format!(
+                            "proof failed verification in {VERIFY_VOTE_RUNS}-run vote"
+                        ))),
                     );
                 }
                 // The artifacts were consumed producing the bad proof:
-                // one full re-execution from POLY.
+                // a full re-execution from POLY casts the next vote.
                 return retry_or_fail(inner, job, "verify reject", false, false);
             }
             if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
@@ -850,6 +929,9 @@ fn resolve_locked(
 
     if let (Some(fleet), Some(dev)) = (inner.fleet.as_deref(), job.device) {
         fleet.complete(dev);
+        for &d in &job.extra_devices {
+            fleet.complete(d);
+        }
     }
 
     let trace = job.recorder.take().map(|rec| {
@@ -873,6 +955,9 @@ fn resolve_locked(
         }
         if job.verify_rejects > 0 {
             rec.counter(counters::VERIFY_REJECTS, f64::from(job.verify_rejects));
+            // Votes only when voting engaged (a reject happened), so
+            // clean verified traces stay byte-identical.
+            rec.counter(counters::VERIFY_VOTES, f64::from(job.verify_votes));
         }
         let outcome_counter = match &outcome {
             Ok(_) => Some(counters::SERVICE_COMPLETED),

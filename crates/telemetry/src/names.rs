@@ -46,6 +46,8 @@ pub const LANE_H2D: &str = "h2d";
 pub const LANE_KERNEL: &str = "kernel";
 /// Device→host copy-engine lane.
 pub const LANE_D2H: &str = "d2h";
+/// Device→device copy-engine lane (NVLink P2P or host-staged merges).
+pub const LANE_P2P: &str = "p2p";
 
 // -- engine counters --------------------------------------------------------
 
@@ -110,6 +112,11 @@ pub const RUNTIME_D2H_BYTES: &str = "runtime.d2h_bytes";
 pub const RUNTIME_SHARDS: &str = "runtime.shards";
 /// Jobs a fleet worker stole from another device's queue.
 pub const RUNTIME_STEALS: &str = "runtime.steals";
+/// Simulated bytes moved device→device by the fleet runtime.
+pub const RUNTIME_P2P_BYTES: &str = "runtime.p2p_bytes";
+/// Device→device transfers the fleet runtime routed (NVLink P2P or
+/// host-staged).
+pub const RUNTIME_P2P_TRANSFERS: &str = "runtime.p2p_transfers";
 /// Stages a device executed (per-device counter, labeled `device=devN`).
 pub const DEVICE_STAGES: &str = "device.stages";
 /// Simulated nanoseconds a device's compute engine was busy (gauge,
@@ -133,6 +140,9 @@ pub const SERVICE_RETRIES: &str = "retry.count";
 pub const QUARANTINE_EVENTS: &str = "quarantine.events";
 /// Proofs the verify-before-return guard rejected as corrupted.
 pub const VERIFY_REJECTS: &str = "verify.rejects";
+/// Proof executions cast as votes by the error-correcting re-execution
+/// path (each verified run after a reject counts one vote).
+pub const VERIFY_VOTES: &str = "verify.votes";
 
 // -- trace-structure gauges -------------------------------------------------
 
@@ -153,5 +163,6 @@ mod tests {
         assert_eq!(EngineKind::H2d.label(), super::LANE_H2D);
         assert_eq!(EngineKind::Compute.label(), super::LANE_KERNEL);
         assert_eq!(EngineKind::D2h.label(), super::LANE_D2H);
+        assert_eq!(EngineKind::P2p.label(), super::LANE_P2P);
     }
 }

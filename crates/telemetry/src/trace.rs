@@ -231,9 +231,11 @@ pub fn render_trace(trace: &Trace) -> String {
 /// axis: every lane is a fixed-width row whose filled cells mark when its
 /// ops ran in simulated time, so upload/compute/download overlap — and
 /// gaps — line up visually across devices. Lane glyphs: `=` for H2D
-/// copies, `#` for kernels, `-` for D2H copies, and `!` for health
-/// events (faults, quarantines, recoveries) on the `health` marker lane
-/// the fleet emits when a device degraded during the run.
+/// copies, `#` for kernels, `-` for D2H copies, `^` for device↔device
+/// P2P copies (NVLink or host-staged partial-sum merges) on the `p2p`
+/// lane, and `!` for health events (faults, quarantines, recoveries) on
+/// the `health` marker lane the fleet emits when a device degraded
+/// during the run.
 ///
 /// Returns `None` when the trace has no `runtime` node with device lanes
 /// (i.e. it is not a fleet trace).
@@ -271,6 +273,7 @@ pub fn render_timeline(trace: &Trace) -> Option<String> {
             let glyph = match lane.name.as_str() {
                 crate::names::LANE_H2D => '=',
                 crate::names::LANE_D2H => '-',
+                crate::names::LANE_P2P => '^',
                 crate::names::SPAN_HEALTH => '!',
                 _ => '#',
             };

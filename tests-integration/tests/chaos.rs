@@ -243,3 +243,156 @@ fn dead_fleet_degrades_to_cpu_and_still_proves() {
         assert_eq!(got, want, "CPU-fallback proofs must stay byte-identical");
     }
 }
+
+/// A splittable-MSM task for the cross-device chaos scenario: when the
+/// scheduler grants it several devices it binds a
+/// [`gzkp_runtime::CrossDeviceMsm`] over them; its "proof" is the
+/// compressed MSM result, so byte-identity directly certifies the
+/// partial-bucket merge. The huge cost estimate makes every job urgent
+/// under the default deadline, forcing the cross-device path.
+struct CrossMsmTask {
+    id: u64,
+    pts: Vec<gzkp_curves::Affine<gzkp_curves::bn254::G1Config>>,
+    sv: gzkp_msm::ScalarVec,
+    reference: gzkp_msm::GzkpMsm,
+    cross: Option<gzkp_runtime::CrossDeviceMsm>,
+}
+
+impl ProofTask for CrossMsmTask {
+    fn key_id(&self) -> u64 {
+        self.id
+    }
+    fn poly(&mut self, _sink: &dyn TelemetrySink) -> Result<(), String> {
+        Ok(())
+    }
+    fn msm(&mut self, _sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        use gzkp_msm::MsmEngine;
+        let run = match &self.cross {
+            Some(engine) => engine.msm(&self.pts, &self.sv),
+            None => self.reference.msm(&self.pts, &self.sv),
+        };
+        Ok(TaskOutput {
+            proof: gzkp_curves::compress(&run.result.to_affine()),
+            report: None,
+        })
+    }
+    fn bind_device(&mut self, _device: &gzkp_gpu_sim::DeviceConfig) {
+        self.cross = None;
+    }
+    fn bind_fleet(
+        &mut self,
+        fleet: &std::sync::Arc<gzkp_runtime::FleetRuntime>,
+        devices: &[usize],
+        job_id: u64,
+    ) -> bool {
+        self.cross = Some(gzkp_runtime::CrossDeviceMsm::new(
+            self.reference.clone(),
+            fleet.clone(),
+            devices.to_vec(),
+            format!("job{job_id}.msm"),
+        ));
+        true
+    }
+    fn msm_cost_estimate_ns(&self) -> f64 {
+        1e12
+    }
+}
+
+/// ISSUE 7's chaos bar: device 0 — the cross-device *primary* on first
+/// placement — is permanently dead, killing each job's first
+/// cross-device MSM attempt while the claimed device set is held. Every
+/// job must still complete (the dead primary quarantines, the survivors
+/// re-run the sharded MSM), every proof must match the single-device
+/// bytes, and no device claim may leak.
+#[test]
+fn dead_device_mid_cross_msm_loses_no_jobs() {
+    use gzkp_ff::Field;
+    use gzkp_msm::MsmEngine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let pts = gzkp_curves::random_points::<gzkp_curves::bn254::G1Config, _>(96, &mut rng);
+    let scalars: Vec<gzkp_curves::bn254::Fr> = (0..96)
+        .map(|_| gzkp_curves::bn254::Fr::random(&mut rng))
+        .collect();
+    let sv = gzkp_msm::ScalarVec::from_field(&scalars);
+    let reference = gzkp_msm::GzkpMsm::new(v100());
+    let expect = gzkp_curves::compress(&reference.msm(&pts, &sv).result.to_affine());
+
+    let service = ProvingService::start(ServiceConfig {
+        devices: vec![v100(); 3],
+        cross_device: true,
+        chaos: Some(FaultPlan {
+            seed: 23,
+            rates: FaultRates {
+                kernel: 0.1,
+                transfer: 0.05,
+                hang: 0.0,
+                corrupt: 0.0,
+            },
+            device_scale: Vec::new(),
+            dead: vec![0],
+        }),
+        retry: RetryPolicy {
+            max_retries: 24,
+            backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+        },
+        health: HealthPolicy {
+            quarantine_after: 2,
+            probation: Duration::from_secs(60),
+            max_probation: Duration::from_secs(60),
+        },
+        ..ServiceConfig::default()
+    });
+
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            service
+                .submit(
+                    Box::new(CrossMsmTask {
+                        id: i,
+                        pts: pts.clone(),
+                        sv: sv.clone(),
+                        reference: reference.clone(),
+                        cross: None,
+                    }),
+                    JobOptions::default(),
+                )
+                .unwrap()
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let out = h
+            .wait()
+            .outcome
+            .unwrap_or_else(|e| panic!("job {i} was lost to the dead device: {e:?}"));
+        assert_eq!(
+            out.proof, expect,
+            "job {i}: cross-device proof bytes diverged under chaos"
+        );
+    }
+
+    let inj = service.fault_injector().expect("chaos is configured");
+    assert!(
+        inj.summary().dead_hits > 0,
+        "the dead primary was never hit mid-cross-MSM"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.quarantines > 0,
+        "the dead device must trip the breaker"
+    );
+    let fleet = service.fleet().expect("fleet mode").clone();
+    assert!(
+        fleet.p2p_transfers() > 0,
+        "no partial-sum merge crossed the P2P path — the cross-device path never ran"
+    );
+    // Every multi-device claim was released on both the fault and the
+    // success paths: nothing stays in flight after the jobs resolve.
+    for d in 0..3 {
+        assert_eq!(fleet.inflight(d), 0, "device {d} leaked a placement claim");
+    }
+    service.shutdown();
+}

@@ -1,0 +1,79 @@
+//! Property-based bit-identity of the cross-device MSM path: sharding an
+//! MSM's bucket ranges across {2,3,4} simulated devices and merging the
+//! partial sums over the P2P fabric must reproduce the single-device
+//! [`GzkpMsm`] result *byte for byte* — on both pairing curves, at every
+//! worker-thread count, and across repeated runs of the work-stealing
+//! pool (different steal interleavings must not change a single bit).
+//!
+//! Everything lives in ONE test function: the thread count is driven by
+//! the `GZKP_THREADS` env override, and env mutation must stay
+//! sequential within the test binary (see `parallel_determinism.rs`).
+
+use gzkp_curves::{bls12_381, bn254, compress, random_points, CoordField, CurveParams};
+use gzkp_ff::Field;
+use gzkp_gpu_sim::v100;
+use gzkp_msm::{GzkpMsm, MsmEngine, ScalarVec};
+use gzkp_runtime::{CrossDeviceMsm, FleetRuntime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One property check: random points/scalars on curve `C`, the reference
+/// single-device result, then the cross-device engine at `devs` devices
+/// under GZKP_THREADS ∈ {1, 4} — with the 4-thread run repeated so two
+/// different steal interleavings of the same shard set are compared.
+fn check<C: CurveParams>(seed: u64, n: usize, devs: usize) -> Result<(), String>
+where
+    C::Base: CoordField,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts = random_points::<C, _>(n, &mut rng);
+    let scalars: Vec<C::Scalar> = (0..n).map(|_| C::Scalar::random(&mut rng)).collect();
+    let sv = ScalarVec::from_field(&scalars);
+
+    let reference = GzkpMsm::new(v100());
+    std::env::set_var("GZKP_THREADS", "1");
+    let single = compress(
+        &MsmEngine::<C>::msm(&reference, &pts, &sv)
+            .result
+            .to_affine(),
+    );
+
+    for threads in ["1", "4", "4"] {
+        std::env::set_var("GZKP_THREADS", threads);
+        let fleet = Arc::new(FleetRuntime::new(vec![v100(); devs]));
+        let engine = CrossDeviceMsm::new(
+            reference.clone(),
+            fleet.clone(),
+            (0..devs).collect(),
+            "prop.msm",
+        );
+        let run = MsmEngine::<C>::msm(&engine, &pts, &sv);
+        let got = compress(&run.result.to_affine());
+        prop_assert_eq!(
+            &got,
+            &single,
+            "cross-device bytes diverged: devs={} GZKP_THREADS={}",
+            devs,
+            threads
+        );
+        // The merge really crossed the P2P path: one transfer per
+        // non-primary shard, none for the single-range case.
+        prop_assert_eq!(fleet.p2p_transfers(), devs as u64 - 1);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn cross_device_merge_is_bit_identical(seed in 0u64..1000, n in 24usize..128) {
+        for devs in [2usize, 3, 4] {
+            check::<bn254::G1Config>(seed, n, devs)?;
+            check::<bls12_381::G1Config>(seed ^ 0x5a5a, n, devs)?;
+        }
+        std::env::remove_var("GZKP_THREADS");
+    }
+}

@@ -13,7 +13,7 @@ use gzkp_ntt::gpu::GzkpNtt;
 use gzkp_runtime::HealthPolicy;
 use gzkp_service::{
     Groth16Task, JobError, JobOptions, Priority, ProofTask, ProvingService, RetryPolicy,
-    ServiceConfig, SubmitError, TaskOutput,
+    ServiceConfig, SubmitError, TaskOutput, VERIFY_VOTE_RUNS,
 };
 use gzkp_telemetry::TelemetrySink;
 use gzkp_workloads::synthetic::synthetic_circuit;
@@ -445,12 +445,14 @@ fn verify_reject_recovers_with_one_reexecution() {
     assert!(handle.wait().outcome.is_ok());
     let stats = service.shutdown();
     assert_eq!(stats.verify_rejects, 1);
+    // Two votes cast: the rejected first run and the passing second.
+    assert_eq!(stats.verify_votes, 2);
     assert_eq!(stats.retries, 1);
     assert_eq!(stats.completed, 1);
 }
 
 #[test]
-fn verify_reject_twice_surfaces_an_error() {
+fn verify_reject_fails_only_after_all_votes_reject() {
     let service = ProvingService::start(ServiceConfig {
         workers: 1,
         retry: RetryPolicy {
@@ -470,10 +472,15 @@ fn verify_reject_twice_surfaces_an_error() {
         .unwrap();
     assert_eq!(
         handle.wait().outcome.unwrap_err(),
-        JobError::Failed("proof failed verification after re-execution".into())
+        JobError::Failed(format!(
+            "proof failed verification in {VERIFY_VOTE_RUNS}-run vote"
+        ))
     );
     let stats = service.shutdown();
-    assert_eq!(stats.verify_rejects, 2);
+    // Every one of the voted runs was produced, verified, and rejected.
+    assert_eq!(stats.verify_rejects, u64::from(VERIFY_VOTE_RUNS));
+    assert_eq!(stats.verify_votes, u64::from(VERIFY_VOTE_RUNS));
+    assert_eq!(stats.retries, u64::from(VERIFY_VOTE_RUNS) - 1);
     assert_eq!(stats.failed, 1);
 }
 

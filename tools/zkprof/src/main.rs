@@ -11,9 +11,12 @@
 //! `render` pretty-prints the span tree of a `gzkp-trace.json` with the
 //! same per-stage kernel tables the benches print. `render --timeline`
 //! instead draws a fleet trace's per-device command streams (`runtime →
-//! dev{n} → {h2d,kernel,d2h}`, as written by `zkserve --fleet-trace`) as
-//! aligned ASCII rows on one time axis, making transfer/compute overlap
-//! across devices visible at a glance. `diff` compares two traces
+//! dev{n} → {h2d,kernel,d2h,p2p}`, as written by `zkserve --fleet-trace`)
+//! as aligned ASCII rows on one time axis, making transfer/compute
+//! overlap across devices visible at a glance. Lane glyphs: `=` H2D
+//! uploads, `#` kernels, `-` D2H downloads, `^` device↔device P2P
+//! transfers (the cross-device MSM's partial-sum merges; the lane only
+//! appears when a run used it), `!` health events. `diff` compares two traces
 //! span-by-span and exits with status 1 when any stage slowed down by
 //! more than the threshold (default 5%) or the span trees no longer line
 //! up — so it can gate CI on performance regressions.
