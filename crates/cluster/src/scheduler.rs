@@ -1,0 +1,112 @@
+//! Cross-host placement: health-gated least-loaded routing with
+//! anti-affinity for resumed jobs.
+//!
+//! The per-host view the cluster hands in already folds in the host's
+//! circuit-breaker verdict ([`HostView::available`] — the PR 5 device
+//! quarantine policy reapplied at host granularity), so this module is a
+//! pure policy function over plain data, testable without spinning up
+//! hosts.
+
+use crate::host::HostState;
+
+/// What the placement policy knows about one host at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct HostView {
+    /// Host id.
+    pub id: usize,
+    /// Lifecycle state; only [`HostState::Up`] hosts take work.
+    pub state: HostState,
+    /// Circuit-breaker verdict: `false` while the host is quarantined
+    /// after repeated failures.
+    pub available: bool,
+    /// Jobs currently dispatched to the host and unresolved.
+    pub inflight: usize,
+    /// Host-local queue bound; the scheduler never over-commits past it.
+    pub capacity: usize,
+}
+
+impl HostView {
+    fn accepts(&self) -> bool {
+        self.state == HostState::Up && self.available && self.inflight < self.capacity
+    }
+}
+
+/// Picks the host for one job: the least-loaded accepting host,
+/// excluding `avoid` (the host a resumed job just died on — even if a
+/// replacement host reuses its id, re-placing the resume there is the
+/// one placement that can repeat the failure). Lowest id breaks ties for
+/// determinism. `None` when no host can take work this tick; the job
+/// stays queued.
+pub fn pick_host(views: &[HostView], avoid: Option<usize>) -> Option<usize> {
+    views
+        .iter()
+        .filter(|v| v.accepts() && Some(v.id) != avoid)
+        .min_by_key(|v| (v.inflight, v.id))
+        .map(|v| v.id)
+}
+
+/// Deadline-slack ordering: among queued jobs, the one with the least
+/// slack (deadline minus now minus modeled remaining cost) dispatches
+/// first. `None` deadlines sort last — they have infinite slack.
+pub fn urgency_key(slack_ns: Option<f64>) -> (bool, i64) {
+    match slack_ns {
+        Some(s) => (false, s as i64),
+        None => (true, i64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(id: usize, inflight: usize) -> HostView {
+        HostView {
+            id,
+            state: HostState::Up,
+            available: true,
+            inflight,
+            capacity: 8,
+        }
+    }
+
+    #[test]
+    fn least_loaded_wins_and_ids_break_ties() {
+        let views = [up(0, 3), up(1, 1), up(2, 1)];
+        assert_eq!(pick_host(&views, None), Some(1));
+    }
+
+    #[test]
+    fn dead_quarantined_and_full_hosts_are_skipped() {
+        let mut dead = up(0, 0);
+        dead.state = HostState::Dead;
+        let mut quarantined = up(1, 0);
+        quarantined.available = false;
+        let mut full = up(2, 8);
+        full.inflight = 8;
+        assert_eq!(pick_host(&[dead, quarantined, full], None), None);
+        assert_eq!(
+            pick_host(&[dead, quarantined, full, up(3, 7)], None),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn resume_avoids_the_host_it_died_on() {
+        let views = [up(0, 0), up(1, 5)];
+        assert_eq!(pick_host(&views, Some(0)), Some(1));
+        // ...unless no other host exists: then the job waits.
+        assert_eq!(pick_host(&views[..1], Some(0)), None);
+    }
+
+    #[test]
+    fn urgency_orders_tight_deadlines_first() {
+        let mut keys = [
+            urgency_key(None),
+            urgency_key(Some(5e6)),
+            urgency_key(Some(1e6)),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], urgency_key(Some(1e6)));
+        assert_eq!(keys[2], urgency_key(None));
+    }
+}

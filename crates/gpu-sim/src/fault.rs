@@ -33,6 +33,12 @@ pub enum FaultKind {
     /// The stage *appears* to succeed but its output has a flipped limb —
     /// only a verify-before-return guard catches this.
     SilentCorruption,
+    /// An entire simulated host vanished (power loss, kernel panic,
+    /// preemption). A cluster-level fault: every stage in flight on the
+    /// host fails and its queued work must move to a surviving host —
+    /// stage schedulers never draw it; the cluster dispatcher rolls it
+    /// via [`FaultInjector::roll_host_kill`].
+    HostKill,
 }
 
 impl FaultKind {
@@ -42,6 +48,7 @@ impl FaultKind {
             FaultKind::TransferTimeout => 1,
             FaultKind::DeviceHang => 2,
             FaultKind::SilentCorruption => 3,
+            FaultKind::HostKill => 4,
         }
     }
 
@@ -52,6 +59,7 @@ impl FaultKind {
             FaultKind::TransferTimeout => "transfer-timeout",
             FaultKind::DeviceHang => "device-hang",
             FaultKind::SilentCorruption => "silent-corruption",
+            FaultKind::HostKill => "host-kill",
         }
     }
 }
@@ -74,16 +82,23 @@ pub struct FaultRates {
     /// Probability of a [`FaultKind::SilentCorruption`] (only drawn for
     /// stages that produce corruptible output).
     pub corrupt: f64,
+    /// Probability of a [`FaultKind::HostKill`] per cluster scheduler
+    /// tick per host. Zero by default and *not* covered by
+    /// [`FaultRates::uniform`]: host kills are a cluster-level event
+    /// that single-host chaos runs never draw.
+    pub host_kill: f64,
 }
 
 impl FaultRates {
-    /// The same rate for every fault kind.
+    /// The same rate for every *stage-level* fault kind
+    /// ([`FaultRates::host_kill`] stays zero).
     pub fn uniform(rate: f64) -> Self {
         Self {
             kernel: rate,
             transfer: rate,
             hang: rate,
             corrupt: rate,
+            host_kill: 0.0,
         }
     }
 }
@@ -161,6 +176,7 @@ impl FaultPlan {
                 "transfer" => plan.rates.transfer = parse_rate("transfer", val)?,
                 "hang" => plan.rates.hang = parse_rate("hang", val)?,
                 "corrupt" => plan.rates.corrupt = parse_rate("corrupt", val)?,
+                "hostkill" => plan.rates.host_kill = parse_rate("hostkill", val)?,
                 "dead" => {
                     for d in val.split('+') {
                         plan.dead.push(
@@ -208,6 +224,8 @@ pub struct FaultSummary {
     pub hang: u64,
     /// Injected [`FaultKind::SilentCorruption`]s.
     pub corrupt: u64,
+    /// Injected [`FaultKind::HostKill`]s (cluster runs only).
+    pub host_kill: u64,
     /// Stages refused because their device is in [`FaultPlan::dead`].
     pub dead_hits: u64,
 }
@@ -215,7 +233,7 @@ pub struct FaultSummary {
 impl FaultSummary {
     /// Total hash-drawn injections (dead-device hits excluded).
     pub fn injected(&self) -> u64 {
-        self.kernel + self.transfer + self.hang + self.corrupt
+        self.kernel + self.transfer + self.hang + self.corrupt + self.host_kill
     }
 }
 
@@ -226,7 +244,7 @@ impl FaultSummary {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    counts: [AtomicU64; 4],
+    counts: [AtomicU64; 5],
     dead_hits: AtomicU64,
     log: Mutex<Vec<FaultEvent>>,
 }
@@ -342,6 +360,33 @@ impl FaultInjector {
         self.roll(ctx.device, ctx.job, ctx.stage, attempt, corruptible)
     }
 
+    /// Decides whether the cluster kills `host` at scheduler tick
+    /// `tick`. Drawn from the same seeded hash stream as stage faults
+    /// (keyed on the tick, the `"host"` stage label, and the host index),
+    /// so a cluster chaos run replays the identical kill sequence. Stage
+    /// schedulers never call this — only the cluster dispatcher does,
+    /// once per `(host, tick)` pair.
+    pub fn roll_host_kill(&self, host: usize, tick: u64) -> bool {
+        let rate = self.plan.rates.host_kill;
+        if rate <= 0.0 {
+            return false;
+        }
+        if self.unit(tick, "host", host as u32, FaultKind::HostKill) < rate {
+            self.counts[FaultKind::HostKill.index() as usize].fetch_add(1, Ordering::Relaxed);
+            self.log
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(FaultEvent {
+                    job: tick,
+                    stage: format!("host{host}"),
+                    attempt: host as u32,
+                    kind: FaultKind::HostKill,
+                });
+            return true;
+        }
+        false
+    }
+
     /// Whether `device` is in the plan's dead set.
     pub fn is_dead(&self, device: usize) -> bool {
         self.plan.dead.contains(&device)
@@ -354,6 +399,7 @@ impl FaultInjector {
             transfer: self.counts[1].load(Ordering::Relaxed),
             hang: self.counts[2].load(Ordering::Relaxed),
             corrupt: self.counts[3].load(Ordering::Relaxed),
+            host_kill: self.counts[4].load(Ordering::Relaxed),
             dead_hits: self.dead_hits.load(Ordering::Relaxed),
         }
     }
@@ -504,8 +550,39 @@ mod tests {
         assert_eq!(plan.rates.kernel, 0.1);
         assert_eq!(plan.rates.hang, 0.02);
         assert_eq!(plan.dead, vec![1, 3]);
+        let plan = FaultPlan::parse("7,hostkill=0.25").unwrap();
+        assert_eq!(plan.rates.host_kill, 0.25);
+        assert_eq!(plan.rates.kernel, 0.0, "hostkill leaves stage rates alone");
         for bad in ["", "x", "1,rate=2", "1,rate=x", "1,bogus=1", "1,dead=x"] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn host_kill_draws_are_deterministic_and_separate_from_stage_faults() {
+        let mut plan = FaultPlan::uniform(13, 0.0);
+        plan.rates.host_kill = 0.3;
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let mut fired = 0;
+        for tick in 0..60u64 {
+            for host in 0..3usize {
+                let hit = a.roll_host_kill(host, tick);
+                assert_eq!(hit, b.roll_host_kill(host, tick), "host {host} tick {tick}");
+                fired += u64::from(hit);
+            }
+        }
+        assert!(fired > 0, "30% over 180 draws must fire");
+        assert_eq!(a.summary().host_kill, fired);
+        assert_eq!(a.summary().injected(), fired);
+        assert_eq!(a.events(), b.events());
+        // Stage rolls stay untouched by the host-kill rate.
+        assert_eq!(a.roll(Some(0), 1, "msm", 0, true), None);
+        // And a zero host-kill rate never fires or logs.
+        let quiet = FaultInjector::new(FaultPlan::uniform(13, 0.0));
+        for tick in 0..50 {
+            assert!(!quiet.roll_host_kill(0, tick));
+        }
+        assert_eq!(quiet.summary().host_kill, 0);
     }
 }

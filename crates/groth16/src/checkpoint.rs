@@ -1,0 +1,602 @@
+//! Portable proof checkpoints: a versioned byte encoding of the prover's
+//! mid-flight state, so a job interrupted between stages — or between any
+//! two of the five MSMs — can resume *on a different host* and still
+//! produce a proof byte-identical to the uninterrupted run.
+//!
+//! The prover is already split at the POLY/MSM boundary
+//! ([`crate::prove::prove_poly`] / [`crate::prove::prove_msm`]); this
+//! module extends that split *into* the MSM stage. A
+//! [`ProofCheckpoint`] captures:
+//!
+//! * the POLY artifacts (the three packed scalar vectors and the POLY
+//!   stage report), and
+//! * the partial result of every MSM step already executed (each MSM's
+//!   full group-element sum, stored as a compressed affine point), plus
+//!   the accumulated MSM kernel reports.
+//!
+//! Byte-identity across interruption holds by construction: every MSM is
+//! an exact group computation (the same on any device or host), the
+//! blinding factors `r, s` are drawn from the job's seeded RNG only in
+//! [`ProofCheckpoint::finish`] — after the last MSM, exactly where the
+//! monolithic prover draws them — and the final proof points are
+//! normalized by `to_affine`, so round-tripping a partial sum through its
+//! compressed affine form cannot change the proof bytes.
+//!
+//! ## Wire format (version 1)
+//!
+//! ```text
+//! "GZKPCKP" ++ version:u8
+//! fr_bits:u32 fr_limbs:u32 g1_coord_len:u32 g2_coord_len:u32   // curve shape guard
+//! seed:u64  done:u8 (bit i ⇒ MSM step i complete)
+//! poly_report: len:u64 ++ JSON      msm_report: len:u64 ++ JSON
+//! z⃗, aux, h⃗: per_scalar:u32 bits:u32 n:u64 ++ n·per_scalar little-endian u64 limbs
+//! for each set bit of `done`, ascending: len:u64 ++ compressed affine point
+//! ```
+//!
+//! All integers are little-endian. Decoding validates the magic, the
+//! version, the curve shape against the target `P`, and every point
+//! against the curve equation — a checkpoint from the wrong curve or a
+//! truncated byte stream returns an error, never a panic.
+
+use crate::prove::{PolyArtifacts, Proof, ProveReport, ProverEngines};
+use crate::setup::ProvingKey;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::serialize::{compress, decompress, CoordField};
+use gzkp_curves::{Affine, CurveParams, Projective};
+use gzkp_ff::PrimeField;
+use gzkp_gpu_sim::StageReport;
+use gzkp_msm::ScalarVec;
+use gzkp_telemetry::{self as telemetry, TelemetrySink};
+use rand::Rng;
+
+/// Current checkpoint wire-format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// Number of MSM steps a checkpoint tracks (`a`, `b_g1`, `h`, `l`,
+/// `b_g2`, in execution order).
+pub const MSM_STEPS: usize = 5;
+
+const MAGIC: &[u8; 7] = b"GZKPCKP";
+
+/// Span names of the five MSM steps — the same names the monolithic
+/// [`crate::prove::prove_msm`] emits, so stepwise traces line up.
+const STEP_SPANS: [&str; MSM_STEPS] = ["a", "b_g1", "h", "l", "b_g2"];
+/// Kernel-report label prefixes, matching the monolithic prover.
+const STEP_LABELS: [&str; MSM_STEPS] = ["a_query", "b_g1", "h_query", "l_query", "b_g2"];
+
+/// Human-readable label of MSM step `step` (for logs and errors).
+///
+/// # Panics
+///
+/// Panics if `step >= MSM_STEPS`.
+pub fn step_label(step: usize) -> &'static str {
+    STEP_LABELS[step]
+}
+
+/// Resumable mid-proof state: POLY artifacts plus zero or more completed
+/// MSM partial sums. See the module docs for the serialized form.
+pub struct ProofCheckpoint<P: PairingConfig> {
+    /// Seed of the job's blinding-factor RNG. Carried in the checkpoint
+    /// so the resuming host draws the same `r, s` — the resumer passes
+    /// `StdRng::seed_from_u64(seed)` (or equivalent) to
+    /// [`ProofCheckpoint::finish`].
+    pub seed: u64,
+    poly_report: StageReport,
+    z: ScalarVec,
+    aux: ScalarVec,
+    h: ScalarVec,
+    msm_report: StageReport,
+    g1_partials: [Option<Projective<P::G1>>; 4],
+    g2_partial: Option<Projective<P::G2>>,
+}
+
+impl<P: PairingConfig> ProofCheckpoint<P> {
+    /// Opens a checkpoint right after the POLY stage: no MSM steps done.
+    pub fn from_poly(seed: u64, poly: PolyArtifacts<P>) -> Self {
+        let (poly_report, z, aux, h) = poly.into_parts();
+        Self {
+            seed,
+            poly_report,
+            z,
+            aux,
+            h,
+            msm_report: StageReport::new("MSM"),
+            g1_partials: [None, None, None, None],
+            g2_partial: None,
+        }
+    }
+
+    /// Per-step completion flags, in execution order.
+    pub fn completed(&self) -> [bool; MSM_STEPS] {
+        [
+            self.g1_partials[0].is_some(),
+            self.g1_partials[1].is_some(),
+            self.g1_partials[2].is_some(),
+            self.g1_partials[3].is_some(),
+            self.g2_partial.is_some(),
+        ]
+    }
+
+    /// Number of MSM steps already executed.
+    pub fn steps_done(&self) -> usize {
+        self.completed().iter().filter(|&&d| d).count()
+    }
+
+    /// The first MSM step still to run, or `None` when all five are done
+    /// and only [`ProofCheckpoint::finish`] remains.
+    pub fn next_step(&self) -> Option<usize> {
+        self.completed().iter().position(|&d| !d)
+    }
+
+    /// The POLY stage report captured at checkpoint time.
+    pub fn poly_report(&self) -> &StageReport {
+        &self.poly_report
+    }
+
+    /// Bytes of packed scalars the MSM stage uploads (mirrors
+    /// [`PolyArtifacts::scalar_bytes`]).
+    pub fn scalar_bytes(&self) -> u64 {
+        [&self.z, &self.aux, &self.h]
+            .iter()
+            .map(|v| (v.len() * v.limbs_per_scalar() * 8) as u64)
+            .sum()
+    }
+
+    /// Executes MSM step `step` (one of the five inner products) and
+    /// records its partial sum and kernel reports. A step already done is
+    /// a no-op, so replays after a resume are harmless.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `step >= MSM_STEPS`.
+    pub fn run_step(
+        &mut self,
+        pk: &ProvingKey<P>,
+        engines: &ProverEngines<'_, P>,
+        step: usize,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String> {
+        if step >= MSM_STEPS {
+            return Err(format!("msm step {step} out of range (0..{MSM_STEPS})"));
+        }
+        if self.completed()[step] {
+            return Ok(());
+        }
+        if step < 4 {
+            let (points, scalars): (&[Affine<P::G1>], &ScalarVec) = match step {
+                0 => (&pk.a_query, &self.z),
+                1 => (&pk.b_g1_query, &self.z),
+                2 => (&pk.h_query, &self.h),
+                _ => (&pk.l_query, &self.aux),
+            };
+            let run = engines.msm_g1.msm(points, scalars);
+            {
+                let _span = telemetry::span(sink, STEP_SPANS[step]);
+                engines
+                    .msm_g1
+                    .emit_msm_telemetry(points, scalars, &run, sink);
+            }
+            for mut k in run.report.kernels {
+                k.name = format!("{}.{}", STEP_LABELS[step], k.name);
+                self.msm_report.kernels.push(k);
+            }
+            self.g1_partials[step] = Some(run.result);
+        } else {
+            let run = engines.msm_g2.msm(&pk.b_g2_query, &self.z);
+            {
+                let _span = telemetry::span(sink, STEP_SPANS[4]);
+                engines
+                    .msm_g2
+                    .emit_msm_telemetry(&pk.b_g2_query, &self.z, &run, sink);
+            }
+            for mut k in run.report.kernels {
+                k.name = format!("{}.{}", STEP_LABELS[4], k.name);
+                self.msm_report.kernels.push(k);
+            }
+            self.g2_partial = Some(run.result);
+        }
+        Ok(())
+    }
+
+    /// Blinding and proof assembly, identical to the tail of
+    /// [`crate::prove::prove_msm`]: draws `r, s` from `rng` (seed it from
+    /// [`ProofCheckpoint::seed`] for byte-identity with the uninterrupted
+    /// run) and combines the five partial sums with the key elements.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any MSM step has not run yet.
+    pub fn finish<R: Rng + ?Sized>(
+        self,
+        pk: &ProvingKey<P>,
+        rng: &mut R,
+    ) -> Result<(Proof<P>, ProveReport), String> {
+        if let Some(step) = self.next_step() {
+            return Err(format!(
+                "cannot finish: msm step {step} ({}) not yet run",
+                step_label(step)
+            ));
+        }
+        let [a_sum, b_g1_sum, h_sum, l_sum] =
+            self.g1_partials.map(|p| p.expect("all g1 steps done"));
+        let b_g2_sum = self.g2_partial.expect("g2 step done");
+
+        use gzkp_ff::Field;
+        let r = P::Fr::random(rng);
+        let s = P::Fr::random(rng);
+
+        let a = a_sum.add_mixed(&pk.alpha_g1).add(&pk.delta_g1.mul(&r));
+        let b_g2 = b_g2_sum.add_mixed(&pk.beta_g2).add(&pk.delta_g2.mul(&s));
+        let b_g1 = b_g1_sum.add_mixed(&pk.beta_g1).add(&pk.delta_g1.mul(&s));
+        let c = l_sum
+            .add(&h_sum)
+            .add(&a.mul(&s))
+            .add(&b_g1.mul(&r))
+            .add(&pk.delta_g1.mul(&(r * s)).neg());
+
+        Ok((
+            Proof {
+                a: a.to_affine(),
+                b: b_g2.to_affine(),
+                c: c.to_affine(),
+            },
+            ProveReport {
+                poly: self.poly_report,
+                msm: self.msm_report,
+            },
+        ))
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend((bytes.len() as u64).to_le_bytes());
+    out.extend(bytes);
+}
+
+fn put_scalars(out: &mut Vec<u8>, v: &ScalarVec) {
+    out.extend((v.limbs_per_scalar() as u32).to_le_bytes());
+    out.extend(v.bits().to_le_bytes());
+    out.extend((v.len() as u64).to_le_bytes());
+    for limb in v.raw_limbs() {
+        out.extend(limb.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("checkpoint truncated at offset {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn section(&mut self) -> Result<&'a [u8], String> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| "section length overflow".to_string())?;
+        self.take(len)
+    }
+
+    fn scalars(&mut self) -> Result<ScalarVec, String> {
+        let per_scalar = self.u32()? as usize;
+        let bits = self.u32()?;
+        let n = usize::try_from(self.u64()?).map_err(|_| "scalar count overflow".to_string())?;
+        if per_scalar == 0 || per_scalar > 64 {
+            return Err(format!("implausible limbs-per-scalar {per_scalar}"));
+        }
+        let total = n
+            .checked_mul(per_scalar)
+            .ok_or_else(|| "scalar buffer overflow".to_string())?;
+        let raw = self.take(total * 8)?;
+        let limbs = raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(ScalarVec::from_raw(limbs, per_scalar, bits))
+    }
+}
+
+fn report_from_json(bytes: &[u8], which: &str) -> Result<StageReport, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| format!("{which} report is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| format!("{which} report: {e:?}"))
+}
+
+impl<P: PairingConfig> ProofCheckpoint<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+{
+    fn curve_shape() -> [u32; 4] {
+        [
+            P::Fr::MODULUS_BITS,
+            P::Fr::NUM_LIMBS as u32,
+            <P::G1 as CurveParams>::Base::encoded_len() as u32,
+            <P::G2 as CurveParams>::Base::encoded_len() as u32,
+        ]
+    }
+
+    /// Serializes to the versioned byte format (module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.scalar_bytes() as usize);
+        out.extend(MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        for word in Self::curve_shape() {
+            out.extend(word.to_le_bytes());
+        }
+        out.extend(self.seed.to_le_bytes());
+        let done = self
+            .completed()
+            .iter()
+            .enumerate()
+            .fold(0u8, |m, (i, &d)| if d { m | (1 << i) } else { m });
+        out.push(done);
+        put_bytes(
+            &mut out,
+            serde_json::to_string(&self.poly_report)
+                .expect("report serializes")
+                .as_bytes(),
+        );
+        put_bytes(
+            &mut out,
+            serde_json::to_string(&self.msm_report)
+                .expect("report serializes")
+                .as_bytes(),
+        );
+        put_scalars(&mut out, &self.z);
+        put_scalars(&mut out, &self.aux);
+        put_scalars(&mut out, &self.h);
+        for (step, done) in self.completed().iter().enumerate() {
+            if !done {
+                continue;
+            }
+            let point = if step < 4 {
+                compress(&self.g1_partials[step].as_ref().unwrap().to_affine())
+            } else {
+                compress(&self.g2_partial.as_ref().unwrap().to_affine())
+            };
+            put_bytes(&mut out, &point);
+        }
+        out
+    }
+
+    /// Decodes a checkpoint, validating the magic, version, curve shape,
+    /// and every stored point against the curve equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field; never panics
+    /// on attacker-controlled input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err("not a GZKP checkpoint (bad magic)".into());
+        }
+        let version = r.u8()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let shape = [r.u32()?, r.u32()?, r.u32()?, r.u32()?];
+        if shape != Self::curve_shape() {
+            return Err(format!(
+                "checkpoint curve shape {shape:?} does not match target curve {:?}",
+                Self::curve_shape()
+            ));
+        }
+        let seed = r.u64()?;
+        let done = r.u8()?;
+        if done >= 1 << MSM_STEPS {
+            return Err(format!("invalid msm completion mask {done:#x}"));
+        }
+        let poly_report = report_from_json(r.section()?, "poly")?;
+        let msm_report = report_from_json(r.section()?, "msm")?;
+        let z = r.scalars()?;
+        let aux = r.scalars()?;
+        let h = r.scalars()?;
+        let mut ckpt = Self {
+            seed,
+            poly_report,
+            z,
+            aux,
+            h,
+            msm_report,
+            g1_partials: [None, None, None, None],
+            g2_partial: None,
+        };
+        for step in 0..MSM_STEPS {
+            if done & (1 << step) == 0 {
+                continue;
+            }
+            let raw = r.section()?;
+            if step < 4 {
+                let affine = decompress::<P::G1>(raw)
+                    .ok_or_else(|| format!("msm step {step} partial: invalid point"))?;
+                ckpt.g1_partials[step] = Some(affine.to_projective());
+            } else {
+                let affine = decompress::<P::G2>(raw)
+                    .ok_or_else(|| format!("msm step {step} partial: invalid point"))?;
+                ckpt.g2_partial = Some(affine.to_projective());
+            }
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after checkpoint",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::proof_to_bytes;
+    use crate::prove::{prove, prove_poly};
+    use crate::r1cs::{ConstraintSystem, LinearCombination};
+    use crate::setup::setup;
+    use gzkp_curves::bls12_381::Bls12_381;
+    use gzkp_curves::bn254::{Bn254, Fr};
+    use gzkp_gpu_sim::v100;
+    use gzkp_msm::GzkpMsm;
+    use gzkp_ntt::gpu::GzkpNtt;
+    use gzkp_telemetry::NoopSink;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cs<F: gzkp_ff::PrimeField>() -> ConstraintSystem<F> {
+        // A handful of multiplicative constraints: x_{i+1} = x_i · x_i.
+        let mut cs = ConstraintSystem::<F>::new();
+        let mut cur = F::from_u64(3);
+        let mut var = cs.alloc_input(cur);
+        for _ in 0..6 {
+            let next = cur * cur;
+            let next_var = cs.alloc(next);
+            cs.enforce(
+                LinearCombination::from_var(var),
+                LinearCombination::from_var(var),
+                LinearCombination::from_var(next_var),
+            );
+            cur = next;
+            var = next_var;
+        }
+        cs
+    }
+
+    fn engines_for(dev: gzkp_gpu_sim::device::DeviceConfig) -> (GzkpNtt, GzkpMsm, GzkpMsm) {
+        (
+            GzkpNtt::auto::<Fr>(dev.clone()),
+            GzkpMsm::new(dev.clone()),
+            GzkpMsm::new(dev),
+        )
+    }
+
+    #[test]
+    fn stepwise_checkpointing_matches_monolithic_prove() {
+        let cs = small_cs::<Fr>();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        let (ntt, msm_g1, msm_g2) = engines_for(v100());
+        let engines = ProverEngines::<Bn254> {
+            ntt: &ntt,
+            msm_g1: &msm_g1,
+            msm_g2: &msm_g2,
+        };
+
+        let (expected, _) = prove(&cs, &pk, &engines, &mut StdRng::seed_from_u64(9)).unwrap();
+        let expected = proof_to_bytes(&expected);
+
+        for interrupt_after in 0..=MSM_STEPS {
+            let poly = prove_poly::<Bn254>(&cs, &pk, &ntt, &NoopSink).unwrap();
+            let mut ckpt = ProofCheckpoint::from_poly(9, poly);
+            for step in 0..interrupt_after {
+                ckpt.run_step(&pk, &engines, step, &NoopSink).unwrap();
+            }
+            // Serialize mid-flight, "move hosts", resume on fresh engines.
+            let bytes = ckpt.to_bytes();
+            let mut resumed = ProofCheckpoint::<Bn254>::from_bytes(&bytes).unwrap();
+            assert_eq!(resumed.steps_done(), interrupt_after);
+            assert_eq!(resumed.seed, 9);
+            let (ntt2, g1b, g2b) = engines_for(v100());
+            let engines2 = ProverEngines::<Bn254> {
+                ntt: &ntt2,
+                msm_g1: &g1b,
+                msm_g2: &g2b,
+            };
+            while let Some(step) = resumed.next_step() {
+                resumed.run_step(&pk, &engines2, step, &NoopSink).unwrap();
+            }
+            let (proof, report) = resumed.finish(&pk, &mut StdRng::seed_from_u64(9)).unwrap();
+            assert_eq!(
+                proof_to_bytes(&proof),
+                expected,
+                "interrupted after {interrupt_after} msm steps"
+            );
+            assert!(report.total_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn finish_requires_all_steps() {
+        let cs = small_cs::<Fr>();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        let (ntt, _, _) = engines_for(v100());
+        let poly = prove_poly::<Bn254>(&cs, &pk, &ntt, &NoopSink).unwrap();
+        let ckpt = ProofCheckpoint::<Bn254>::from_poly(3, poly);
+        let err = ckpt.finish(&pk, &mut StdRng::seed_from_u64(3)).unwrap_err();
+        assert!(err.contains("step 0"), "{err}");
+    }
+
+    #[test]
+    fn wrong_curve_and_corrupt_bytes_are_rejected() {
+        let cs = small_cs::<Fr>();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        let (ntt, _, _) = engines_for(v100());
+        let poly = prove_poly::<Bn254>(&cs, &pk, &ntt, &NoopSink).unwrap();
+        let bytes = ProofCheckpoint::<Bn254>::from_poly(0, poly).to_bytes();
+
+        let err = ProofCheckpoint::<Bls12_381>::from_bytes(&bytes)
+            .err()
+            .expect("wrong-curve decode must fail");
+        assert!(err.contains("curve shape"), "{err}");
+
+        assert!(ProofCheckpoint::<Bn254>::from_bytes(&[]).is_err());
+        assert!(ProofCheckpoint::<Bn254>::from_bytes(b"GZKPCKPx").is_err());
+        for cut in [8, 24, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                ProofCheckpoint::<Bn254>::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ProofCheckpoint::<Bn254>::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn replayed_steps_are_idempotent() {
+        let cs = small_cs::<Fr>();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pk, _vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        let (ntt, msm_g1, msm_g2) = engines_for(v100());
+        let engines = ProverEngines::<Bn254> {
+            ntt: &ntt,
+            msm_g1: &msm_g1,
+            msm_g2: &msm_g2,
+        };
+        let poly = prove_poly::<Bn254>(&cs, &pk, &ntt, &NoopSink).unwrap();
+        let mut ckpt = ProofCheckpoint::from_poly(7, poly);
+        ckpt.run_step(&pk, &engines, 0, &NoopSink).unwrap();
+        let kernels = ckpt.msm_report.kernels.len();
+        ckpt.run_step(&pk, &engines, 0, &NoopSink).unwrap();
+        assert_eq!(
+            ckpt.msm_report.kernels.len(),
+            kernels,
+            "re-running a done step must not duplicate reports"
+        );
+        assert!(ckpt.run_step(&pk, &engines, MSM_STEPS, &NoopSink).is_err());
+    }
+}

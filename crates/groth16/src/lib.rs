@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod gadgets;
 pub mod prove;
 pub mod qap;
@@ -56,6 +57,7 @@ pub mod setup;
 pub mod verify;
 
 pub use batch::{batch_verify, proof_from_bytes, proof_to_bytes, PreparedVerifyingKey};
+pub use checkpoint::{ProofCheckpoint, CHECKPOINT_VERSION, MSM_STEPS};
 pub use prove::{
     prove, prove_msm, prove_plan, prove_poly, prove_with_telemetry, PolyArtifacts, Proof,
     ProveReport, ProverEngines,

@@ -151,6 +151,37 @@ impl<P: PairingConfig> PolyArtifacts<P> {
             .map(|v| (v.len() * v.limbs_per_scalar() * 8) as u64)
             .sum()
     }
+
+    /// Decomposes into `(report, z⃗, aux, h⃗)` — the checkpoint-extraction
+    /// surface: [`crate::checkpoint::ProofCheckpoint`] serializes these
+    /// parts so an interrupted job can resume its MSM stage on a
+    /// different host. Inverse of [`PolyArtifacts::from_parts`].
+    pub fn into_parts(self) -> (StageReport, ScalarVec, ScalarVec, ScalarVec) {
+        (
+            self.report,
+            self.z_scalars,
+            self.aux_scalars,
+            self.h_scalars,
+        )
+    }
+
+    /// Rebuilds artifacts from checkpointed parts. The caller is
+    /// responsible for the vectors matching the proving key the MSM
+    /// stage will run under ([`prove_msm`] asserts the shapes).
+    pub fn from_parts(
+        report: StageReport,
+        z_scalars: ScalarVec,
+        aux_scalars: ScalarVec,
+        h_scalars: ScalarVec,
+    ) -> Self {
+        Self {
+            report,
+            z_scalars,
+            aux_scalars,
+            h_scalars,
+            _curve: PhantomData,
+        }
+    }
 }
 
 /// Stage 1 of the prover: checks satisfiability, reduces R1CS → QAP, runs

@@ -72,6 +72,14 @@ impl ScalarVec {
         &self.limbs[i * self.per_scalar..(i + 1) * self.per_scalar]
     }
 
+    /// The whole flat limb buffer, scalar-major little-endian — the
+    /// serialization surface of proof checkpoints. Round-trips through
+    /// [`ScalarVec::from_raw`] with [`ScalarVec::limbs_per_scalar`] and
+    /// [`ScalarVec::bits`].
+    pub fn raw_limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
     /// Extracts the `k`-bit window `t` of scalar `i` (window `t` covers bits
     /// `[t·k, (t+1)·k)`).
     #[inline]

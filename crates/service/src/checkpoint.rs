@@ -1,0 +1,333 @@
+//! Checkpointing proof tasks: a [`ProofTask`] variant that persists a
+//! [`ProofCheckpoint`] after the POLY stage and after *every* MSM step,
+//! and honors a cooperative interrupt flag between steps.
+//!
+//! This is the host-migration building block of the cluster layer: when a
+//! simulated host dies mid-proof, the job's latest checkpoint bytes are
+//! still in its [`CheckpointSlot`] (shared memory standing in for a
+//! replicated checkpoint store), so the cluster scheduler rebuilds the
+//! task on a surviving host with [`CheckpointingGroth16Task::resume`] and
+//! the proof comes out byte-identical to an uninterrupted run — the
+//! blinding RNG seed rides inside the checkpoint.
+
+use crate::job::{ProofTask, StageProfile, TaskOutput};
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{CoordField, CurveParams};
+use gzkp_gpu_sim::device::DeviceConfig;
+use gzkp_groth16::checkpoint::ProofCheckpoint;
+use gzkp_groth16::prove::{prove_poly, ProverEngines};
+use gzkp_groth16::r1cs::ConstraintSystem;
+use gzkp_groth16::{proof_to_bytes, verify_proof_bytes, ProvingKey, VerifyingKey};
+use gzkp_msm::{GzkpMsm, MsmEngine, PreprocessStore};
+use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_telemetry::TelemetrySink;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::TypeId;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared cell holding a job's latest serialized checkpoint. The cluster
+/// keeps one per job; the task overwrites it at every step boundary and
+/// clears it when the proof completes.
+pub type CheckpointSlot = Arc<Mutex<Option<Vec<u8>>>>;
+
+/// Stores `bytes` into `slot`, surviving a poisoned lock (a worker that
+/// panicked mid-store left consistent `Option` state either way).
+fn store_slot(slot: &CheckpointSlot, bytes: Option<Vec<u8>>) {
+    *slot.lock().unwrap_or_else(PoisonError::into_inner) = bytes;
+}
+
+/// A [`crate::Groth16Task`] twin that checkpoints after POLY and after
+/// each of the five MSM steps, and fails fast (persisting first) when its
+/// interrupt flag rises — the cluster sets that flag when it kills the
+/// host the task is running on.
+pub struct CheckpointingGroth16Task<P: PairingConfig> {
+    cs: Arc<ConstraintSystem<P::Fr>>,
+    pk: Arc<ProvingKey<P>>,
+    vk: Option<Arc<VerifyingKey<P>>>,
+    ntt: GzkpNtt,
+    msm_g1: GzkpMsm,
+    msm_g2: GzkpMsm,
+    seed: u64,
+    ckpt: Option<ProofCheckpoint<P>>,
+    slot: CheckpointSlot,
+    interrupt: Arc<AtomicBool>,
+    msm_h2d_bytes: u64,
+}
+
+impl<P: PairingConfig> CheckpointingGroth16Task<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+{
+    /// Builds a fresh task (no prior checkpoint). `slot` receives the
+    /// serialized checkpoint at every stage boundary; `interrupt` aborts
+    /// the task between MSM steps when set.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cs: Arc<ConstraintSystem<P::Fr>>,
+        pk: Arc<ProvingKey<P>>,
+        device: DeviceConfig,
+        store: Option<Arc<PreprocessStore>>,
+        seed: u64,
+        slot: CheckpointSlot,
+        interrupt: Arc<AtomicBool>,
+    ) -> Self {
+        let mut msm_g1 = GzkpMsm::new(device.clone());
+        let mut msm_g2 = GzkpMsm::new(device.clone());
+        if let Some(store) = store {
+            msm_g1 = msm_g1.with_store(store.clone());
+            msm_g2 = msm_g2.with_store(store);
+        }
+        Self {
+            cs,
+            pk,
+            vk: None,
+            ntt: GzkpNtt::auto::<P::Fr>(device),
+            msm_g1,
+            msm_g2,
+            seed,
+            ckpt: None,
+            slot,
+            interrupt,
+            msm_h2d_bytes: 0,
+        }
+    }
+
+    /// Rebuilds a task from checkpoint `bytes` taken on another host. The
+    /// POLY stage becomes a no-op and the MSM stage picks up at the first
+    /// incomplete step; the blinding seed comes from the checkpoint, so
+    /// the finished proof matches the uninterrupted run byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bytes` is not a valid checkpoint for curve `P`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        cs: Arc<ConstraintSystem<P::Fr>>,
+        pk: Arc<ProvingKey<P>>,
+        device: DeviceConfig,
+        store: Option<Arc<PreprocessStore>>,
+        bytes: &[u8],
+        slot: CheckpointSlot,
+        interrupt: Arc<AtomicBool>,
+    ) -> Result<Self, String> {
+        let ckpt = ProofCheckpoint::<P>::from_bytes(bytes)?;
+        let seed = ckpt.seed;
+        let mut task = Self::new(cs, pk, device, store, seed, slot, interrupt);
+        task.msm_h2d_bytes = ckpt.scalar_bytes();
+        task.ckpt = Some(ckpt);
+        Ok(task)
+    }
+
+    /// Enables verify-before-return against `vk`, as on
+    /// [`crate::Groth16Task::with_verifying_key`].
+    pub fn with_verifying_key(mut self, vk: Arc<VerifyingKey<P>>) -> Self {
+        self.vk = Some(vk);
+        self
+    }
+
+    /// Number of MSM steps already completed (from a restored
+    /// checkpoint, or from progress made this run).
+    pub fn steps_done(&self) -> usize {
+        self.ckpt.as_ref().map_or(0, |c| c.steps_done())
+    }
+}
+
+impl<P: PairingConfig> ProofTask for CheckpointingGroth16Task<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+    <P::Fq12C as gzkp_ff::ext::Fp12Config>::Fp6C: gzkp_ff::ext::Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: gzkp_ff::ext::Fp2Config,
+{
+    fn key_id(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        TypeId::of::<P>().hash(&mut h);
+        (Arc::as_ptr(&self.pk) as usize).hash(&mut h);
+        h.finish()
+    }
+
+    fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String> {
+        if self.ckpt.is_some() {
+            // Resumed past POLY already; nothing to recompute.
+            return Ok(());
+        }
+        if self.interrupt.load(Ordering::Relaxed) {
+            return Err("interrupted before poly stage".to_string());
+        }
+        let artifacts = prove_poly::<P>(&self.cs, &self.pk, &self.ntt, sink)
+            .map_err(|e| format!("poly stage failed: {e:?}"))?;
+        self.msm_h2d_bytes = artifacts.scalar_bytes();
+        let ckpt = ProofCheckpoint::from_poly(self.seed, artifacts);
+        store_slot(&self.slot, Some(ckpt.to_bytes()));
+        self.ckpt = Some(ckpt);
+        Ok(())
+    }
+
+    fn msm(&mut self, sink: &dyn TelemetrySink) -> Result<TaskOutput, String> {
+        let mut ckpt = self
+            .ckpt
+            .take()
+            .ok_or_else(|| "msm stage scheduled before poly stage".to_string())?;
+        let engines = ProverEngines::<P> {
+            ntt: &self.ntt,
+            msm_g1: &self.msm_g1 as &dyn MsmEngine<P::G1>,
+            msm_g2: &self.msm_g2 as &dyn MsmEngine<P::G2>,
+        };
+        while let Some(step) = ckpt.next_step() {
+            if self.interrupt.load(Ordering::Relaxed) {
+                // Persist progress and put the checkpoint back so a
+                // retry on this task (rather than a cross-host resume)
+                // also continues instead of restarting.
+                store_slot(&self.slot, Some(ckpt.to_bytes()));
+                let done = ckpt.steps_done();
+                self.ckpt = Some(ckpt);
+                return Err(format!(
+                    "host killed mid-proof: interrupted before msm step {step} ({done}/5 done)"
+                ));
+            }
+            ckpt.run_step(&self.pk, &engines, step, sink)?;
+            store_slot(&self.slot, Some(ckpt.to_bytes()));
+        }
+        let mut rng = StdRng::seed_from_u64(ckpt.seed);
+        let (proof, report) = ckpt.finish(&self.pk, &mut rng)?;
+        store_slot(&self.slot, None);
+        Ok(TaskOutput {
+            proof: proof_to_bytes(&proof),
+            report: Some(report),
+        })
+    }
+
+    fn bind_device(&mut self, device: &DeviceConfig) {
+        self.ntt = self.ntt.rebind::<P::Fr>(device.clone());
+        self.msm_g1.device = device.clone();
+        self.msm_g2.device = device.clone();
+    }
+
+    fn msm_cost_estimate_ns(&self) -> f64 {
+        let g1 = |n| MsmEngine::<P::G1>::plan_dense(&self.msm_g1, n).total_ns();
+        g1(self.pk.a_query.len())
+            + g1(self.pk.b_g1_query.len())
+            + g1(self.pk.h_query.len())
+            + g1(self.pk.l_query.len())
+            + MsmEngine::<P::G2>::plan_dense(&self.msm_g2, self.pk.b_g2_query.len()).total_ns()
+    }
+
+    fn poly_profile(&self) -> StageProfile {
+        use gzkp_ff::PrimeField;
+        let fr_bytes = (P::Fr::NUM_LIMBS * 8) as u64;
+        StageProfile {
+            h2d_bytes: self.cs.num_variables() as u64 * fr_bytes,
+            kernel_ns: self
+                .ckpt
+                .as_ref()
+                .map_or(0.0, |c| c.poly_report().total_ns()),
+            d2h_bytes: self.pk.h_query.len() as u64 * fr_bytes,
+            shards: 0,
+        }
+    }
+
+    fn msm_profile(&self, output: &TaskOutput) -> StageProfile {
+        StageProfile {
+            h2d_bytes: self.msm_h2d_bytes,
+            kernel_ns: output.report.as_ref().map_or(0.0, |r| r.msm.total_ns()),
+            d2h_bytes: output.proof.len() as u64,
+            shards: 0,
+        }
+    }
+
+    fn verify_output(&self, output: &TaskOutput) -> Option<bool> {
+        self.vk
+            .as_ref()
+            .map(|vk| verify_proof_bytes::<P>(vk, &output.proof, &self.cs.input_assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_curves::bn254::{Bn254, Fr};
+    use gzkp_gpu_sim::v100;
+    use gzkp_groth16::prove::prove;
+    use gzkp_groth16::r1cs::LinearCombination;
+    use gzkp_groth16::setup::setup;
+    use gzkp_telemetry::NoopSink;
+
+    fn factor_cs() -> ConstraintSystem<Fr> {
+        use gzkp_ff::Field;
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let n = cs.alloc_input(Fr::from_u64(35));
+        let p = cs.alloc(Fr::from_u64(5));
+        let q = cs.alloc(Fr::from_u64(7));
+        cs.enforce(
+            LinearCombination::from_var(p),
+            LinearCombination::from_var(q),
+            LinearCombination::from_var(n),
+        );
+        cs
+    }
+
+    #[test]
+    fn interrupt_persists_and_resume_matches_direct_prove() {
+        let cs = Arc::new(factor_cs());
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).unwrap();
+        let (pk, vk) = (Arc::new(pk), Arc::new(vk));
+
+        // Ground truth: the direct prover with the same seed.
+        let ntt = GzkpNtt::auto::<Fr>(v100());
+        let msm_g1 = GzkpMsm::new(v100());
+        let msm_g2 = GzkpMsm::new(v100());
+        let engines = ProverEngines::<Bn254> {
+            ntt: &ntt,
+            msm_g1: &msm_g1,
+            msm_g2: &msm_g2,
+        };
+        let (expected, _) = prove(&cs, &pk, &engines, &mut StdRng::seed_from_u64(42)).unwrap();
+        let expected = proof_to_bytes(&expected);
+
+        // Run on "host 0", interrupt immediately at the MSM stage.
+        let slot: CheckpointSlot = Arc::new(Mutex::new(None));
+        let interrupt = Arc::new(AtomicBool::new(false));
+        let mut task = CheckpointingGroth16Task::<Bn254>::new(
+            cs.clone(),
+            pk.clone(),
+            v100(),
+            None,
+            42,
+            slot.clone(),
+            interrupt.clone(),
+        );
+        task.poly(&NoopSink).unwrap();
+        interrupt.store(true, Ordering::Relaxed);
+        let err = task.msm(&NoopSink).expect_err("interrupt must abort");
+        assert!(err.contains("host killed"), "{err}");
+
+        // "Host 1" picks the slot bytes up and finishes the proof.
+        let bytes = slot.lock().unwrap().clone().expect("checkpoint persisted");
+        let slot2: CheckpointSlot = Arc::new(Mutex::new(None));
+        let mut resumed = CheckpointingGroth16Task::<Bn254>::resume(
+            cs.clone(),
+            pk.clone(),
+            v100(),
+            None,
+            &bytes,
+            slot2.clone(),
+            Arc::new(AtomicBool::new(false)),
+        )
+        .unwrap()
+        .with_verifying_key(vk);
+        resumed.poly(&NoopSink).unwrap();
+        let out = resumed.msm(&NoopSink).unwrap();
+        assert_eq!(out.proof, expected);
+        assert_eq!(resumed.verify_output(&out), Some(true));
+        assert!(
+            slot2.lock().unwrap().is_none(),
+            "slot must clear on completion"
+        );
+    }
+}

@@ -57,10 +57,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod job;
 pub mod replay;
 pub mod service;
 
+pub use checkpoint::{CheckpointSlot, CheckpointingGroth16Task};
 pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, StageProfile, TaskOutput};
 pub use replay::{prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome};
 pub use service::{ProvingService, ServiceStats, VERIFY_VOTE_RUNS};

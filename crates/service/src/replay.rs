@@ -3,6 +3,7 @@
 //! prove-in-a-loop baseline or through the [`ProvingService`] — the
 //! comparison `zkserve` and the `service_throughput` bench report.
 
+use crate::checkpoint::{CheckpointSlot, CheckpointingGroth16Task};
 use crate::service::ServiceStats;
 use crate::{Groth16Task, JobError, JobOptions, Priority, ProvingService, ServiceConfig};
 use gzkp_curves::bls12_381::Bls12_381;
@@ -67,6 +68,95 @@ impl PreparedWorkload {
     /// Whether the workload has no requests.
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
+    }
+
+    /// Submission options of request `index` (its priority/deadline from
+    /// the workload spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn request_options(&self, index: usize) -> JobOptions {
+        let req = &self.requests[index];
+        JobOptions {
+            priority: req.priority,
+            deadline: req.deadline,
+            trace: false,
+        }
+    }
+
+    /// Builds a checkpointing task for request `index` — the cluster
+    /// layer's entry point. With `checkpoint` bytes (taken from a dead
+    /// host's [`CheckpointSlot`]) the task resumes mid-proof; without,
+    /// it starts fresh. `verify` arms verify-before-return against the
+    /// request's verifying key.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `index` is out of range or `checkpoint` doesn't decode
+    /// for the request's curve.
+    #[allow(clippy::too_many_arguments)]
+    pub fn checkpoint_task(
+        &self,
+        index: usize,
+        device: &DeviceConfig,
+        store: Option<Arc<gzkp_msm::PreprocessStore>>,
+        slot: CheckpointSlot,
+        interrupt: Arc<std::sync::atomic::AtomicBool>,
+        checkpoint: Option<&[u8]>,
+        verify: bool,
+    ) -> Result<Box<dyn crate::ProofTask>, String> {
+        let req = self
+            .requests
+            .get(index)
+            .ok_or_else(|| format!("request {index} out of range ({})", self.requests.len()))?;
+        macro_rules! build {
+            ($keyed:expr, $curve:ty) => {{
+                let k = $keyed;
+                let mut task = match checkpoint {
+                    Some(bytes) => CheckpointingGroth16Task::<$curve>::resume(
+                        k.cs.clone(),
+                        k.pk.clone(),
+                        device.clone(),
+                        store,
+                        bytes,
+                        slot,
+                        interrupt,
+                    )?,
+                    None => CheckpointingGroth16Task::<$curve>::new(
+                        k.cs.clone(),
+                        k.pk.clone(),
+                        device.clone(),
+                        store,
+                        req.seed,
+                        slot,
+                        interrupt,
+                    ),
+                };
+                if verify {
+                    task = task.with_verifying_key(k.vk.clone());
+                }
+                Ok(Box::new(task) as Box<dyn crate::ProofTask>)
+            }};
+        }
+        match &req.curve {
+            PreparedCurve::Bn254(k) => build!(k, Bn254),
+            PreparedCurve::Bls12_381(k) => build!(k, Bls12_381),
+        }
+    }
+
+    /// Proves request `index` directly (no service, fresh engines on
+    /// `device`) — the byte-identity ground truth cluster tests and the
+    /// `--compare` paths check against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn prove_direct(&self, index: usize, device: &DeviceConfig) -> Vec<u8> {
+        let ntt = GzkpNtt::auto::<gzkp_ff::fields::Fr254>(device.clone());
+        let msm_g1 = GzkpMsm::new(device.clone());
+        let msm_g2 = GzkpMsm::new(device.clone());
+        prove_one(&self.requests[index], &ntt, &msm_g1, &msm_g2)
     }
 }
 

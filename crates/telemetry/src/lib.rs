@@ -33,7 +33,7 @@ pub mod trace;
 pub use diff::{diff_traces, StageDelta, TraceDiff};
 pub use flame::folded_stacks;
 pub use metrics::{
-    render_top, Counter, Gauge, HistogramSample, LatencyHistogram, MetricsRegistry,
+    render_top, ClusterSloRow, Counter, Gauge, HistogramSample, LatencyHistogram, MetricsRegistry,
     MetricsSnapshot, SloAlert, SloPolicy, SloReport, SloTracker, SnapshotExporter,
     METRICS_SCHEMA_VERSION,
 };

@@ -742,6 +742,11 @@ pub struct SloPolicy {
     /// Min compute utilization expected of a device that ran at least
     /// one stage; `0.0` disables the check.
     pub min_device_util: f64,
+    /// Max jobs a cluster run may lose (admitted but neither resolved
+    /// nor still queued/in-flight anywhere). Only evaluated when the
+    /// snapshot carries cluster counters; the default budget is zero —
+    /// a host kill must never lose work.
+    pub max_cluster_lost_jobs: u64,
 }
 
 impl Default for SloPolicy {
@@ -751,6 +756,7 @@ impl Default for SloPolicy {
             max_queue_wait_p99_ns: 5_000_000_000,
             max_quarantine_frac: 0.25,
             min_device_util: 0.0,
+            max_cluster_lost_jobs: 0,
         }
     }
 }
@@ -787,6 +793,27 @@ pub struct DeviceSloRow {
     pub quarantines: u64,
 }
 
+/// Cluster-level section of an SLO report, present when the snapshot
+/// carries cluster counters (`cluster.admitted` et al.).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSloRow {
+    /// Jobs admitted past the cluster front door.
+    pub admitted: u64,
+    /// Jobs that produced a proof.
+    pub completed: u64,
+    /// Jobs that failed permanently (including deadline misses).
+    pub failed: u64,
+    /// Checkpointed resumes after host kills.
+    pub resumes: u64,
+    /// Chaos host kills fired.
+    pub host_kills: u64,
+    /// Jobs unaccounted for: admitted minus resolved minus still
+    /// queued/in-flight. Non-zero at rest means a kill lost work.
+    pub lost: u64,
+    /// Hosts currently up.
+    pub hosts_up: u64,
+}
+
 /// The SLO evaluation of one snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SloReport {
@@ -802,6 +829,8 @@ pub struct SloReport {
     pub queue_wait_p99_ns: Option<u64>,
     /// Per-device utilization/quarantine rows, sorted by device.
     pub devices: Vec<DeviceSloRow>,
+    /// Cluster accounting, when the snapshot has cluster counters.
+    pub cluster: Option<ClusterSloRow>,
     /// Fired alerts, in evaluation order.
     pub alerts: Vec<SloAlert>,
     /// `alerts.is_empty()` — the one-bit summary CI gates on.
@@ -824,6 +853,14 @@ impl SloReport {
                 None => "n/a".to_string(),
             }
         );
+        if let Some(c) = &self.cluster {
+            let _ = writeln!(
+                out,
+                "slo: cluster admitted {}  completed {}  failed {}  resumes {}  \
+                 host-kills {}  lost {}  hosts-up {}",
+                c.admitted, c.completed, c.failed, c.resumes, c.host_kills, c.lost, c.hosts_up
+            );
+        }
         for a in &self.alerts {
             let _ = writeln!(
                 out,
@@ -948,15 +985,60 @@ impl SloTracker {
             });
         }
 
+        let cluster = self.evaluate_cluster(snap, &mut alerts);
+
         SloReport {
             resolved,
             deadline_missed: missed,
             deadline_miss_rate: miss_rate,
             queue_wait_p99_ns: queue_p99,
             devices,
+            cluster,
             healthy: alerts.is_empty(),
             alerts,
         }
+    }
+
+    /// Cluster lost-job accounting: a job the front door admitted must
+    /// be resolved (completed or failed) or still held somewhere (the
+    /// fair queue or a host's in-flight set). Anything else was lost to
+    /// a kill — the one failure mode checkpointed resume exists to
+    /// prevent — and burns the (default zero) budget.
+    fn evaluate_cluster(
+        &self,
+        snap: &MetricsSnapshot,
+        alerts: &mut Vec<SloAlert>,
+    ) -> Option<ClusterSloRow> {
+        let admitted = snap.counter(names::CLUSTER_ADMITTED)?;
+        let completed = snap.counter(names::CLUSTER_COMPLETED).unwrap_or(0);
+        let failed = snap.counter(names::CLUSTER_FAILED).unwrap_or(0);
+        let queued = snap.gauge(names::CLUSTER_QUEUE_DEPTH).unwrap_or(0.0) as u64;
+        let inflight: u64 = snap
+            .label_values(names::LABEL_HOST)
+            .iter()
+            .map(|h| {
+                snap.gauge_labeled(names::HOST_INFLIGHT, names::LABEL_HOST, h)
+                    .unwrap_or(0.0) as u64
+            })
+            .sum();
+        let lost = admitted.saturating_sub(completed + failed + queued + inflight);
+        if lost > self.policy.max_cluster_lost_jobs {
+            alerts.push(SloAlert {
+                slo: "cluster_lost_jobs".to_string(),
+                observed: lost as f64,
+                threshold: self.policy.max_cluster_lost_jobs as f64,
+                burn_rate: burn_rate(lost as f64, self.policy.max_cluster_lost_jobs as f64),
+            });
+        }
+        Some(ClusterSloRow {
+            admitted,
+            completed,
+            failed,
+            resumes: snap.counter(names::CLUSTER_RESUMES).unwrap_or(0),
+            host_kills: snap.counter(names::CLUSTER_HOST_KILLS).unwrap_or(0),
+            lost,
+            hosts_up: snap.gauge(names::CLUSTER_HOSTS_UP).unwrap_or(0.0) as u64,
+        })
     }
 }
 
@@ -1135,6 +1217,51 @@ pub fn render_top(snap: &MetricsSnapshot) -> String {
                 ms(h.p99()),
                 h.count
             );
+        }
+    }
+    if let Some(hosts_up) = snap.gauge(names::CLUSTER_HOSTS_UP) {
+        let _ = writeln!(
+            out,
+            "cluster: hosts up {:>2}  admitted {:>5}  completed {:>5}  failed {:>3}  \
+             resumes {:>3}  kills {:>3}  shed {:>3}",
+            hosts_up as u64,
+            snap.counter(names::CLUSTER_ADMITTED).unwrap_or(0),
+            snap.counter(names::CLUSTER_COMPLETED).unwrap_or(0),
+            snap.counter(names::CLUSTER_FAILED).unwrap_or(0),
+            snap.counter(names::CLUSTER_RESUMES).unwrap_or(0),
+            snap.counter(names::CLUSTER_HOST_KILLS).unwrap_or(0),
+            snap.counter(names::CLUSTER_REJECTED_RATE).unwrap_or(0)
+                + snap.counter(names::CLUSTER_REJECTED_SATURATED).unwrap_or(0),
+        );
+        let mut hosts = snap.label_values(names::LABEL_HOST);
+        hosts.sort();
+        if !hosts.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<6} {:<8} {:>8} {:>9}",
+                "host", "state", "inflight", "completed"
+            );
+            for h in &hosts {
+                let state = match snap
+                    .gauge_labeled(names::HOST_STATE, names::LABEL_HOST, h)
+                    .unwrap_or(3.0) as u64
+                {
+                    0 => "warming",
+                    1 => "up",
+                    2 => "drain",
+                    _ => "dead",
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<8} {:>8} {:>9}",
+                    h,
+                    state,
+                    snap.gauge_labeled(names::HOST_INFLIGHT, names::LABEL_HOST, h)
+                        .unwrap_or(0.0) as u64,
+                    snap.counter_labeled(names::HOST_COMPLETED, names::LABEL_HOST, h)
+                        .unwrap_or(0),
+                );
+            }
         }
     }
     match &snap.slo {

@@ -144,6 +144,39 @@ pub const VERIFY_REJECTS: &str = "verify.rejects";
 /// path (each verified run after a reject counts one vote).
 pub const VERIFY_VOTES: &str = "verify.votes";
 
+// -- cluster counters / gauges ----------------------------------------------
+
+/// Jobs the cluster front door admitted past fair-share + rate limiting.
+pub const CLUSTER_ADMITTED: &str = "cluster.admitted";
+/// Jobs rejected by a tenant's token-bucket rate limit.
+pub const CLUSTER_REJECTED_RATE: &str = "cluster.rejected.rate_limited";
+/// Jobs rejected because the cluster-wide pending queue was saturated.
+pub const CLUSTER_REJECTED_SATURATED: &str = "cluster.rejected.saturated";
+/// Jobs the cluster completed with a proof.
+pub const CLUSTER_COMPLETED: &str = "cluster.completed";
+/// Jobs the cluster gave up on (factory errors, resume cap exhausted).
+pub const CLUSTER_FAILED: &str = "cluster.failed";
+/// Checkpointed resumes: jobs restarted on a surviving host after their
+/// host died mid-proof.
+pub const CLUSTER_RESUMES: &str = "cluster.resumes";
+/// Simulated host-kill faults the cluster chaos plan fired.
+pub const CLUSTER_HOST_KILLS: &str = "cluster.host_kills";
+/// Jobs waiting in the front door's fair-share queue (gauge).
+pub const CLUSTER_QUEUE_DEPTH: &str = "cluster.queue_depth";
+/// Hosts currently accepting work (gauge).
+pub const CLUSTER_HOSTS_UP: &str = "cluster.hosts_up";
+/// End-to-end cluster job latency, admission to proof (histogram, ns).
+pub const CLUSTER_JOB_LATENCY_NS: &str = "cluster.job_latency_ns";
+/// Jobs a host completed (per-host counter, labeled `host=hN`).
+pub const HOST_COMPLETED: &str = "host.completed";
+/// Jobs in flight on a host (per-host gauge, labeled `host=hN`).
+pub const HOST_INFLIGHT: &str = "host.inflight";
+/// Host lifecycle state as a number (per-host gauge, labeled `host=hN`):
+/// 0 warming, 1 up, 2 draining, 3 dead.
+pub const HOST_STATE: &str = "host.state";
+/// Label key of per-host series.
+pub const LABEL_HOST: &str = "host";
+
 // -- trace-structure gauges -------------------------------------------------
 
 /// Gauge on device-lane spans: simulated start offset of the span's

@@ -52,6 +52,7 @@ fn chaos_cfg(seed: u64) -> ServiceConfig {
                 transfer: 0.1,
                 hang: 0.02,
                 corrupt: 0.1,
+                host_kill: 0.0,
             },
             device_scale: Vec::new(),
             dead: vec![1],
@@ -330,6 +331,7 @@ fn dead_device_mid_cross_msm_loses_no_jobs() {
                 transfer: 0.05,
                 hang: 0.0,
                 corrupt: 0.0,
+                host_kill: 0.0,
             },
             device_scale: Vec::new(),
             dead: vec![0],

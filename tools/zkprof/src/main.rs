@@ -45,7 +45,7 @@ fn usage() -> ExitCode {
          zkprof diff <base.json> <new.json> [--threshold <fraction>]\n  \
          zkprof flame <trace.json> [-o <out.folded>]\n  \
          zkprof slo <metrics.json> [--max-miss-rate F] [--max-queue-p99-ms F] \
-         [--max-quarantine-frac F]"
+         [--max-quarantine-frac F] [--max-cluster-lost N]"
     );
     ExitCode::from(2)
 }
@@ -213,6 +213,9 @@ fn parse_slo_args(rest: &[String]) -> Option<(String, SloPolicy)> {
                     return None;
                 }
                 policy.max_quarantine_frac = v;
+            }
+            "--max-cluster-lost" => {
+                policy.max_cluster_lost_jobs = it.next()?.parse().ok()?;
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => return None,

@@ -56,15 +56,33 @@
 //! additionally writes the snapshot in Prometheus text exposition
 //! format on the same cadence.
 //!
+//! `--cluster hosts=N` replays the workload through the multi-host
+//! cluster layer instead of a single service: N simulated hosts (each a
+//! full proving service over the `--devices` fleet) behind the
+//! fair-share front door, with every job running as a checkpointing
+//! task. `--chaos seed,hostkill=X` arms host-kill chaos at this level —
+//! a killed host's in-flight jobs resume from their persisted
+//! checkpoints on survivors, and `--compare` asserts the final proofs
+//! are byte-identical to direct sequential proves anyway. The run
+//! prints per-host accounting, front-door tenant stats, and a JSON
+//! summary; with `--metrics` the snapshot gains cluster rows in
+//! `zkserve top` and a cluster lost-jobs section in the SLO report.
+//!
 //! `top` renders a metrics snapshot file as an ASCII dashboard (job
 //! counts, queue/stage/e2e latency percentiles, SLO status, per-device
-//! utilization bars). `--watch SECS` clears the screen and re-renders
-//! every interval until interrupted.
+//! utilization bars; cluster and per-host rows when the snapshot has
+//! them). `--watch SECS` clears the screen and re-renders every
+//! interval until interrupted.
 //!
 //! `example` prints a starter workload file to stdout.
 
+use gzkp_cluster::{
+    workload_factory, Cluster, ClusterConfig, ClusterJobOptions, HostConfig, TenantSpec,
+};
 use gzkp_gpu_sim::v100;
-use gzkp_service::{prepare, run_sequential, run_service, ReplayOutcome, ServiceConfig};
+use gzkp_service::{
+    prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome, ServiceConfig,
+};
 use gzkp_telemetry::{render_top, MetricsRegistry, MetricsSnapshot, SloTracker, SnapshotExporter};
 use gzkp_workloads::requests::RequestWorkload;
 use std::process::ExitCode;
@@ -75,8 +93,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  zkserve run <workload.json> [--workers N] [--queue N] [--cache-mb N] \
          [--deadline-ms N] [--compare] [--devices N[,spec]] [--cross-device] [--fleet-trace PATH] \
-         [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,dead=I+J]] \
-         [--metrics PATH] [--prom PATH]\n  \
+         [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,hostkill=X][,dead=I+J]] \
+         [--cluster hosts=N] [--metrics PATH] [--prom PATH]\n  \
          zkserve top <metrics.json> [--watch SECS]\n  \
          zkserve example"
     );
@@ -90,6 +108,13 @@ struct RunArgs {
     fleet_trace: Option<String>,
     metrics: Option<String>,
     prom: Option<String>,
+    cluster_hosts: Option<usize>,
+}
+
+/// Parses a `--cluster` spec: `hosts=N` (or bare `N`).
+fn parse_cluster_spec(spec: &str) -> Option<usize> {
+    let n: usize = spec.strip_prefix("hosts=").unwrap_or(spec).parse().ok()?;
+    (n >= 1).then_some(n)
 }
 
 fn parse_run_args(args: &[String]) -> Option<RunArgs> {
@@ -99,6 +124,7 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
     let mut fleet_trace = None;
     let mut metrics = None;
     let mut prom = None;
+    let mut cluster_hosts = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +155,15 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
                     }
                 }
             }
+            "--cluster" => {
+                cluster_hosts = Some(match parse_cluster_spec(it.next()?) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("zkserve: --cluster: expected hosts=N with N >= 1");
+                        return None;
+                    }
+                })
+            }
             "--compare" => compare = true,
             "--cross-device" => cfg.cross_device = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
@@ -143,6 +178,10 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         eprintln!("zkserve: --cross-device requires --devices with at least two devices");
         return None;
     }
+    if cluster_hosts.is_some() && fleet_trace.is_some() {
+        eprintln!("zkserve: --fleet-trace is not available in --cluster mode");
+        return None;
+    }
     Some(RunArgs {
         path: path?,
         cfg,
@@ -150,7 +189,158 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         fleet_trace,
         metrics,
         prom,
+        cluster_hosts,
     })
+}
+
+/// Replays the prepared workload through the multi-host cluster layer
+/// (`--cluster hosts=N`): every request is submitted as a checkpointing
+/// task through the front door, hosts are killed/resumed per `--chaos
+/// hostkill=X`, and the run reports per-host accounting plus a JSON
+/// summary.
+fn run_cluster(run: &RunArgs, prepared: Arc<PreparedWorkload>, hosts: usize) -> ExitCode {
+    let jobs = prepared.len();
+    // Chaos implies verify-before-return, matching single-host `run`.
+    let verify = run.cfg.chaos.is_some();
+    let registry = run
+        .metrics
+        .as_ref()
+        .map(|_| Arc::new(MetricsRegistry::new()));
+    let exporter = run.metrics.as_ref().map(|path| {
+        SnapshotExporter::start(
+            registry.clone().expect("registry exists with --metrics"),
+            Some(SloTracker::new(gzkp_telemetry::SloPolicy::default())),
+            path,
+            run.prom.as_ref().map(Into::into),
+            Duration::from_millis(500),
+        )
+    });
+    let devices = if run.cfg.devices.is_empty() {
+        vec![v100()]
+    } else {
+        run.cfg.devices.clone()
+    };
+    let mut cluster = Cluster::start(ClusterConfig {
+        hosts,
+        host: HostConfig {
+            devices,
+            queue_capacity: run.cfg.queue_capacity.max(1),
+            prep_cache_bytes: run.cfg.prep_cache_bytes,
+        },
+        tenants: vec![TenantSpec::new("default", 1.0)],
+        pending_capacity: jobs.max(256),
+        chaos: run.cfg.chaos.clone(),
+        metrics: registry,
+        ..ClusterConfig::default()
+    });
+    let mut ids = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let opts = prepared.request_options(i);
+        match cluster.submit(
+            "default",
+            workload_factory(prepared.clone(), i, verify),
+            ClusterJobOptions {
+                priority: opts.priority,
+                deadline: opts.deadline.or(run.cfg.default_deadline),
+            },
+        ) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                eprintln!("zkserve: request {i} rejected: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let outcome = cluster.drain(Duration::from_secs(600));
+
+    let stats = outcome.stats;
+    println!(
+        "{:>10}: {hosts} host(s)  {jobs} job(s)  completed {}  failed {}  resumes {}  \
+         host-kills {}  leaked-claims {}",
+        "cluster",
+        stats.completed,
+        stats.failed,
+        stats.resumes,
+        stats.host_kills,
+        outcome.leaked_claims,
+    );
+    println!(
+        "{:>10}: makespan {:8.1} ms (simulated)  \u{2192} {:6.2} proofs/s",
+        "cluster",
+        outcome.makespan_ns / 1e6,
+        stats.completed as f64 / (outcome.makespan_ns / 1e9).max(1e-12),
+    );
+    for h in &outcome.hosts {
+        println!(
+            "{:>10}: h{} {:<8} completed {:>4}  failed {:>3}{}",
+            "host",
+            h.id,
+            format!("{:?}", h.state).to_lowercase(),
+            h.completed,
+            h.failed,
+            if h.killed { "  [killed]" } else { "" },
+        );
+    }
+    for (tenant, ts) in &outcome.tenants {
+        println!(
+            "{:>10}: {tenant}  admitted {}  rate-limited {}  released {}",
+            "tenant", ts.admitted, ts.rate_limited, ts.released,
+        );
+    }
+    println!("{}", outcome.report_json());
+
+    if let Some(exporter) = exporter {
+        let path = run.metrics.as_deref().unwrap_or("");
+        match exporter.stop() {
+            Ok(snapshot) => {
+                if let Some(slo) = &snapshot.slo {
+                    let line = slo.render();
+                    println!("{:>10}: {}", "slo", line.trim_start_matches("slo: "));
+                }
+                println!("{:>10}: metrics snapshot written to {path}", "metrics");
+            }
+            Err(e) => {
+                eprintln!("zkserve: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if run.compare {
+        let device = v100();
+        for (i, &id) in ids.iter().enumerate() {
+            let direct = prepared.prove_direct(i, &device);
+            let result = outcome
+                .results
+                .iter()
+                .find(|r| r.id == id)
+                .expect("every submitted job resolves");
+            match &result.outcome {
+                Ok(proof) => assert_eq!(
+                    proof, &direct,
+                    "request {i}: cluster proof diverged from direct prove"
+                ),
+                Err(e) => {
+                    eprintln!("zkserve: request {i} failed in cluster mode: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!(
+            "{:>10}: {} proof(s) byte-identical to direct proves",
+            "compare",
+            ids.len()
+        );
+    }
+
+    if stats.failed > 0 || outcome.leaked_claims > 0 {
+        eprintln!(
+            "zkserve: cluster run unhealthy: {} failed, {} leaked claim(s)",
+            stats.failed, outcome.leaked_claims
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses `top <metrics.json> [--watch SECS]`.
@@ -258,6 +448,10 @@ fn main() -> ExitCode {
                 workload.requests.len()
             );
             let prepared = prepare(&workload, &device);
+
+            if let Some(hosts) = run.cluster_hosts {
+                return run_cluster(&run, Arc::new(prepared), hosts);
+            }
 
             let baseline = run.compare.then(|| {
                 let b = run_sequential(&prepared, &device);
@@ -399,6 +593,24 @@ mod tests {
             parse_run_args(&s(&["w.json", "--cross-device"])).is_none(),
             "--cross-device without a multi-device fleet is rejected"
         );
+    }
+
+    #[test]
+    fn run_args_parse_cluster() {
+        let run = parse_run_args(&s(&["w.json", "--cluster", "hosts=4"])).unwrap();
+        assert_eq!(run.cluster_hosts, Some(4));
+        let run = parse_run_args(&s(&["w.json", "--cluster", "2"])).unwrap();
+        assert_eq!(run.cluster_hosts, Some(2));
+        assert!(
+            parse_run_args(&s(&["w.json", "--cluster", "hosts=0"])).is_none(),
+            "a cluster needs at least one host"
+        );
+        assert!(
+            parse_run_args(&s(&["w.json", "--cluster", "2", "--fleet-trace", "t.json"])).is_none(),
+            "fleet traces are per-service, not per-cluster"
+        );
+        let run = parse_run_args(&s(&["w.json"])).unwrap();
+        assert!(run.cluster_hosts.is_none());
     }
 
     #[test]

@@ -177,6 +177,18 @@ impl<'de, T: Deserialize<'de> + Copy + Default, const N: usize> Deserialize<'de>
     }
 }
 
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, crate::from_value(v).map_err(reborrow)?)))
+                .collect(),
+            _ => Err(D::Error::custom("expected map")),
+        }
+    }
+}
+
 macro_rules! impl_de_tuple {
     ($(($($name:ident . $idx:tt),+ ; $len:expr))*) => {$(
         impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {

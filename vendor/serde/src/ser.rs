@@ -152,6 +152,18 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+/// String-keyed maps become JSON objects; `BTreeMap` iteration order is
+/// already sorted, so the output is stable without extra work.
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), crate::to_value(v)))
+                .collect(),
+        ))
+    }
+}
+
 macro_rules! impl_ser_tuple {
     ($(($($name:ident . $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
