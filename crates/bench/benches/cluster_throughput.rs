@@ -20,7 +20,9 @@ use gzkp_bench::{speedup, Recorder};
 use gzkp_cluster::{workload_factory, Cluster, ClusterConfig, ClusterJobOptions, HostConfig};
 use gzkp_gpu_sim::device::v100;
 use gzkp_service::{prepare, run_sequential, PreparedWorkload};
-use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestSpec, RequestWorkload};
+use gzkp_workloads::requests::{
+    RequestCurve, RequestPriority, RequestSpec, RequestSystem, RequestWorkload,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +33,7 @@ fn cluster_workload(count: usize) -> RequestWorkload {
         seed: 42,
         requests: vec![RequestSpec {
             curve: RequestCurve::Bn254,
+            system: RequestSystem::Groth16,
             constraints: 256,
             count,
             priority: RequestPriority::Normal,

@@ -10,9 +10,10 @@
 //! with demand. This crate models that layer end to end:
 //!
 //! * **Checkpointed jobs** — every job runs as a
-//!   [`gzkp_service::CheckpointingGroth16Task`], persisting a versioned
-//!   [`gzkp_groth16::checkpoint::ProofCheckpoint`] after the POLY stage
-//!   and after each of the five MSMs. When chaos kills a host, the
+//!   [`gzkp_service::CheckpointingTask`] over a pluggable
+//!   [`gzkp_proof_system::ProofSystem`] backend (Groth16 or PLONK),
+//!   persisting versioned checkpoint bytes after the POLY stage
+//!   and after each MSM step. When chaos kills a host, the
 //!   cluster resumes the interrupted jobs on survivors from those bytes,
 //!   and the final proofs are **byte-identical** to uninterrupted runs
 //!   (the blinding seed travels inside the checkpoint and is drawn only
@@ -87,8 +88,8 @@ pub mod scheduler;
 
 pub use autoscale::{AutoscalePolicy, Autoscaler};
 pub use cluster::{
-    groth16_factory, workload_factory, Cluster, ClusterConfig, ClusterJobOptions, ClusterOutcome,
-    ClusterReportJson, ClusterResult, ClusterStats, TaskBuild, TaskFactory,
+    groth16_factory, system_factory, workload_factory, Cluster, ClusterConfig, ClusterJobOptions,
+    ClusterOutcome, ClusterReportJson, ClusterResult, ClusterStats, TaskBuild, TaskFactory,
 };
 pub use frontdoor::{AdmissionError, FrontDoor, RateLimit, TenantSpec, TenantStats};
 pub use host::{HostConfig, HostReport, HostState, SimHost};

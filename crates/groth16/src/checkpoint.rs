@@ -58,9 +58,10 @@ pub const MSM_STEPS: usize = 5;
 
 const MAGIC: &[u8; 7] = b"GZKPCKP";
 
-/// Span names of the five MSM steps — the same names the monolithic
-/// [`crate::prove::prove_msm`] emits, so stepwise traces line up.
-const STEP_SPANS: [&str; MSM_STEPS] = ["a", "b_g1", "h", "l", "b_g2"];
+/// Span names of the five MSM steps — the registry's Groth16 stage
+/// table, the same names the monolithic [`crate::prove::prove_msm`]
+/// emits, so stepwise traces line up.
+const STEP_SPANS: [&str; MSM_STEPS] = telemetry::counters::GROTH16_MSM_STAGES;
 /// Kernel-report label prefixes, matching the monolithic prover.
 const STEP_LABELS: [&str; MSM_STEPS] = ["a_query", "b_g1", "h_query", "l_query", "b_g2"];
 

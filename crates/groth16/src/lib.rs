@@ -54,6 +54,7 @@ pub mod prove;
 pub mod qap;
 pub mod r1cs;
 pub mod setup;
+pub mod system;
 pub mod verify;
 
 pub use batch::{batch_verify, proof_from_bytes, proof_to_bytes, PreparedVerifyingKey};
@@ -64,4 +65,5 @@ pub use prove::{
 };
 pub use r1cs::{Circuit, ConstraintSystem, LinearCombination, SynthesisError, Variable};
 pub use setup::{setup, ProvingKey, VerifyingKey};
+pub use system::Groth16System;
 pub use verify::{verify, verify_proof_bytes};

@@ -11,7 +11,7 @@ use gzkp_curves::pairing::PairingConfig;
 use gzkp_curves::Affine;
 use gzkp_ff::Field;
 use gzkp_gpu_sim::StageReport;
-use gzkp_msm::{MsmEngine, ScalarVec};
+use gzkp_msm::ScalarVec;
 use gzkp_ntt::gpu::GpuNttEngine;
 use gzkp_telemetry::{self as telemetry, NoopSink, TelemetrySink};
 use rand::Rng;
@@ -37,49 +37,21 @@ impl<P: PairingConfig> PartialEq for Proof<P> {
 }
 impl<P: PairingConfig> Eq for Proof<P> {}
 
-/// Engine selection for the prover.
+/// Engine selection for the prover — the shared, backend-agnostic
+/// [`gzkp_proof_system::Engines`] under its historical Groth16 name.
 ///
-/// The prover is placement-agnostic: it never asks an engine *where* it
-/// runs, so single-device engines and the multi-device
-/// `gzkp_runtime::CrossDeviceMsm` (bucket-range shards on distinct
-/// devices, partial sums merged over the P2P path) slot in here
-/// unchanged — and because the blinding factors `r, s` are drawn from
-/// the caller's RNG *after* the five MSMs complete, identical engine
-/// results mean byte-identical proofs regardless of placement. The
-/// `fleet_single_proof` bench and the `cross_device_msm` proptests
-/// hold every engine to that contract.
-pub struct ProverEngines<'a, P: PairingConfig> {
-    /// NTT engine for the POLY stage.
-    pub ntt: &'a dyn GpuNttEngine<P::Fr>,
-    /// MSM engine for G1 inner products.
-    pub msm_g1: &'a dyn MsmEngine<P::G1>,
-    /// MSM engine for the single G2 inner product.
-    pub msm_g2: &'a dyn MsmEngine<P::G2>,
-}
+/// Single-device engines and the multi-device
+/// `gzkp_runtime::CrossDeviceMsm` slot in interchangeably; because the
+/// blinding factors `r, s` are drawn from the caller's RNG *after* the
+/// five MSMs complete, identical engine results mean byte-identical
+/// proofs regardless of placement. The `fleet_single_proof` bench and
+/// the `cross_device_msm` proptests hold every engine to that contract.
+pub use gzkp_proof_system::Engines as ProverEngines;
 
-/// Timing record of one proof generation, split by the paper's two stages.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub struct ProveReport {
-    /// POLY-stage simulated report (7 NTTs).
-    pub poly: StageReport,
-    /// MSM-stage simulated report (5 MSMs).
-    pub msm: StageReport,
-}
-
-impl ProveReport {
-    /// POLY time in milliseconds.
-    pub fn poly_ms(&self) -> f64 {
-        self.poly.total_ms()
-    }
-    /// MSM time in milliseconds.
-    pub fn msm_ms(&self) -> f64 {
-        self.msm.total_ms()
-    }
-    /// End-to-end proof generation time in milliseconds.
-    pub fn total_ms(&self) -> f64 {
-        self.poly_ms() + self.msm_ms()
-    }
-}
+/// Timing record of one proof generation, split by the paper's two
+/// stages (shared with every other backend through
+/// `gzkp_proof_system`).
+pub use gzkp_proof_system::ProveReport;
 
 /// Generates a proof for the (satisfied, synthesized) constraint system.
 ///
@@ -284,11 +256,14 @@ pub fn prove_msm<P: PairingConfig, R: Rng + ?Sized>(
         }
         run.result
     };
+    // Span names come from the telemetry registry's per-backend stage
+    // table; kernel-report labels keep the historical query names.
+    let stage_spans = telemetry::counters::GROTH16_MSM_STAGES;
     let spans = [
-        ("a", "a_query"),
-        ("b_g1", "b_g1"),
-        ("h", "h_query"),
-        ("l", "l_query"),
+        (stage_spans[0], "a_query"),
+        (stage_spans[1], "b_g1"),
+        (stage_spans[2], "h_query"),
+        (stage_spans[3], "l_query"),
     ];
     let mut g1_sums = Vec::with_capacity(4);
     for (out, (span, label)) in outs.into_iter().zip(spans) {
@@ -308,7 +283,7 @@ pub fn prove_msm<P: PairingConfig, R: Rng + ?Sized>(
         unreachable!("four G1 sums")
     };
     {
-        let _g2_span = telemetry::span(sink, "b_g2");
+        let _g2_span = telemetry::span(sink, stage_spans[4]);
         engines
             .msm_g2
             .emit_msm_telemetry(&pk.b_g2_query, &z_scalars, &b_g2_run, sink);

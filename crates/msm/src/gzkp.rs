@@ -74,6 +74,10 @@ pub struct GzkpMsm {
     /// replaces the process-wide FIFO cache, letting a proving service
     /// bound table memory across many proving keys explicitly.
     pub store: Option<Arc<PreprocessStore>>,
+    /// Proof-system tag folded into preprocess-cache keys
+    /// (`ProofSystemKind::cache_tag()`: 0 = Groth16, 1 = PLONK), so mixed
+    /// backend streams sharing one store never alias each other's tables.
+    pub system_tag: u8,
 }
 
 /// Process-wide store for checkpoint tables, keyed by the point
@@ -104,6 +108,7 @@ impl GzkpMsm {
             batch_affine: true,
             cache_preprocess: true,
             store: None,
+            system_tag: 0,
         }
     }
 
@@ -111,6 +116,12 @@ impl GzkpMsm {
     /// FIFO cache for this engine instance.
     pub fn with_store(mut self, store: Arc<PreprocessStore>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Sets the proof-system cache tag (see [`GzkpMsm::system_tag`]).
+    pub fn with_system_tag(mut self, tag: u8) -> Self {
+        self.system_tag = tag;
         self
     }
 
@@ -214,12 +225,12 @@ impl GzkpMsm {
             return Arc::new(self.preprocess(points, k, m, windows));
         }
         if let Some(store) = &self.store {
-            let key = PreKey::of(points, k, m, windows);
+            let key = PreKey::of(points, k, m, windows, self.system_tag);
             let levels = Self::levels(windows, m) as u64;
             let bytes = levels * points.len() as u64 * CurveCost::of::<C>().affine_bytes();
             return store.get_or_insert(key, bytes, || self.preprocess(points, k, m, windows));
         }
-        let key = PreKey::of(points, k, m, windows);
+        let key = PreKey::of(points, k, m, windows, self.system_tag);
         {
             let entries = pre_cache().lock().unwrap();
             for (k2, tables) in entries.iter() {

@@ -19,11 +19,16 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-/// Identity of one checkpoint-table computation: the point vector (by
-/// address, length, and a sampled content fingerprint guarding against
-/// address reuse) plus the `(k, M, windows)` table shape and the curve.
+/// Identity of one checkpoint-table computation: the proof system the
+/// tables serve, the curve, the point vector (by address, length, and a
+/// sampled content fingerprint guarding against address reuse), plus the
+/// `(k, M, windows)` table shape. The system tag keeps mixed
+/// Groth16 + PLONK streams from sharing entries whose lifetimes differ
+/// (a PLONK SRS prefix and a Groth16 query can alias the same base
+/// pointer) and makes per-backend hit accounting meaningful.
 #[derive(PartialEq, Eq)]
 pub(crate) struct PreKey {
+    system: u8,
     curve: TypeId,
     ptr: usize,
     len: usize,
@@ -34,7 +39,13 @@ pub(crate) struct PreKey {
 }
 
 impl PreKey {
-    pub(crate) fn of<C: CurveParams>(points: &[Affine<C>], k: u32, m: u32, windows: usize) -> Self {
+    pub(crate) fn of<C: CurveParams>(
+        points: &[Affine<C>],
+        k: u32,
+        m: u32,
+        windows: usize,
+        system: u8,
+    ) -> Self {
         let mut h = DefaultHasher::new();
         points.len().hash(&mut h);
         for idx in [0, points.len() / 2, points.len().saturating_sub(1)] {
@@ -43,6 +54,7 @@ impl PreKey {
             }
         }
         Self {
+            system,
             curve: TypeId::of::<C>(),
             ptr: points.as_ptr() as usize,
             len: points.len(),
@@ -230,8 +242,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let pts = random_points::<G1Config, _>(8, &mut rng);
         let store = PreprocessStore::new(1 << 20);
-        let a = store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, || tables_for(&pts));
-        let b = store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, must_hit);
+        let a = store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, || tables_for(&pts));
+        let b = store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, must_hit);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((store.hits(), store.misses()), (1, 1));
     }
@@ -241,8 +253,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let pts = random_points::<G1Config, _>(8, &mut rng);
         let store = PreprocessStore::new(1 << 20);
-        store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 10, || tables_for(&pts));
-        store.get_or_insert(PreKey::of(&pts, 9, 1, 29), 10, || tables_for(&pts));
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 10, || tables_for(&pts));
+        store.get_or_insert(PreKey::of(&pts, 9, 1, 29, 0), 10, || tables_for(&pts));
         assert_eq!(store.len(), 2);
         assert_eq!(store.bytes_used(), 20);
     }
@@ -254,18 +266,24 @@ mod tests {
             .map(|_| random_points::<G1Config, _>(4, &mut rng))
             .collect();
         let store = PreprocessStore::new(250);
-        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32), 100, || tables_for(&vecs[0]));
-        store.get_or_insert(PreKey::of(&vecs[1], 8, 1, 32), 100, || tables_for(&vecs[1]));
+        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32, 0), 100, || {
+            tables_for(&vecs[0])
+        });
+        store.get_or_insert(PreKey::of(&vecs[1], 8, 1, 32, 0), 100, || {
+            tables_for(&vecs[1])
+        });
         // Touch entry 0 so entry 1 is the LRU victim.
-        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32), 100, must_hit);
-        store.get_or_insert(PreKey::of(&vecs[2], 8, 1, 32), 100, || tables_for(&vecs[2]));
+        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32, 0), 100, must_hit);
+        store.get_or_insert(PreKey::of(&vecs[2], 8, 1, 32, 0), 100, || {
+            tables_for(&vecs[2])
+        });
         assert_eq!(store.len(), 2);
         assert_eq!(store.evictions(), 1);
         assert!(store.bytes_used() <= 250);
         // Entry 0 survived (hit), entry 1 was evicted (rebuilds).
-        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32), 100, must_hit);
+        store.get_or_insert(PreKey::of(&vecs[0], 8, 1, 32, 0), 100, must_hit);
         let mut rebuilt = false;
-        store.get_or_insert(PreKey::of(&vecs[1], 8, 1, 32), 100, || {
+        store.get_or_insert(PreKey::of(&vecs[1], 8, 1, 32, 0), 100, || {
             rebuilt = true;
             tables_for(&vecs[1])
         });
@@ -273,11 +291,39 @@ mod tests {
     }
 
     #[test]
+    fn system_tags_split_entries_and_evict_independently() {
+        // The same point vector and table shape under two proof systems
+        // (Groth16 = tag 0, PLONK = tag 1) must be two distinct entries —
+        // a PLONK SRS prefix aliasing a Groth16 query pointer must not
+        // serve the other backend's tables.
+        let mut rng = StdRng::seed_from_u64(6);
+        let pts = random_points::<G1Config, _>(8, &mut rng);
+        let store = PreprocessStore::new(250);
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, || tables_for(&pts));
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 1), 100, || tables_for(&pts));
+        assert_eq!(store.len(), 2, "per-system entries must not alias");
+        assert_eq!(store.misses(), 2);
+        // Touch the Groth16 entry, then overflow the budget: the PLONK
+        // entry is the LRU victim while the hot Groth16 entry survives.
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, must_hit);
+        let extra = random_points::<G1Config, _>(4, &mut rng);
+        store.get_or_insert(PreKey::of(&extra, 8, 1, 32, 0), 100, || tables_for(&extra));
+        assert_eq!(store.evictions(), 1);
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, must_hit);
+        let mut rebuilt = false;
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 1), 100, || {
+            rebuilt = true;
+            tables_for(&pts)
+        });
+        assert!(rebuilt, "the cold PLONK entry must have been evicted");
+    }
+
+    #[test]
     fn panicking_holder_does_not_poison_the_store() {
         let mut rng = StdRng::seed_from_u64(5);
         let pts = random_points::<G1Config, _>(8, &mut rng);
         let store = Arc::new(PreprocessStore::new(1 << 20));
-        store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, || tables_for(&pts));
+        store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, || tables_for(&pts));
         // A worker panicking while holding the entry-map lock (stage
         // panics are caught per-job by the service, the thread lives on)
         // marks the mutex poisoned…
@@ -290,7 +336,7 @@ mod tests {
         .unwrap_err();
         assert!(store.inner.is_poisoned(), "precondition: lock is poisoned");
         // …but other provers must keep hitting the cache, not panic.
-        let hit = store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 100, must_hit);
+        let hit = store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 100, must_hit);
         assert_eq!(hit.len(), 1);
         assert_eq!(store.len(), 1);
         assert_eq!(store.bytes_used(), 100);
@@ -301,7 +347,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let pts = random_points::<G1Config, _>(4, &mut rng);
         let store = PreprocessStore::new(10);
-        let t = store.get_or_insert(PreKey::of(&pts, 8, 1, 32), 1000, || tables_for(&pts));
+        let t = store.get_or_insert(PreKey::of(&pts, 8, 1, 32, 0), 1000, || tables_for(&pts));
         assert_eq!(t.len(), 1);
         assert_eq!(store.len(), 1, "sole entry may exceed the budget");
     }

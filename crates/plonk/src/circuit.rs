@@ -1,0 +1,286 @@
+//! PLONK arithmetization: gates over three wire columns, plus the
+//! R1CS → PLONK migration the workloads use so one circuit definition
+//! drives both backends.
+//!
+//! Row semantics (standard PLONK gate):
+//!
+//! ```text
+//! q_L·a + q_R·b + q_O·c + q_M·a·b + q_C + PI = 0
+//! ```
+//!
+//! where `a`, `b`, `c` are the row's three wire values and `PI` is the
+//! public-input polynomial, `PI(ωʲ) = −pubⱼ` on the first `ℓ` rows and 0
+//! elsewhere. Copy constraints (the same variable appearing in several
+//! wire slots) are enforced by the permutation argument in the prover —
+//! the circuit only records *which variable* sits in each slot.
+
+use gzkp_ff::PrimeField;
+use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
+
+/// Selector values and wire variable indices of one gate row.
+#[derive(Debug, Clone)]
+pub struct PlonkGate<F: PrimeField> {
+    /// Left-wire selector.
+    pub q_l: F,
+    /// Right-wire selector.
+    pub q_r: F,
+    /// Output-wire selector.
+    pub q_o: F,
+    /// Multiplication selector.
+    pub q_m: F,
+    /// Constant selector.
+    pub q_c: F,
+    /// Variable in the left wire slot.
+    pub a: usize,
+    /// Variable in the right wire slot.
+    pub b: usize,
+    /// Variable in the output wire slot.
+    pub c: usize,
+}
+
+impl<F: PrimeField> PlonkGate<F> {
+    /// An all-zero gate wired to the zero variable (domain padding).
+    pub fn empty() -> Self {
+        Self {
+            q_l: F::zero(),
+            q_r: F::zero(),
+            q_o: F::zero(),
+            q_m: F::zero(),
+            q_c: F::zero(),
+            a: 0,
+            b: 0,
+            c: 0,
+        }
+    }
+}
+
+/// A witnessed PLONK circuit: variable values plus the gate list.
+///
+/// Variable 0 is the dedicated constant-zero wire (every unused slot
+/// points at it, and a `q_L = 1` gate pins its value); public-input
+/// variables occupy indices `1..=num_public` and the first `num_public`
+/// gate rows, one PI gate each.
+#[derive(Debug, Clone)]
+pub struct PlonkCircuit<F: PrimeField> {
+    /// Number of public inputs.
+    pub num_public: usize,
+    /// Value of every variable (index 0 is the zero wire).
+    pub values: Vec<F>,
+    /// The gate rows, PI gates first.
+    pub gates: Vec<PlonkGate<F>>,
+}
+
+/// Smallest domain the quotient construction supports: the coset
+/// division needs `deg t = 3n + 5 < 4n`, i.e. `n > 5`, and domains are
+/// powers of two.
+pub const MIN_DOMAIN: usize = 8;
+
+impl<F: PrimeField> PlonkCircuit<F> {
+    /// Creates an empty circuit with `num_public` public inputs already
+    /// allocated (variables `1..=num_public`, one PI gate row each).
+    pub fn new(public_inputs: &[F]) -> Self {
+        let mut circuit = Self {
+            num_public: public_inputs.len(),
+            values: Vec::with_capacity(1 + public_inputs.len()),
+            gates: Vec::new(),
+        };
+        circuit.values.push(F::zero());
+        for (j, value) in public_inputs.iter().enumerate() {
+            circuit.values.push(*value);
+            let mut gate = PlonkGate::empty();
+            gate.q_l = F::one();
+            gate.a = 1 + j;
+            circuit.gates.push(gate);
+        }
+        circuit
+    }
+
+    /// Allocates a new witness variable with `value`.
+    pub fn alloc(&mut self, value: F) -> usize {
+        self.values.push(value);
+        self.values.len() - 1
+    }
+
+    /// Appends a gate row.
+    pub fn push_gate(&mut self, gate: PlonkGate<F>) {
+        self.gates.push(gate);
+    }
+
+    /// The public-input values, in allocation order.
+    pub fn public_inputs(&self) -> &[F] {
+        &self.values[1..1 + self.num_public]
+    }
+
+    /// Domain size: gate count rounded up to a power of two, at least
+    /// [`MIN_DOMAIN`]. Padding rows are all-zero gates wired to the zero
+    /// variable.
+    pub fn domain_size(&self) -> usize {
+        self.gates.len().max(MIN_DOMAIN).next_power_of_two()
+    }
+
+    /// Number of variables (witness upload size for H2D modeling).
+    pub fn num_variables(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The PI contribution on row `row`: `−pub_row` on PI rows, zero
+    /// elsewhere.
+    pub fn pi_at(&self, row: usize) -> F {
+        if row < self.num_public {
+            -self.values[1 + row]
+        } else {
+            F::zero()
+        }
+    }
+
+    /// Checks every gate equation against the witness.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first violated row.
+    pub fn is_satisfied(&self) -> Result<(), String> {
+        for (row, gate) in self.gates.iter().enumerate() {
+            let a = self.values[gate.a];
+            let b = self.values[gate.b];
+            let c = self.values[gate.c];
+            let acc = gate.q_l * a
+                + gate.q_r * b
+                + gate.q_o * c
+                + gate.q_m * a * b
+                + gate.q_c
+                + self.pi_at(row);
+            if !acc.is_zero() {
+                return Err(format!("gate {row} unsatisfied"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrates a satisfied R1CS constraint system to PLONK gates — the
+    /// plonkit-style path that lets every existing workload circuit run
+    /// under both backends.
+    ///
+    /// Each R1CS constraint `⟨A,z⟩·⟨B,z⟩ = ⟨C,z⟩` becomes chains of
+    /// addition gates accumulating the three linear combinations plus
+    /// one multiplication gate tying them together. R1CS variable `j`
+    /// maps to PLONK variable `j + 1` (slot 0 is PLONK's zero wire;
+    /// R1CS's constant-one variable becomes an ordinary witness pinned
+    /// to 1 by a `q_L·x + q_C = 0` gate).
+    pub fn from_r1cs(cs: &ConstraintSystem<F>) -> Self {
+        let mut circuit = Self::new(&cs.input_assignment);
+        // R1CS constant-one variable, pinned by a gate.
+        let one_var = circuit.alloc(F::one());
+        circuit.push_gate(PlonkGate {
+            q_l: F::one(),
+            q_c: -F::one(),
+            a: one_var,
+            ..PlonkGate::empty()
+        });
+        // Remaining R1CS variables in index order: inputs are already
+        // allocated at 1..=num_inputs; aux follow.
+        for value in &cs.aux_assignment {
+            circuit.alloc(*value);
+        }
+        // R1CS var j → PLONK var: 0 → one_var, input i → i, aux k →
+        // one_var + k + 1.
+        let map = |j: usize| -> usize {
+            if j == 0 {
+                one_var
+            } else if j <= cs.num_inputs {
+                j
+            } else {
+                one_var + (j - cs.num_inputs)
+            }
+        };
+        let z = cs.full_assignment();
+        let wire_of_lc = |circuit: &mut Self, lc: &LinearCombination<F>| -> usize {
+            match lc.terms.as_slice() {
+                [] => 0, // the zero wire
+                [(j, coeff)] if *coeff == F::one() => map(*j),
+                terms => {
+                    // acc₀ = c₀·v₀; accₖ = accₖ₋₁ + cₖ·vₖ.
+                    let mut acc_val = terms[0].1 * z[terms[0].0];
+                    let mut acc = circuit.alloc(acc_val);
+                    circuit.push_gate(PlonkGate {
+                        q_l: terms[0].1,
+                        q_o: -F::one(),
+                        a: map(terms[0].0),
+                        c: acc,
+                        ..PlonkGate::empty()
+                    });
+                    for (j, coeff) in &terms[1..] {
+                        acc_val += *coeff * z[*j];
+                        let next = circuit.alloc(acc_val);
+                        circuit.push_gate(PlonkGate {
+                            q_l: F::one(),
+                            q_r: *coeff,
+                            q_o: -F::one(),
+                            a: acc,
+                            b: map(*j),
+                            c: next,
+                            ..PlonkGate::empty()
+                        });
+                        acc = next;
+                    }
+                    acc
+                }
+            }
+        };
+        for (lc_a, lc_b, lc_c) in &cs.constraints {
+            let wa = wire_of_lc(&mut circuit, lc_a);
+            let wb = wire_of_lc(&mut circuit, lc_b);
+            let wc = wire_of_lc(&mut circuit, lc_c);
+            circuit.push_gate(PlonkGate {
+                q_m: F::one(),
+                q_o: -F::one(),
+                a: wa,
+                b: wb,
+                c: wc,
+                ..PlonkGate::empty()
+            });
+        }
+        circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gzkp_curves::bn254::Fr;
+    use gzkp_ff::Field;
+    use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
+
+    #[test]
+    fn r1cs_migration_satisfies() {
+        // A multiplication with a linear combination thrown in:
+        // (x + 2)·y = 45 with x = 3, y = 9.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let n = cs.alloc_input(Fr::from_u64(45));
+        let x = cs.alloc(Fr::from_u64(3));
+        let y = cs.alloc(Fr::from_u64(9));
+        cs.enforce(
+            LinearCombination::from_var(x).add_term(gzkp_groth16::Variable::ONE, Fr::from_u64(2)),
+            LinearCombination::from_var(y),
+            LinearCombination::from_var(n),
+        );
+        cs.is_satisfied().unwrap();
+        let circuit = PlonkCircuit::from_r1cs(&cs);
+        circuit.is_satisfied().unwrap();
+        assert_eq!(circuit.public_inputs(), &[Fr::from_u64(45)]);
+        assert!(circuit.domain_size() >= MIN_DOMAIN);
+    }
+
+    #[test]
+    fn unsatisfied_gate_is_reported() {
+        let mut circuit = PlonkCircuit::new(&[Fr::from_u64(3)]);
+        let v = circuit.alloc(Fr::from_u64(9));
+        circuit.push_gate(PlonkGate {
+            q_l: Fr::one(),
+            q_c: Fr::one(),
+            a: v,
+            ..PlonkGate::empty()
+        });
+        let err = circuit.is_satisfied().unwrap_err();
+        assert!(err.contains("unsatisfied"), "{err}");
+    }
+}

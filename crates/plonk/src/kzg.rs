@@ -1,0 +1,216 @@
+//! KZG polynomial commitments over the workspace pairing curves.
+//!
+//! A trusted setup samples τ and publishes the powers-of-tau SRS
+//! `{τ^i·G1}` plus `[1]₂, [τ]₂`. Committing to a polynomial is then one
+//! MSM of its coefficients against the SRS — which this module runs
+//! through the *existing* [`MsmEngine`] abstraction, so KZG commitments
+//! get the same bucket-sorted Pippenger kernels, shard planner, cache,
+//! and cross-device merging as the Groth16 query MSMs, and show up in
+//! `zkprof render --timeline` identically.
+//!
+//! Openings use the standard witness polynomial
+//! `q(X) = (p(X) − p(z)) / (X − z)` (synthetic division — exact because
+//! `z` is a root of the numerator) and verify through the pairing check
+//! `e(C + z·W − y·G1, G2) · e(−W, τ·G2) = 1`.
+
+use gzkp_curves::pairing::{multi_pairing, Gt, PairingConfig};
+use gzkp_curves::{batch_to_affine, Affine, CoordField, CurveParams, Projective};
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_ff::{Field, PrimeField};
+use gzkp_msm::{MsmEngine, MsmRun, ScalarVec};
+use rand::Rng;
+
+/// The powers-of-tau structured reference string, prover side plus the
+/// two G2 elements the verifier needs.
+pub struct KzgSrs<P: PairingConfig> {
+    /// `τ^i · G1` for `i = 0..max_powers`.
+    pub g1_powers: Vec<Affine<P::G1>>,
+    /// The G2 generator (`[1]₂`).
+    pub g2: Affine<P::G2>,
+    /// `τ · G2`.
+    pub tau_g2: Affine<P::G2>,
+}
+
+impl<P: PairingConfig> KzgSrs<P> {
+    /// Runs the trusted setup: samples τ from `rng` and computes the
+    /// powers. τ is dropped on return ("toxic waste").
+    pub fn setup<R: Rng + ?Sized>(max_powers: usize, rng: &mut R) -> Self {
+        let tau = P::Fr::random(rng);
+        Self::setup_with_tau(tau, max_powers)
+    }
+
+    /// Setup from an explicit τ — used by the PLONK circuit setup, which
+    /// also needs τ to commit to its selector/permutation polynomials
+    /// cheaply (one scalar multiplication each) before discarding it.
+    pub fn setup_with_tau(tau: P::Fr, max_powers: usize) -> Self {
+        let g1 = Projective::<P::G1>::generator();
+        let mut power = P::Fr::one();
+        let mut powers = Vec::with_capacity(max_powers);
+        for _ in 0..max_powers {
+            powers.push(g1.mul(&power));
+            power *= tau;
+        }
+        let g2 = Projective::<P::G2>::generator();
+        Self {
+            g1_powers: batch_to_affine(&powers),
+            g2: g2.to_affine(),
+            tau_g2: g2.mul(&tau).to_affine(),
+        }
+    }
+
+    /// Highest polynomial degree the SRS can commit to.
+    pub fn max_degree(&self) -> usize {
+        self.g1_powers.len().saturating_sub(1)
+    }
+
+    /// The G1 generator (`τ⁰ · G1`).
+    pub fn g1(&self) -> Affine<P::G1> {
+        self.g1_powers[0]
+    }
+
+    /// Commits to `coeffs` (coefficient form, low degree first) as one
+    /// MSM through `msm` — the engine decides windows, shards, and
+    /// placement exactly as for a Groth16 query MSM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` exceeds the SRS size.
+    pub fn commit(&self, coeffs: &[P::Fr], msm: &dyn MsmEngine<P::G1>) -> MsmRun<P::G1> {
+        assert!(
+            coeffs.len() <= self.g1_powers.len(),
+            "polynomial degree {} exceeds SRS degree {}",
+            coeffs.len().saturating_sub(1),
+            self.max_degree()
+        );
+        if coeffs.is_empty() {
+            // An empty polynomial commits to the identity; synthesize a
+            // zero-cost run rather than asking the engine for a 0-MSM.
+            return MsmRun {
+                result: Projective::identity(),
+                report: gzkp_gpu_sim::StageReport::new("MSM"),
+                stats: Default::default(),
+            };
+        }
+        msm.msm(
+            &self.g1_powers[..coeffs.len()],
+            &ScalarVec::from_field(coeffs),
+        )
+    }
+}
+
+/// An opening of a committed polynomial at one point.
+#[derive(Debug, Clone)]
+pub struct KzgOpening<P: PairingConfig> {
+    /// The claimed evaluation `p(z)`.
+    pub value: P::Fr,
+    /// Commitment to the witness polynomial `(p(X) − p(z))/(X − z)`.
+    pub witness: Affine<P::G1>,
+}
+
+/// Evaluates `coeffs` at `point` (Horner).
+pub fn evaluate_poly<F: Field>(coeffs: &[F], point: F) -> F {
+    let mut acc = F::zero();
+    for c in coeffs.iter().rev() {
+        acc = acc * point + *c;
+    }
+    acc
+}
+
+/// Divides `p(X) − p(z)` by `(X − z)`: returns `(quotient, p(z))`. The
+/// division is exact by construction (synthetic division at a root).
+pub fn divide_at_point<F: Field>(coeffs: &[F], z: F) -> (Vec<F>, F) {
+    if coeffs.is_empty() {
+        return (Vec::new(), F::zero());
+    }
+    let mut quotient = vec![F::zero(); coeffs.len() - 1];
+    let mut carry = F::zero();
+    for (i, c) in coeffs.iter().enumerate().rev() {
+        let next = *c + carry * z;
+        if i == 0 {
+            return (quotient, next);
+        }
+        quotient[i - 1] = next;
+        carry = next;
+    }
+    unreachable!("loop returns at i == 0");
+}
+
+/// Opens `coeffs` at `point`: evaluates and commits the witness
+/// polynomial through `msm`.
+pub fn open<P: PairingConfig>(
+    srs: &KzgSrs<P>,
+    coeffs: &[P::Fr],
+    point: P::Fr,
+    msm: &dyn MsmEngine<P::G1>,
+) -> KzgOpening<P> {
+    let (quotient, value) = divide_at_point(coeffs, point);
+    KzgOpening {
+        value,
+        witness: srs.commit(&quotient, msm).result.to_affine(),
+    }
+}
+
+/// Verifies one opening: `e(C + z·W − y·G1, G2) · e(−W, τ·G2) = 1`.
+pub fn verify<P: PairingConfig>(
+    srs: &KzgSrs<P>,
+    commitment: &Affine<P::G1>,
+    point: P::Fr,
+    opening: &KzgOpening<P>,
+) -> bool
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    let lhs = commitment
+        .to_projective()
+        .add(&opening.witness.mul(&point))
+        .add(&srs.g1().mul(&opening.value).neg())
+        .to_affine();
+    multi_pairing::<P>(&[(lhs, srs.g2), (opening.witness.neg(), srs.tau_g2)]) == Gt::<P>::one()
+}
+
+/// One claim for [`batch_verify`]: (commitment, point, opening).
+pub type KzgClaim<P> = (
+    Affine<<P as PairingConfig>::G1>,
+    <P as PairingConfig>::Fr,
+    KzgOpening<P>,
+);
+
+/// Batch-verifies openings of several commitments at (possibly distinct)
+/// points with one random linear combination — two pairings total
+/// instead of two per opening. `rng` supplies the combination
+/// coefficients; a cheating batch passes with probability ≤ |batch|/2¹²⁶.
+pub fn batch_verify<P: PairingConfig, R: Rng + ?Sized>(
+    srs: &KzgSrs<P>,
+    claims: &[KzgClaim<P>],
+    rng: &mut R,
+) -> bool
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    if claims.is_empty() {
+        return true;
+    }
+    // Σ rᵢ·(Cᵢ + zᵢ·Wᵢ − yᵢ·G1) paired with G2, plus Σ rᵢ·Wᵢ paired with
+    // −τ·G2, must cancel.
+    let mut acc = Projective::<P::G1>::identity();
+    let mut wit = Projective::<P::G1>::identity();
+    for (commitment, point, opening) in claims {
+        let r =
+            P::Fr::from_limbs(&[rng.gen(), rng.gen::<u64>() >> 2, 0, 0][..P::Fr::NUM_LIMBS.min(4)])
+                .unwrap_or_else(P::Fr::one);
+        let term = commitment
+            .to_projective()
+            .add(&opening.witness.mul(point))
+            .add(&srs.g1().mul(&opening.value).neg());
+        acc = acc.add(&term.mul(&r));
+        wit = wit.add(&opening.witness.mul(&r));
+    }
+    multi_pairing::<P>(&[
+        (acc.to_affine(), srs.g2),
+        (wit.to_affine().neg(), srs.tau_g2),
+    ]) == Gt::<P>::one()
+}

@@ -1,0 +1,1056 @@
+//! The PLONK prover, structured as the same POLY → MSM pipeline the
+//! service schedules for Groth16, with a step-granular checkpoint the
+//! cluster can migrate between hosts.
+//!
+//! * **POLY stage** ([`prove_poly`]): satisfiability check, wire column
+//!   extraction, and three interpolation NTTs through the pluggable
+//!   [`GpuNttEngine`].
+//! * **MSM stage**: four checkpointable commit steps, every commitment an
+//!   MSM against the powers-of-tau SRS through the pluggable
+//!   [`gzkp_msm::MsmEngine`] (so the shard planner, preprocess cache, and
+//!   cross-device merging all apply):
+//!   0. `wires` — blind and commit the three wire polynomials;
+//!   1. `perm_z` — derive β, γ, build and commit the permutation
+//!      accumulator (one more engine NTT);
+//!   2. `quotient` — derive α, evaluate the gate + copy-constraint
+//!      identity on the 4n coset (a batch of engine NTTs), divide by
+//!      `Z_H`, commit the three quotient chunks;
+//!   3. `open` — derive ζ, evaluate, batch with v, commit the two KZG
+//!      opening witnesses.
+//!
+//! Determinism: all blinding comes from `StdRng` generators seeded as a
+//! fixed function of the job seed and the step index, drawn at fixed
+//! points — so proofs are byte-identical across `GZKP_THREADS`, device
+//! counts, and checkpoint/resume boundaries (the monolithic [`prove`]
+//! literally drives the same state machine). Fiat–Shamir challenges are
+//! re-derived on every step by replaying the transcript over the
+//! commitments riding in the checkpoint, so a resuming host needs no
+//! hidden state.
+//!
+//! ## Checkpoint wire format (version 1)
+//!
+//! ```text
+//! "GZKPPLK" ++ version:u8
+//! fr_bits:u32 fr_limbs:u32 g1_coord_len:u32 g2_coord_len:u32  // curve shape guard
+//! seed:u64  done:u8 (bit i ⇒ commit step i complete)
+//! poly_report: len:u64 ++ JSON      msm_report: len:u64 ++ JSON
+//! public_inputs, wire_values ×3, wire_coeffs ×3, z_coeffs, t_parts ×3:
+//!     n:u64 ++ n·NUM_LIMBS little-endian u64 limbs each
+//! if done₀: 3 point sections (len:u64 ++ compressed affine)
+//! if done₁: 1 point section
+//! if done₂: 3 point sections
+//! if done₃: evals (14-scalar field vector) ++ 2 point sections
+//! ```
+//!
+//! Decoding validates the magic, version, curve shape, every scalar
+//! (canonical range) and every point (curve equation) — a checkpoint from
+//! the wrong curve or a truncated stream returns an error, never a panic.
+
+use crate::circuit::PlonkCircuit;
+use crate::kzg::{divide_at_point, evaluate_poly};
+use crate::proof::{PlonkEvals, PlonkProof};
+use crate::setup::{PlonkProvingKey, PlonkVerifyingKey};
+use crate::transcript::Transcript;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::serialize::{compress, decompress, CoordField};
+use gzkp_curves::{Affine, CurveParams};
+use gzkp_ff::{batch_inverse, Field, PrimeField};
+use gzkp_gpu_sim::StageReport;
+use gzkp_msm::ScalarVec;
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_ntt::{CpuNtt, Direction, Radix2Domain};
+use gzkp_proof_system::{Engines, ProveReport};
+use gzkp_telemetry::{self as telemetry, TelemetrySink};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Current checkpoint wire-format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// Number of checkpointable commit steps.
+pub const MSM_STEPS: usize = 4;
+
+const MAGIC: &[u8; 7] = b"GZKPPLK";
+
+/// Span names of the nine commitment MSMs, from the telemetry registry's
+/// per-backend stage table (so `zkprof` labels PLONK stages as PLONK).
+const STAGES: [&str; 9] = telemetry::counters::PLONK_MSM_STAGES;
+
+/// Human-readable labels of the four commit steps (logs and errors).
+const STEP_LABELS: [&str; MSM_STEPS] = ["wires", "perm_z", "quotient", "open"];
+
+/// Human-readable label of commit step `step`.
+///
+/// # Panics
+///
+/// Panics if `step >= MSM_STEPS`.
+pub fn step_label(step: usize) -> &'static str {
+    STEP_LABELS[step]
+}
+
+/// The per-step blinding RNG: a fixed function of the job seed and the
+/// step index, so a resuming host re-derives exactly the generator the
+/// original host would have used for the steps it replays.
+fn step_rng(seed: u64, step: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Output of the PLONK POLY stage: the wire columns in value and
+/// coefficient form, ready for the commit steps.
+pub struct PlonkPolyArtifacts<P: PairingConfig> {
+    /// POLY-stage simulated report (three interpolation NTTs).
+    pub report: StageReport,
+    wire_values: [Vec<P::Fr>; 3],
+    wire_coeffs: [Vec<P::Fr>; 3],
+    public_inputs: Vec<P::Fr>,
+}
+
+impl<P: PairingConfig> PlonkPolyArtifacts<P> {
+    /// H2D bytes of the scalar state the MSM stage consumes (values feed
+    /// the permutation accumulator, coefficients the commitments).
+    pub fn scalar_bytes(&self) -> u64 {
+        let per = (P::Fr::NUM_LIMBS * 8) as u64;
+        let elems: usize = self
+            .wire_values
+            .iter()
+            .chain(self.wire_coeffs.iter())
+            .map(Vec::len)
+            .sum::<usize>()
+            + self.public_inputs.len();
+        elems as u64 * per
+    }
+}
+
+/// Stage 1 of the prover: checks satisfiability, extracts the wire
+/// columns, and interpolates them through three engine NTTs inside a
+/// `poly` span.
+///
+/// # Errors
+///
+/// Fails when the circuit is unsatisfied or does not match `pk`.
+pub fn prove_poly<P: PairingConfig>(
+    circuit: &PlonkCircuit<P::Fr>,
+    pk: &PlonkProvingKey<P>,
+    ntt: &dyn GpuNttEngine<P::Fr>,
+    sink: &dyn TelemetrySink,
+) -> Result<PlonkPolyArtifacts<P>, String> {
+    circuit.is_satisfied()?;
+    if circuit.domain_size() != pk.n {
+        return Err(format!(
+            "circuit domain {} does not match key domain {}",
+            circuit.domain_size(),
+            pk.n
+        ));
+    }
+    if circuit.num_public != pk.num_public {
+        return Err("public-input count does not match key".to_string());
+    }
+    let domain = Radix2Domain::<P::Fr>::new(pk.n).ok_or("domain exceeds two-adicity")?;
+
+    let wire_values: [Vec<P::Fr>; 3] = std::array::from_fn(|col| {
+        pk.wires[col]
+            .iter()
+            .map(|&var| circuit.values[var])
+            .collect()
+    });
+
+    let mut report = StageReport::new("POLY");
+    let mut wire_coeffs: [Vec<P::Fr>; 3] = std::array::from_fn(|_| Vec::new());
+    {
+        let _poly_span = telemetry::span(sink, telemetry::counters::SPAN_POLY);
+        for (col, values) in wire_values.iter().enumerate() {
+            let label = format!("ntt[{col}]");
+            let mut coeffs = values.clone();
+            let r = {
+                let _ntt_span = telemetry::span(sink, &label);
+                ntt.transform_traced(&domain, &mut coeffs, Direction::Inverse, sink)
+            };
+            report.kernels.extend(r.kernels);
+            wire_coeffs[col] = coeffs;
+        }
+    }
+
+    Ok(PlonkPolyArtifacts {
+        report,
+        wire_values,
+        wire_coeffs,
+        public_inputs: circuit.public_inputs().to_vec(),
+    })
+}
+
+/// Adds `(Σ bᵢ·Xⁱ)·Z_H` to a length-`n` coefficient vector: blinding
+/// that vanishes on the domain, so the quotient numerator stays an exact
+/// multiple of `Z_H`.
+fn blind<F: Field>(coeffs: &mut Vec<F>, n: usize, blinds: &[F]) {
+    coeffs.resize(n + blinds.len(), F::zero());
+    for (i, b) in blinds.iter().enumerate() {
+        coeffs[n + i] += *b;
+        coeffs[i] -= *b;
+    }
+}
+
+/// Rebuilds the transcript to the state right after the verifying key
+/// and public inputs are bound. Prover and verifier both start here.
+pub(crate) fn base_transcript<P: PairingConfig>(
+    vk: &PlonkVerifyingKey<P>,
+    public_inputs: &[P::Fr],
+) -> Transcript
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+{
+    let mut t = Transcript::new("gzkp-plonk-v1");
+    t.absorb_bytes("n", &(vk.n as u64).to_le_bytes());
+    t.absorb_scalar("k1", &vk.k1);
+    t.absorb_scalar("k2", &vk.k2);
+    for comm in &vk.selector_comms {
+        t.absorb_point("q", comm);
+    }
+    for comm in &vk.sigma_comms {
+        t.absorb_point("sigma", comm);
+    }
+    for pi in public_inputs {
+        t.absorb_scalar("pi", pi);
+    }
+    t
+}
+
+/// Commits each `(span, coeffs)` job concurrently through the G1 engine,
+/// then (after the join, so the span tree stays deterministic) emits each
+/// job's telemetry under its span and folds its kernels — span-prefixed —
+/// into `msm_report`. Mirrors the concurrent-MSM pattern of the Groth16
+/// prover.
+fn commit_batch<P: PairingConfig>(
+    pk: &PlonkProvingKey<P>,
+    engines: &Engines<'_, P>,
+    jobs: &[(&'static str, &[P::Fr])],
+    msm_report: &mut StageReport,
+    sink: &dyn TelemetrySink,
+) -> Vec<Affine<P::G1>> {
+    let runs: Vec<_> = jobs
+        .into_par_iter()
+        .map(|(_, coeffs)| pk.srs.commit(coeffs, engines.msm_g1))
+        .collect();
+    let mut out = Vec::with_capacity(runs.len());
+    for ((label, coeffs), run) in jobs.iter().zip(runs) {
+        if !coeffs.is_empty() {
+            let _span = telemetry::span(sink, label);
+            engines.msm_g1.emit_msm_telemetry(
+                &pk.srs.g1_powers[..coeffs.len()],
+                &ScalarVec::from_field(coeffs),
+                &run,
+                sink,
+            );
+        }
+        for mut k in run.report.kernels {
+            k.name = format!("{label}.{}", k.name);
+            msm_report.kernels.push(k);
+        }
+        out.push(run.result.to_affine());
+    }
+    out
+}
+
+/// Fiat–Shamir challenges recovered by replaying a checkpoint's
+/// transcript; each is present once the step that derives it has its
+/// prerequisite commitments recorded.
+#[derive(Default)]
+struct ReplayedChallenges<F> {
+    beta: Option<F>,
+    gamma: Option<F>,
+    alpha: Option<F>,
+    zeta: Option<F>,
+}
+
+/// Resumable mid-proof PLONK state: the POLY artifacts plus the output
+/// of every commit step already executed. See the module docs for the
+/// serialized form.
+pub struct PlonkCheckpoint<P: PairingConfig> {
+    /// Seed of the job's blinding RNG family (see the module docs).
+    pub seed: u64,
+    poly_report: StageReport,
+    msm_report: StageReport,
+    public_inputs: Vec<P::Fr>,
+    wire_values: [Vec<P::Fr>; 3],
+    /// Blinded after step 0 (length n+2 each).
+    wire_coeffs: [Vec<P::Fr>; 3],
+    wire_comms: Option<[Affine<P::G1>; 3]>,
+    /// Blinded accumulator coefficients after step 1 (length n+3).
+    z_coeffs: Vec<P::Fr>,
+    z_comm: Option<Affine<P::G1>>,
+    /// Quotient chunks after step 2 (length n+2 each).
+    t_parts: [Vec<P::Fr>; 3],
+    t_comms: Option<[Affine<P::G1>; 3]>,
+    evals: Option<PlonkEvals<P::Fr>>,
+    w_z_comm: Option<Affine<P::G1>>,
+    w_zw_comm: Option<Affine<P::G1>>,
+}
+
+impl<P: PairingConfig> PlonkCheckpoint<P> {
+    /// Opens a checkpoint right after the POLY stage: no steps done.
+    pub fn from_poly(seed: u64, poly: PlonkPolyArtifacts<P>) -> Self {
+        Self {
+            seed,
+            poly_report: poly.report,
+            msm_report: StageReport::new("MSM"),
+            public_inputs: poly.public_inputs,
+            wire_values: poly.wire_values,
+            wire_coeffs: poly.wire_coeffs,
+            wire_comms: None,
+            z_coeffs: Vec::new(),
+            z_comm: None,
+            t_parts: std::array::from_fn(|_| Vec::new()),
+            t_comms: None,
+            evals: None,
+            w_z_comm: None,
+            w_zw_comm: None,
+        }
+    }
+
+    /// Per-step completion flags, in execution order.
+    pub fn completed(&self) -> [bool; MSM_STEPS] {
+        [
+            self.wire_comms.is_some(),
+            self.z_comm.is_some(),
+            self.t_comms.is_some(),
+            self.w_z_comm.is_some(),
+        ]
+    }
+
+    /// Number of commit steps already executed.
+    pub fn steps_done(&self) -> usize {
+        self.completed().iter().filter(|&&d| d).count()
+    }
+
+    /// The first step still to run, or `None` when only
+    /// [`PlonkCheckpoint::finish`] remains.
+    pub fn next_step(&self) -> Option<usize> {
+        self.completed().iter().position(|&d| !d)
+    }
+
+    /// The POLY stage report captured at checkpoint time.
+    pub fn poly_report(&self) -> &StageReport {
+        &self.poly_report
+    }
+
+    /// H2D bytes of the checkpointed scalar state.
+    pub fn scalar_bytes(&self) -> u64 {
+        let per = (P::Fr::NUM_LIMBS * 8) as u64;
+        let elems: usize = self
+            .wire_values
+            .iter()
+            .chain(self.wire_coeffs.iter())
+            .chain(self.t_parts.iter())
+            .map(Vec::len)
+            .sum::<usize>()
+            + self.z_coeffs.len()
+            + self.public_inputs.len();
+        elems as u64 * per
+    }
+
+    /// Replays the transcript across the first `steps` steps' recorded
+    /// commitments — every challenge is a pure function of the verifying
+    /// key, public inputs, and commitments riding in the checkpoint, so
+    /// any host derives the same values. Absorbs and squeezes interleave
+    /// in exactly the live protocol's order (the sponge is stateful, so
+    /// a challenge squeezed at a different point is a different value).
+    fn transcript_through(
+        &self,
+        pk: &PlonkProvingKey<P>,
+        steps: usize,
+    ) -> (Transcript, ReplayedChallenges<P::Fr>)
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        let mut t = base_transcript(&pk.vk, &self.public_inputs);
+        let mut ch = ReplayedChallenges::default();
+        if steps >= 1 {
+            for comm in self.wire_comms.as_ref().expect("wires committed") {
+                t.absorb_point("wire", comm);
+            }
+            ch.beta = Some(t.challenge("beta"));
+            ch.gamma = Some(t.challenge("gamma"));
+        }
+        if steps >= 2 {
+            t.absorb_point("z", self.z_comm.as_ref().expect("z committed"));
+            ch.alpha = Some(t.challenge("alpha"));
+        }
+        if steps >= 3 {
+            for comm in self.t_comms.as_ref().expect("t committed") {
+                t.absorb_point("t", comm);
+            }
+            ch.zeta = Some(t.challenge("zeta"));
+        }
+        (t, ch)
+    }
+
+    /// Executes commit step `step`. A step already done is a no-op, so
+    /// replays after a resume are harmless; steps must otherwise run in
+    /// order (each consumes the previous step's transcript state).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `step` is out of range or a prerequisite step is missing.
+    pub fn run_step(
+        &mut self,
+        pk: &PlonkProvingKey<P>,
+        engines: &Engines<'_, P>,
+        step: usize,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String>
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        if step >= MSM_STEPS {
+            return Err(format!("plonk step {step} out of range (0..{MSM_STEPS})"));
+        }
+        if self.completed()[step] {
+            return Ok(());
+        }
+        if step > 0 && !self.completed()[step - 1] {
+            return Err(format!(
+                "plonk step {step} ({}) scheduled before step {}",
+                STEP_LABELS[step],
+                step - 1
+            ));
+        }
+        match step {
+            0 => self.step_wires(pk, engines, sink),
+            1 => self.step_perm_z(pk, engines, sink),
+            2 => self.step_quotient(pk, engines, sink),
+            _ => self.step_open(pk, engines, sink),
+        }
+    }
+
+    /// Step 0: blind the three wire polynomials and commit them.
+    fn step_wires(
+        &mut self,
+        pk: &PlonkProvingKey<P>,
+        engines: &Engines<'_, P>,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String>
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        let mut rng = step_rng(self.seed, 0);
+        for coeffs in self.wire_coeffs.iter_mut() {
+            let blinds = [P::Fr::random(&mut rng), P::Fr::random(&mut rng)];
+            blind(coeffs, pk.n, &blinds);
+        }
+        let jobs: [(&'static str, &[P::Fr]); 3] = [
+            (STAGES[0], &self.wire_coeffs[0]),
+            (STAGES[1], &self.wire_coeffs[1]),
+            (STAGES[2], &self.wire_coeffs[2]),
+        ];
+        let comms = commit_batch(pk, engines, &jobs, &mut self.msm_report, sink);
+        self.wire_comms = Some([comms[0], comms[1], comms[2]]);
+        Ok(())
+    }
+
+    /// Step 1: derive β, γ; build, blind, and commit the permutation
+    /// accumulator `z`.
+    fn step_perm_z(
+        &mut self,
+        pk: &PlonkProvingKey<P>,
+        engines: &Engines<'_, P>,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String>
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        let (_, ch) = self.transcript_through(pk, 1);
+        let beta = ch.beta.expect("beta replayed");
+        let gamma = ch.gamma.expect("gamma replayed");
+
+        let n = pk.n;
+        let domain = Radix2Domain::<P::Fr>::new(n).ok_or("domain exceeds two-adicity")?;
+        let omegas = Radix2Domain::powers(domain.omega, n);
+        let shifts = [P::Fr::one(), pk.k1, pk.k2];
+
+        // Row ratios Π (w + β·id + γ) / (w + β·σ + γ); denominators are
+        // batch-inverted (one inversion for the whole column).
+        let mut nums = vec![P::Fr::one(); n];
+        let mut dens = vec![P::Fr::one(); n];
+        for row in 0..n {
+            for (col, shift) in shifts.iter().enumerate() {
+                let w = self.wire_values[col][row];
+                nums[row] *= w + beta * *shift * omegas[row] + gamma;
+                dens[row] *= w + beta * pk.sigma_evals[col][row] + gamma;
+            }
+        }
+        batch_inverse(&mut dens);
+        let mut z_vals = Vec::with_capacity(n);
+        let mut acc = P::Fr::one();
+        for row in 0..n {
+            z_vals.push(acc);
+            acc = acc * nums[row] * dens[row];
+        }
+
+        // Interpolate through the engine, then blind with a degree-2
+        // masker (z is opened at two points, ζ and ζω).
+        let mut z_coeffs = z_vals;
+        {
+            let _span = telemetry::span(sink, "perm_z_ntt");
+            let r = engines
+                .ntt
+                .transform_traced(&domain, &mut z_coeffs, Direction::Inverse, sink);
+            for mut k in r.kernels {
+                k.name = format!("{}.{}", STAGES[3], k.name);
+                self.msm_report.kernels.push(k);
+            }
+        }
+        let mut rng = step_rng(self.seed, 1);
+        let blinds = [
+            P::Fr::random(&mut rng),
+            P::Fr::random(&mut rng),
+            P::Fr::random(&mut rng),
+        ];
+        blind(&mut z_coeffs, n, &blinds);
+        self.z_coeffs = z_coeffs;
+
+        let jobs: [(&'static str, &[P::Fr]); 1] = [(STAGES[3], &self.z_coeffs)];
+        let comms = commit_batch(pk, engines, &jobs, &mut self.msm_report, sink);
+        self.z_comm = Some(comms[0]);
+        Ok(())
+    }
+
+    /// Step 2: derive α, evaluate the full constraint identity on the 4n
+    /// coset, divide by `Z_H` pointwise (exact: the numerator is a
+    /// multiple of `Z_H` and `deg t = 3n+5 < 4n`), and commit the three
+    /// quotient chunks.
+    fn step_quotient(
+        &mut self,
+        pk: &PlonkProvingKey<P>,
+        engines: &Engines<'_, P>,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String>
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        let (_, ch) = self.transcript_through(pk, 2);
+        let beta = ch.beta.expect("beta replayed");
+        let gamma = ch.gamma.expect("gamma replayed");
+        let alpha = ch.alpha.expect("alpha replayed");
+
+        let n = pk.n;
+        let domain = Radix2Domain::<P::Fr>::new(n).ok_or("domain exceeds two-adicity")?;
+        let big = Radix2Domain::<P::Fr>::new(4 * n).ok_or("4n domain exceeds two-adicity")?;
+
+        // PI and L1 in coefficient form (host-side; tiny next to the 4n
+        // NTT batch below).
+        let mut pi_coeffs = vec![P::Fr::zero(); n];
+        for (j, pi) in self.public_inputs.iter().enumerate() {
+            pi_coeffs[j] = -*pi;
+        }
+        CpuNtt::reference().transform(&domain, &mut pi_coeffs, Direction::Inverse);
+        let n_inv = P::Fr::from_u64(n as u64)
+            .inverse()
+            .ok_or("domain size not invertible")?;
+        // L1 = (1/n)·Σ Xⁱ (the Lagrange base at ω⁰).
+        let l1_coeffs = vec![n_inv; n];
+
+        // Extend everything to evaluations on the 4n coset through the
+        // engine — the quotient's POLY-style NTT batch.
+        let mut coset_kernels = Vec::new();
+        let mut coset_evals = |coeffs: &[P::Fr], label: &str| -> Vec<P::Fr> {
+            let mut data = coeffs.to_vec();
+            data.resize(4 * n, P::Fr::zero());
+            big.coset_scale(&mut data);
+            let r = {
+                let _span = telemetry::span(sink, label);
+                engines
+                    .ntt
+                    .transform_traced(&big, &mut data, Direction::Forward, sink)
+            };
+            coset_kernels.extend(r.kernels);
+            data
+        };
+        let a_ev = coset_evals(&self.wire_coeffs[0], "coset[a]");
+        let b_ev = coset_evals(&self.wire_coeffs[1], "coset[b]");
+        let c_ev = coset_evals(&self.wire_coeffs[2], "coset[c]");
+        let z_ev = coset_evals(&self.z_coeffs, "coset[z]");
+        let s_ev: [Vec<P::Fr>; 3] =
+            std::array::from_fn(|i| coset_evals(&pk.sigma_coeffs[i], "coset[sigma]"));
+        let q_ev: [Vec<P::Fr>; 5] =
+            std::array::from_fn(|i| coset_evals(&pk.selectors[i], "coset[q]"));
+        let pi_ev = coset_evals(&pi_coeffs, "coset[pi]");
+        let l1_ev = coset_evals(&l1_coeffs, "coset[l1]");
+
+        // Z_H and X on the coset, computed incrementally; Z_H never
+        // vanishes off the domain, so the batch inversion is total.
+        let g = big.coset_gen;
+        let g_n = g.pow(&[n as u64]);
+        let omega_n = big.omega.pow(&[n as u64]);
+        let mut zh_inv = Vec::with_capacity(4 * n);
+        let mut xs = Vec::with_capacity(4 * n);
+        let mut zpow = g_n;
+        let mut x = g;
+        for _ in 0..4 * n {
+            zh_inv.push(zpow - P::Fr::one());
+            xs.push(x);
+            zpow *= omega_n;
+            x *= big.omega;
+        }
+        batch_inverse(&mut zh_inv);
+
+        // Pointwise numerator / Z_H. `z(ωX)` on the coset is a rotation
+        // by 4 positions (the domain's ω is ω₄ₙ⁴).
+        let shifts = [P::Fr::one(), pk.k1, pk.k2];
+        let alpha_sq = alpha * alpha;
+        let mut t_evals = vec![P::Fr::zero(); 4 * n];
+        for i in 0..4 * n {
+            let (a, b, c) = (a_ev[i], b_ev[i], c_ev[i]);
+            let gate = q_ev[0][i] * a
+                + q_ev[1][i] * b
+                + q_ev[2][i] * c
+                + q_ev[3][i] * a * b
+                + q_ev[4][i]
+                + pi_ev[i];
+            let x = xs[i];
+            let perm1 = (a + beta * shifts[0] * x + gamma)
+                * (b + beta * shifts[1] * x + gamma)
+                * (c + beta * shifts[2] * x + gamma)
+                * z_ev[i];
+            let perm2 = (a + beta * s_ev[0][i] + gamma)
+                * (b + beta * s_ev[1][i] + gamma)
+                * (c + beta * s_ev[2][i] + gamma)
+                * z_ev[(i + 4) % (4 * n)];
+            let boundary = l1_ev[i] * (z_ev[i] - P::Fr::one());
+            t_evals[i] = (gate + alpha * (perm1 - perm2) + alpha_sq * boundary) * zh_inv[i];
+        }
+
+        // Back to coefficients and split into three chunks of n+2.
+        {
+            let r = {
+                let _span = telemetry::span(sink, "coset[t_inv]");
+                engines
+                    .ntt
+                    .transform_traced(&big, &mut t_evals, Direction::Inverse, sink)
+            };
+            coset_kernels.extend(r.kernels);
+        }
+        big.coset_unscale(&mut t_evals);
+        for mut k in coset_kernels {
+            k.name = format!("quotient.{}", k.name);
+            self.msm_report.kernels.push(k);
+        }
+        let chunk = n + 2;
+        self.t_parts = std::array::from_fn(|i| t_evals[i * chunk..(i + 1) * chunk].to_vec());
+
+        let jobs: [(&'static str, &[P::Fr]); 3] = [
+            (STAGES[4], &self.t_parts[0]),
+            (STAGES[5], &self.t_parts[1]),
+            (STAGES[6], &self.t_parts[2]),
+        ];
+        let comms = commit_batch(pk, engines, &jobs, &mut self.msm_report, sink);
+        self.t_comms = Some([comms[0], comms[1], comms[2]]);
+        Ok(())
+    }
+
+    /// Step 3: derive ζ and v, evaluate every committed polynomial, and
+    /// commit the two KZG opening witnesses.
+    fn step_open(
+        &mut self,
+        pk: &PlonkProvingKey<P>,
+        engines: &Engines<'_, P>,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String>
+    where
+        <P::G1 as CurveParams>::Base: CoordField,
+    {
+        let (mut t, ch) = self.transcript_through(pk, 3);
+        let zeta = ch.zeta.expect("zeta replayed");
+
+        let n = pk.n;
+        let domain = Radix2Domain::<P::Fr>::new(n).ok_or("domain exceeds two-adicity")?;
+
+        // Combined quotient T = t_lo + ζⁿ⁺²·t_mid + ζ²⁽ⁿ⁺²⁾·t_hi.
+        let zeta_chunk = zeta.pow(&[(n + 2) as u64]);
+        let zeta_chunk2 = zeta_chunk * zeta_chunk;
+        let mut t_combined = self.t_parts[0].clone();
+        for (i, coeff) in self.t_parts[1].iter().enumerate() {
+            t_combined[i] += zeta_chunk * *coeff;
+        }
+        for (i, coeff) in self.t_parts[2].iter().enumerate() {
+            t_combined[i] += zeta_chunk2 * *coeff;
+        }
+
+        // The batched polynomials, in canonical order.
+        let batch: [&[P::Fr]; 13] = [
+            &self.wire_coeffs[0],
+            &self.wire_coeffs[1],
+            &self.wire_coeffs[2],
+            &self.z_coeffs,
+            &pk.sigma_coeffs[0],
+            &pk.sigma_coeffs[1],
+            &pk.sigma_coeffs[2],
+            &pk.selectors[0],
+            &pk.selectors[1],
+            &pk.selectors[2],
+            &pk.selectors[3],
+            &pk.selectors[4],
+            &t_combined,
+        ];
+        let mut eval_list = [P::Fr::zero(); 14];
+        for (i, coeffs) in batch.iter().enumerate() {
+            eval_list[i] = evaluate_poly(coeffs, zeta);
+        }
+        eval_list[13] = evaluate_poly(&self.z_coeffs, zeta * domain.omega);
+        let evals = PlonkEvals::from_order(eval_list);
+        for e in evals.in_order() {
+            t.absorb_scalar("eval", &e);
+        }
+        let v: P::Fr = t.challenge("v");
+
+        // W_ζ = (Σ vⁱ·Pᵢ − Σ vⁱ·ȳᵢ)/(X − ζ): combine coefficients first,
+        // then one synthetic division covers the whole batch.
+        let max_len = batch.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut combined = vec![P::Fr::zero(); max_len];
+        let mut v_pow = P::Fr::one();
+        for coeffs in batch {
+            for (i, c) in coeffs.iter().enumerate() {
+                combined[i] += v_pow * *c;
+            }
+            v_pow *= v;
+        }
+        let (w_z, _) = divide_at_point(&combined, zeta);
+        let (w_zw, _) = divide_at_point(&self.z_coeffs, zeta * domain.omega);
+
+        let jobs: [(&'static str, &[P::Fr]); 2] = [(STAGES[7], &w_z), (STAGES[8], &w_zw)];
+        let comms = commit_batch(pk, engines, &jobs, &mut self.msm_report, sink);
+        self.evals = Some(evals);
+        self.w_z_comm = Some(comms[0]);
+        self.w_zw_comm = Some(comms[1]);
+        Ok(())
+    }
+
+    /// Assembles the proof and report from a fully-stepped checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any step has not run yet.
+    pub fn finish(self) -> Result<(PlonkProof<P>, ProveReport), String> {
+        if let Some(step) = self.next_step() {
+            return Err(format!(
+                "cannot finish: plonk step {step} ({}) not yet run",
+                STEP_LABELS[step]
+            ));
+        }
+        Ok((
+            PlonkProof {
+                wire_comms: self.wire_comms.expect("wires committed"),
+                z_comm: self.z_comm.expect("z committed"),
+                t_comms: self.t_comms.expect("t committed"),
+                w_z: self.w_z_comm.expect("opening committed"),
+                w_zw: self.w_zw_comm.expect("shifted opening committed"),
+                evals: self.evals.expect("evaluations recorded"),
+            },
+            ProveReport {
+                poly: self.poly_report,
+                msm: self.msm_report,
+            },
+        ))
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend((bytes.len() as u64).to_le_bytes());
+    out.extend(bytes);
+}
+
+fn put_fvec<F: PrimeField>(out: &mut Vec<u8>, v: &[F]) {
+    out.extend((v.len() as u64).to_le_bytes());
+    for e in v {
+        for limb in e.to_limbs() {
+            out.extend(limb.to_le_bytes());
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("checkpoint truncated at offset {}", self.pos))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn section(&mut self) -> Result<&'a [u8], String> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| "section length overflow".to_string())?;
+        self.take(len)
+    }
+
+    fn fvec<F: PrimeField>(&mut self) -> Result<Vec<F>, String> {
+        let n = usize::try_from(self.u64()?).map_err(|_| "field vec overflow".to_string())?;
+        let total = n
+            .checked_mul(F::NUM_LIMBS * 8)
+            .ok_or_else(|| "field vec overflow".to_string())?;
+        let raw = self.take(total)?;
+        let mut out = Vec::with_capacity(n);
+        for (i, elem) in raw.chunks_exact(F::NUM_LIMBS * 8).enumerate() {
+            let limbs: Vec<u64> = elem
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            out.push(
+                F::from_limbs(&limbs).ok_or_else(|| format!("field element {i}: non-canonical"))?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+fn report_from_json(bytes: &[u8], which: &str) -> Result<StageReport, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| format!("{which} report is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| format!("{which} report: {e:?}"))
+}
+
+impl<P: PairingConfig> PlonkCheckpoint<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+{
+    fn curve_shape() -> [u32; 4] {
+        [
+            P::Fr::MODULUS_BITS,
+            P::Fr::NUM_LIMBS as u32,
+            <P::G1 as CurveParams>::Base::encoded_len() as u32,
+            <P::G2 as CurveParams>::Base::encoded_len() as u32,
+        ]
+    }
+
+    /// Serializes to the versioned byte format (module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.scalar_bytes() as usize);
+        out.extend(MAGIC);
+        out.push(CHECKPOINT_VERSION);
+        for word in Self::curve_shape() {
+            out.extend(word.to_le_bytes());
+        }
+        out.extend(self.seed.to_le_bytes());
+        let done = self
+            .completed()
+            .iter()
+            .enumerate()
+            .fold(0u8, |m, (i, &d)| if d { m | (1 << i) } else { m });
+        out.push(done);
+        put_bytes(
+            &mut out,
+            serde_json::to_string(&self.poly_report)
+                .expect("report serializes")
+                .as_bytes(),
+        );
+        put_bytes(
+            &mut out,
+            serde_json::to_string(&self.msm_report)
+                .expect("report serializes")
+                .as_bytes(),
+        );
+        put_fvec(&mut out, &self.public_inputs);
+        for v in &self.wire_values {
+            put_fvec(&mut out, v);
+        }
+        for v in &self.wire_coeffs {
+            put_fvec(&mut out, v);
+        }
+        put_fvec(&mut out, &self.z_coeffs);
+        for v in &self.t_parts {
+            put_fvec(&mut out, v);
+        }
+        if let Some(comms) = &self.wire_comms {
+            for c in comms {
+                put_bytes(&mut out, &compress(c));
+            }
+        }
+        if let Some(c) = &self.z_comm {
+            put_bytes(&mut out, &compress(c));
+        }
+        if let Some(comms) = &self.t_comms {
+            for c in comms {
+                put_bytes(&mut out, &compress(c));
+            }
+        }
+        if let Some(evals) = &self.evals {
+            put_fvec(&mut out, &evals.in_order());
+            put_bytes(&mut out, &compress(&self.w_z_comm.expect("open done")));
+            put_bytes(&mut out, &compress(&self.w_zw_comm.expect("open done")));
+        }
+        out
+    }
+
+    /// Decodes a checkpoint, validating the magic, version, curve shape,
+    /// every scalar (canonical range), and every point (curve equation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field; never panics
+    /// on attacker-controlled input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err("not a GZKP plonk checkpoint (bad magic)".into());
+        }
+        let version = r.u8()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            ));
+        }
+        let shape = [r.u32()?, r.u32()?, r.u32()?, r.u32()?];
+        if shape != Self::curve_shape() {
+            return Err(format!(
+                "checkpoint curve shape {shape:?} does not match target curve {:?}",
+                Self::curve_shape()
+            ));
+        }
+        let seed = r.u64()?;
+        let done = r.u8()?;
+        if done >= 1 << MSM_STEPS {
+            return Err(format!("invalid completion mask {done:#x}"));
+        }
+        // Steps complete strictly in order, so the mask must be a prefix.
+        if (done & (done + 1)) != 0 {
+            return Err(format!("non-contiguous completion mask {done:#x}"));
+        }
+        let poly_report = report_from_json(r.section()?, "poly")?;
+        let msm_report = report_from_json(r.section()?, "msm")?;
+        let public_inputs = r.fvec::<P::Fr>()?;
+        let wire_values = [r.fvec()?, r.fvec()?, r.fvec()?];
+        let wire_coeffs = [r.fvec()?, r.fvec()?, r.fvec()?];
+        let z_coeffs = r.fvec()?;
+        let t_parts = [r.fvec()?, r.fvec()?, r.fvec()?];
+        let read_point = |r: &mut Reader<'_>, which: &str| -> Result<Affine<P::G1>, String> {
+            decompress::<P::G1>(r.section()?)
+                .ok_or_else(|| format!("{which} commitment: invalid point"))
+        };
+        let wire_comms = if done & 1 != 0 {
+            Some([
+                read_point(&mut r, "wire a")?,
+                read_point(&mut r, "wire b")?,
+                read_point(&mut r, "wire c")?,
+            ])
+        } else {
+            None
+        };
+        let z_comm = if done & 2 != 0 {
+            Some(read_point(&mut r, "z")?)
+        } else {
+            None
+        };
+        let t_comms = if done & 4 != 0 {
+            Some([
+                read_point(&mut r, "t_lo")?,
+                read_point(&mut r, "t_mid")?,
+                read_point(&mut r, "t_hi")?,
+            ])
+        } else {
+            None
+        };
+        let (evals, w_z_comm, w_zw_comm) = if done & 8 != 0 {
+            let ev = r.fvec::<P::Fr>()?;
+            let ev: [P::Fr; 14] = ev
+                .try_into()
+                .map_err(|_| "evaluation list must have 14 entries".to_string())?;
+            (
+                Some(PlonkEvals::from_order(ev)),
+                Some(read_point(&mut r, "w_z")?),
+                Some(read_point(&mut r, "w_zw")?),
+            )
+        } else {
+            (None, None, None)
+        };
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after checkpoint",
+                bytes.len() - r.pos
+            ));
+        }
+        Ok(Self {
+            seed,
+            poly_report,
+            msm_report,
+            public_inputs,
+            wire_values,
+            wire_coeffs,
+            wire_comms,
+            z_coeffs,
+            z_comm,
+            t_parts,
+            t_comms,
+            evals,
+            w_z_comm,
+            w_zw_comm,
+        })
+    }
+}
+
+/// Generates a PLONK proof end to end: POLY stage then the four commit
+/// steps, inside a `prove` span. Drives the same checkpoint state
+/// machine the service's stepwise path runs, so both paths produce
+/// byte-identical proofs for the same `seed`.
+///
+/// # Errors
+///
+/// Fails when the circuit is unsatisfied or does not match `pk`.
+pub fn prove<P: PairingConfig>(
+    circuit: &PlonkCircuit<P::Fr>,
+    pk: &PlonkProvingKey<P>,
+    engines: &Engines<'_, P>,
+    seed: u64,
+    sink: &dyn TelemetrySink,
+) -> Result<(PlonkProof<P>, ProveReport), String>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+{
+    let _prove_span = telemetry::span(sink, telemetry::counters::SPAN_PROVE);
+    let poly = prove_poly(circuit, pk, engines.ntt, sink)?;
+    let mut ckpt = PlonkCheckpoint::from_poly(seed, poly);
+    {
+        let _msm_span = telemetry::span(sink, telemetry::counters::SPAN_MSM);
+        while let Some(step) = ckpt.next_step() {
+            ckpt.run_step(pk, engines, step, sink)?;
+        }
+    }
+    ckpt.finish()
+}
+
+/// [`prove`], returning the serialized proof bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`prove`].
+pub fn prove_bytes<P: PairingConfig>(
+    circuit: &PlonkCircuit<P::Fr>,
+    pk: &PlonkProvingKey<P>,
+    engines: &Engines<'_, P>,
+    seed: u64,
+    sink: &dyn TelemetrySink,
+) -> Result<(Vec<u8>, ProveReport), String>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+{
+    let (proof, report) = prove(circuit, pk, engines, seed, sink)?;
+    Ok((proof.to_bytes(), report))
+}

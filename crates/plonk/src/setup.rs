@@ -1,0 +1,198 @@
+//! PLONK circuit setup: the universal powers-of-tau SRS plus per-circuit
+//! preprocessing (selector polynomials, the copy-constraint permutation
+//! σ, and their commitments).
+//!
+//! Setup is host-side and engine-independent: polynomial interpolation
+//! runs through the reference CPU NTT and the eight preprocessing
+//! commitments are computed as `p(τ)·G1` (the setup still holds τ at
+//! that point, so one scalar multiplication replaces each MSM). The
+//! *prover's* commitments — wires, permutation accumulator, quotient
+//! chunks, openings — are the ones that run through the shared
+//! [`gzkp_msm::MsmEngine`] stack.
+
+use crate::circuit::PlonkCircuit;
+use crate::kzg::{evaluate_poly, KzgSrs};
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{batch_to_affine, Affine, Projective};
+use gzkp_ff::{Field, PrimeField};
+use gzkp_ntt::{CpuNtt, Direction, Radix2Domain};
+use rand::Rng;
+
+/// Degree headroom the SRS needs beyond the domain size: the blinded
+/// permutation accumulator has `n + 3` coefficients (degree `n + 2`),
+/// the largest polynomial any stage commits.
+pub const SRS_HEADROOM: usize = 3;
+
+/// Verifier-side key material for one circuit shape.
+#[derive(Clone)]
+pub struct PlonkVerifyingKey<P: PairingConfig> {
+    /// Domain size (number of gate rows, a power of two).
+    pub n: usize,
+    /// Number of public inputs.
+    pub num_public: usize,
+    /// Coset shift of the second wire column's identity permutation.
+    pub k1: P::Fr,
+    /// Coset shift of the third wire column's identity permutation.
+    pub k2: P::Fr,
+    /// Commitments to `q_L, q_R, q_O, q_M, q_C`.
+    pub selector_comms: [Affine<P::G1>; 5],
+    /// Commitments to `σ₁, σ₂, σ₃`.
+    pub sigma_comms: [Affine<P::G1>; 3],
+    /// The G1 generator.
+    pub g1: Affine<P::G1>,
+    /// The G2 generator.
+    pub g2: Affine<P::G2>,
+    /// `τ·G2` — the verifier's half of the KZG pairing check.
+    pub tau_g2: Affine<P::G2>,
+}
+
+/// Prover-side key material: the SRS plus the preprocessed circuit
+/// polynomials in both coefficient and evaluation form (the quotient
+/// construction consumes evaluations, the opening stage coefficients).
+pub struct PlonkProvingKey<P: PairingConfig> {
+    /// Domain size.
+    pub n: usize,
+    /// Number of public inputs.
+    pub num_public: usize,
+    /// The powers-of-tau SRS (length `n + SRS_HEADROOM`).
+    pub srs: KzgSrs<P>,
+    /// Coset shifts `k1`, `k2` (column identities are `X`, `k1·X`,
+    /// `k2·X`).
+    pub k1: P::Fr,
+    /// See [`PlonkProvingKey::k1`].
+    pub k2: P::Fr,
+    /// Selector polynomials `q_L, q_R, q_O, q_M, q_C`, coefficient form.
+    pub selectors: [Vec<P::Fr>; 5],
+    /// Permutation polynomials `σ₁, σ₂, σ₃`, coefficient form.
+    pub sigma_coeffs: [Vec<P::Fr>; 3],
+    /// Permutation values on the domain: `σ_col(ωʳᵒʷ)`.
+    pub sigma_evals: [Vec<P::Fr>; 3],
+    /// Wire variable indices per row (padded to `n` with the zero var).
+    pub wires: [Vec<usize>; 3],
+    /// Embedded verifying key (the prover's transcript absorbs it so
+    /// both sides derive identical challenges).
+    pub vk: PlonkVerifyingKey<P>,
+}
+
+/// Finds the coset shifts: `k1` with `k1ⁿ ≠ 1` (so `k1·H` misses `H`)
+/// and `k2` with `k2ⁿ ≠ 1` and `(k2/k1)ⁿ ≠ 1` (so the three cosets are
+/// pairwise disjoint). Small integers are searched deterministically.
+fn coset_shifts<F: PrimeField>(n: usize) -> (F, F) {
+    let in_coset = |a: &F, b: &F| -> bool {
+        // a/b lands in H iff (a/b)^n == 1.
+        (*a * b.inverse().expect("nonzero shift")).pow(&[n as u64]) == F::one()
+    };
+    let one = F::one();
+    let mut k1 = F::from_u64(2);
+    while in_coset(&k1, &one) {
+        k1 += one;
+    }
+    let mut k2 = k1 + one;
+    while in_coset(&k2, &one) || in_coset(&k2, &k1) {
+        k2 += one;
+    }
+    (k1, k2)
+}
+
+/// Interpolates evaluation-form `values` (length `n`) into coefficient
+/// form through the reference CPU NTT.
+fn interpolate<F: PrimeField>(domain: &Radix2Domain<F>, values: &[F]) -> Vec<F> {
+    let mut coeffs = values.to_vec();
+    CpuNtt::reference().transform(domain, &mut coeffs, Direction::Inverse);
+    coeffs
+}
+
+/// Runs per-circuit setup: samples τ, builds the SRS, preprocesses the
+/// selectors and the copy-constraint permutation, and commits to them.
+///
+/// # Errors
+///
+/// Fails when the domain size exceeds the field's two-adicity.
+#[allow(clippy::type_complexity)]
+pub fn setup<P: PairingConfig, R: Rng + ?Sized>(
+    circuit: &PlonkCircuit<P::Fr>,
+    rng: &mut R,
+) -> Result<(PlonkProvingKey<P>, PlonkVerifyingKey<P>), String> {
+    let n = circuit.domain_size();
+    let domain = Radix2Domain::<P::Fr>::new(n)
+        .ok_or_else(|| format!("domain size {n} exceeds the field's two-adicity"))?;
+
+    // Padded selector evaluation vectors and wire index columns.
+    let mut selector_evals: [Vec<P::Fr>; 5] = std::array::from_fn(|_| vec![P::Fr::zero(); n]);
+    let mut wires: [Vec<usize>; 3] = std::array::from_fn(|_| vec![0usize; n]);
+    for (row, gate) in circuit.gates.iter().enumerate() {
+        selector_evals[0][row] = gate.q_l;
+        selector_evals[1][row] = gate.q_r;
+        selector_evals[2][row] = gate.q_o;
+        selector_evals[3][row] = gate.q_m;
+        selector_evals[4][row] = gate.q_c;
+        wires[0][row] = gate.a;
+        wires[1][row] = gate.b;
+        wires[2][row] = gate.c;
+    }
+
+    let (k1, k2) = coset_shifts::<P::Fr>(n);
+    let shifts = [P::Fr::one(), k1, k2];
+    let omegas = Radix2Domain::powers(domain.omega, n);
+
+    // Copy-constraint permutation: collect each variable's slot
+    // positions and rotate within the cycle; σ_col(row) is the identity
+    // value (k_col·ω^row) of the *next* slot holding the same variable.
+    let mut positions: Vec<Vec<(usize, usize)>> = vec![Vec::new(); circuit.num_variables()];
+    for col in 0..3 {
+        for row in 0..n {
+            positions[wires[col][row]].push((col, row));
+        }
+    }
+    let mut sigma_evals: [Vec<P::Fr>; 3] = std::array::from_fn(|_| vec![P::Fr::zero(); n]);
+    for cycle in &positions {
+        for (i, &(col, row)) in cycle.iter().enumerate() {
+            let (ncol, nrow) = cycle[(i + 1) % cycle.len()];
+            sigma_evals[col][row] = shifts[ncol] * omegas[nrow];
+        }
+    }
+
+    let selectors: [Vec<P::Fr>; 5] =
+        std::array::from_fn(|i| interpolate(&domain, &selector_evals[i]));
+    let sigma_coeffs: [Vec<P::Fr>; 3] =
+        std::array::from_fn(|i| interpolate(&domain, &sigma_evals[i]));
+
+    // SRS + preprocessing commitments (setup-side: evaluate at τ, one
+    // scalar multiplication per polynomial).
+    let tau = P::Fr::random(rng);
+    let srs = KzgSrs::<P>::setup_with_tau(tau, n + SRS_HEADROOM);
+    let g1 = Projective::<P::G1>::generator();
+    let commit_at_tau = |coeffs: &[P::Fr]| g1.mul(&evaluate_poly(coeffs, tau));
+    let comms = batch_to_affine(
+        &selectors
+            .iter()
+            .chain(sigma_coeffs.iter())
+            .map(|c| commit_at_tau(c))
+            .collect::<Vec<_>>(),
+    );
+
+    let vk = PlonkVerifyingKey {
+        n,
+        num_public: circuit.num_public,
+        k1,
+        k2,
+        selector_comms: std::array::from_fn(|i| comms[i]),
+        sigma_comms: std::array::from_fn(|i| comms[5 + i]),
+        g1: srs.g1(),
+        g2: srs.g2,
+        tau_g2: srs.tau_g2,
+    };
+    let pk = PlonkProvingKey {
+        n,
+        num_public: circuit.num_public,
+        srs,
+        k1,
+        k2,
+        selectors,
+        sigma_coeffs,
+        sigma_evals,
+        wires,
+        vk: vk.clone(),
+    };
+    Ok((pk, vk))
+}

@@ -1,0 +1,164 @@
+//! [`ProofSystem`] implementation for KZG-committed PLONK: a thin static
+//! adapter over the crate's split prover
+//! ([`crate::prove::prove_poly`] / [`crate::prove::PlonkCheckpoint`]) and
+//! verifier, so the generic service-side task types (`SystemTask<S>`,
+//! `CheckpointingTask<S>`) schedule PLONK jobs through exactly the code
+//! paths they use for Groth16.
+//!
+//! `prove_msm` drives the checkpoint state machine from step 0 to
+//! completion — it *is* the checkpoint path with no interruptions — so
+//! monolithic and stepwise proofs are byte-identical by construction.
+
+use crate::circuit::PlonkCircuit;
+use crate::prove::{prove_poly, PlonkCheckpoint, PlonkPolyArtifacts, MSM_STEPS};
+use crate::setup::{PlonkProvingKey, PlonkVerifyingKey};
+use crate::verify::verify_bytes;
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{CoordField, CurveParams};
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_gpu_sim::StageReport;
+use gzkp_ntt::gpu::GpuNttEngine;
+use gzkp_proof_system::{Engines, ProofSystem, ProofSystemKind, ProveReport};
+use gzkp_telemetry::TelemetrySink;
+use std::marker::PhantomData;
+
+/// Marker type selecting the KZG/PLONK backend over curve family `P`.
+pub struct PlonkSystem<P: PairingConfig>(PhantomData<P>);
+
+impl<P: PairingConfig> ProofSystem for PlonkSystem<P>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::G2 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    type Pairing = P;
+    type Circuit = PlonkCircuit<P::Fr>;
+    type ProvingKey = PlonkProvingKey<P>;
+    type VerifyingKey = PlonkVerifyingKey<P>;
+    type PolyArtifacts = PlonkPolyArtifacts<P>;
+    type Checkpoint = PlonkCheckpoint<P>;
+
+    const KIND: ProofSystemKind = ProofSystemKind::Plonk;
+
+    fn total_msm_steps() -> usize {
+        MSM_STEPS
+    }
+
+    fn prove_poly(
+        circuit: &Self::Circuit,
+        pk: &Self::ProvingKey,
+        ntt: &dyn GpuNttEngine<P::Fr>,
+        sink: &dyn TelemetrySink,
+    ) -> Result<Self::PolyArtifacts, String> {
+        prove_poly::<P>(circuit, pk, ntt, sink)
+    }
+
+    fn poly_report(poly: &Self::PolyArtifacts) -> &StageReport {
+        &poly.report
+    }
+
+    fn poly_scalar_bytes(poly: &Self::PolyArtifacts) -> u64 {
+        poly.scalar_bytes()
+    }
+
+    fn prove_msm(
+        pk: &Self::ProvingKey,
+        engines: &Engines<'_, P>,
+        poly: Self::PolyArtifacts,
+        seed: u64,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(Vec<u8>, ProveReport), String> {
+        let mut ckpt = PlonkCheckpoint::from_poly(seed, poly);
+        while let Some(step) = ckpt.next_step() {
+            ckpt.run_step(pk, engines, step, sink)?;
+        }
+        let (proof, report) = ckpt.finish()?;
+        Ok((proof.to_bytes(), report))
+    }
+
+    fn verify_bytes(vk: &Self::VerifyingKey, circuit: &Self::Circuit, proof: &[u8]) -> bool {
+        verify_bytes::<P>(vk, circuit.public_inputs(), proof)
+    }
+
+    fn witness_elems(circuit: &Self::Circuit) -> usize {
+        circuit.num_variables()
+    }
+
+    fn poly_d2h_elems(pk: &Self::ProvingKey) -> usize {
+        // Three wire polynomials come back from the POLY-stage INTTs.
+        3 * pk.n
+    }
+
+    fn g1_msm_sizes(pk: &Self::ProvingKey) -> Vec<usize> {
+        // The nine commitment MSMs: three wires (n+2), z (n+3), three
+        // quotient chunks (n+2), and the two opening witnesses (≤ n+2).
+        vec![
+            pk.n + 2,
+            pk.n + 2,
+            pk.n + 2,
+            pk.n + 3,
+            pk.n + 2,
+            pk.n + 2,
+            pk.n + 2,
+            pk.n + 2,
+            pk.n + 2,
+        ]
+    }
+
+    fn g2_msm_sizes(_pk: &Self::ProvingKey) -> Vec<usize> {
+        // KZG commitments are G1-only; G2 appears only in verification.
+        Vec::new()
+    }
+
+    fn checkpoint_from_poly(seed: u64, poly: Self::PolyArtifacts) -> Self::Checkpoint {
+        PlonkCheckpoint::from_poly(seed, poly)
+    }
+
+    fn checkpoint_to_bytes(ckpt: &Self::Checkpoint) -> Vec<u8> {
+        ckpt.to_bytes()
+    }
+
+    fn checkpoint_from_bytes(bytes: &[u8]) -> Result<Self::Checkpoint, String> {
+        PlonkCheckpoint::from_bytes(bytes)
+    }
+
+    fn checkpoint_seed(ckpt: &Self::Checkpoint) -> u64 {
+        ckpt.seed
+    }
+
+    fn checkpoint_scalar_bytes(ckpt: &Self::Checkpoint) -> u64 {
+        ckpt.scalar_bytes()
+    }
+
+    fn checkpoint_steps_done(ckpt: &Self::Checkpoint) -> usize {
+        ckpt.steps_done()
+    }
+
+    fn checkpoint_next_step(ckpt: &Self::Checkpoint) -> Option<usize> {
+        ckpt.next_step()
+    }
+
+    fn checkpoint_poly_report(ckpt: &Self::Checkpoint) -> StageReport {
+        ckpt.poly_report().clone()
+    }
+
+    fn checkpoint_run_step(
+        ckpt: &mut Self::Checkpoint,
+        pk: &Self::ProvingKey,
+        engines: &Engines<'_, P>,
+        step: usize,
+        sink: &dyn TelemetrySink,
+    ) -> Result<(), String> {
+        ckpt.run_step(pk, engines, step, sink)
+    }
+
+    fn checkpoint_finish(
+        ckpt: Self::Checkpoint,
+        pk: &Self::ProvingKey,
+    ) -> Result<(Vec<u8>, ProveReport), String> {
+        let _ = pk;
+        let (proof, report) = ckpt.finish()?;
+        Ok((proof.to_bytes(), report))
+    }
+}

@@ -1,0 +1,181 @@
+//! The PLONK verifier: constant work (a handful of field ops per public
+//! input, two scalar-polynomial identities, and one two-pairing check)
+//! regardless of circuit size.
+//!
+//! Verification replays the prover's Fiat–Shamir transcript over the
+//! proof's commitments, then checks:
+//!
+//! 1. **the quotient identity at ζ** — the claimed evaluations satisfy
+//!    `gate + PI(ζ) + α·(perm₁ − perm₂) + α²·L₁(ζ)·(z̄ − 1) = Z_H(ζ)·t̄`,
+//!    where `PI(ζ)` and `L₁(ζ)` are computed directly from the public
+//!    inputs via the barycentric Lagrange form; and
+//! 2. **the batched KZG opening** — one random-combination pairing check
+//!    covers all thirteen openings at ζ plus the shifted opening of `z`
+//!    at ζω:
+//!    `e(W_ζ + u·W_ζω, [τ]₂) = e(ζ·W_ζ + u·ζω·W_ζω + F − E, [1]₂)`.
+
+use crate::proof::PlonkProof;
+use crate::prove::base_transcript;
+use crate::setup::PlonkVerifyingKey;
+use gzkp_curves::pairing::{multi_pairing, Gt, PairingConfig};
+use gzkp_curves::serialize::CoordField;
+use gzkp_curves::{CurveParams, Projective};
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_ff::{batch_inverse, Field};
+use gzkp_ntt::Radix2Domain;
+
+/// Verifies a PLONK proof against the verifying key and public inputs.
+pub fn verify<P: PairingConfig>(
+    vk: &PlonkVerifyingKey<P>,
+    public_inputs: &[P::Fr],
+    proof: &PlonkProof<P>,
+) -> bool
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    if public_inputs.len() != vk.num_public {
+        return false;
+    }
+    let n = vk.n;
+    let Some(domain) = Radix2Domain::<P::Fr>::new(n) else {
+        return false;
+    };
+
+    // Replay the transcript to the prover's challenge points.
+    let mut t = base_transcript(vk, public_inputs);
+    for comm in &proof.wire_comms {
+        t.absorb_point("wire", comm);
+    }
+    let beta: P::Fr = t.challenge("beta");
+    let gamma: P::Fr = t.challenge("gamma");
+    t.absorb_point("z", &proof.z_comm);
+    let alpha: P::Fr = t.challenge("alpha");
+    for comm in &proof.t_comms {
+        t.absorb_point("t", comm);
+    }
+    let zeta: P::Fr = t.challenge("zeta");
+    for e in proof.evals.in_order() {
+        t.absorb_scalar("eval", &e);
+    }
+    let v: P::Fr = t.challenge("v");
+    t.absorb_point("w", &proof.w_z);
+    t.absorb_point("w", &proof.w_zw);
+    let u: P::Fr = t.challenge("u");
+
+    // Z_H(ζ), L₁(ζ), and PI(ζ) in barycentric form. A ζ on the domain
+    // (Z_H(ζ) = 0) is rejected outright: the quotient identity is not
+    // checkable there and an honest transcript hits it with negligible
+    // probability.
+    let zh = zeta.pow(&[n as u64]) - P::Fr::one();
+    if zh.is_zero() {
+        return false;
+    }
+    let n_inv = match P::Fr::from_u64(n as u64).inverse() {
+        Some(inv) => inv,
+        None => return false,
+    };
+    let omegas = Radix2Domain::powers(domain.omega, public_inputs.len().max(1));
+    let mut denoms: Vec<P::Fr> = (0..=public_inputs.len())
+        .map(|j| {
+            if j == 0 {
+                zeta - P::Fr::one() // for L₁(ζ)
+            } else {
+                zeta - omegas[j - 1] // for L_{j-1}(ζ)
+            }
+        })
+        .collect();
+    batch_inverse(&mut denoms);
+    let l1 = zh * n_inv * denoms[0];
+    let mut pi_eval = P::Fr::zero();
+    for (j, pi) in public_inputs.iter().enumerate() {
+        let lagrange = zh * n_inv * omegas[j] * denoms[j + 1];
+        pi_eval -= *pi * lagrange;
+    }
+
+    // Identity 1: the quotient relation at ζ over the claimed evals.
+    let e = &proof.evals;
+    let gate = e.q_l * e.a + e.q_r * e.b + e.q_o * e.c + e.q_m * e.a * e.b + e.q_c + pi_eval;
+    let perm1 = (e.a + beta * zeta + gamma)
+        * (e.b + beta * vk.k1 * zeta + gamma)
+        * (e.c + beta * vk.k2 * zeta + gamma)
+        * e.z;
+    let perm2 = (e.a + beta * e.s1 + gamma)
+        * (e.b + beta * e.s2 + gamma)
+        * (e.c + beta * e.s3 + gamma)
+        * e.z_omega;
+    let alpha_sq = alpha * alpha;
+    let lhs = gate + alpha * (perm1 - perm2) + alpha_sq * l1 * (e.z - P::Fr::one());
+    if lhs != zh * e.t {
+        return false;
+    }
+
+    // Identity 2: the batched KZG opening. Commitments in the prover's
+    // batch order; T's commitment is recombined from the three chunks.
+    let zeta_chunk = zeta.pow(&[(n + 2) as u64]);
+    let zeta_chunk2 = zeta_chunk * zeta_chunk;
+    let t_comm = proof.t_comms[0]
+        .to_projective()
+        .add(&proof.t_comms[1].mul(&zeta_chunk))
+        .add(&proof.t_comms[2].mul(&zeta_chunk2));
+    let comms: [Projective<P::G1>; 13] = [
+        proof.wire_comms[0].to_projective(),
+        proof.wire_comms[1].to_projective(),
+        proof.wire_comms[2].to_projective(),
+        proof.z_comm.to_projective(),
+        vk.sigma_comms[0].to_projective(),
+        vk.sigma_comms[1].to_projective(),
+        vk.sigma_comms[2].to_projective(),
+        vk.selector_comms[0].to_projective(),
+        vk.selector_comms[1].to_projective(),
+        vk.selector_comms[2].to_projective(),
+        vk.selector_comms[3].to_projective(),
+        vk.selector_comms[4].to_projective(),
+        t_comm,
+    ];
+    let evals = e.in_order();
+    let mut f_acc = Projective::<P::G1>::identity();
+    let mut e_scalar = P::Fr::zero();
+    let mut v_pow = P::Fr::one();
+    for (comm, eval) in comms.iter().zip(evals.iter().take(13)) {
+        f_acc = f_acc.add(&comm.mul(&v_pow));
+        e_scalar += v_pow * *eval;
+        v_pow *= v;
+    }
+    // The shifted opening of z at ζω rides with weight u.
+    f_acc = f_acc.add(&proof.z_comm.mul(&u));
+    e_scalar += u * e.z_omega;
+
+    let zeta_omega = zeta * domain.omega;
+    let lhs_g1 = proof.w_z.to_projective().add(&proof.w_zw.mul(&u));
+    let rhs_g1 = proof
+        .w_z
+        .mul(&zeta)
+        .add(&proof.w_zw.mul(&(u * zeta_omega)))
+        .add(&f_acc)
+        .add(&vk.g1.mul(&e_scalar).neg());
+
+    multi_pairing::<P>(&[
+        (lhs_g1.to_affine(), vk.tau_g2),
+        (rhs_g1.to_affine().neg(), vk.g2),
+    ]) == Gt::<P>::one()
+}
+
+/// Verifies serialized proof bytes. Malformed bytes verify as `false`,
+/// never panic.
+pub fn verify_bytes<P: PairingConfig>(
+    vk: &PlonkVerifyingKey<P>,
+    public_inputs: &[P::Fr],
+    bytes: &[u8],
+) -> bool
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    match PlonkProof::<P>::from_bytes(bytes) {
+        Ok(proof) => verify(vk, public_inputs, &proof),
+        Err(_) => false,
+    }
+}

@@ -1,28 +1,24 @@
-//! Checkpointing proof tasks: a [`ProofTask`] variant that persists a
-//! [`ProofCheckpoint`] after the POLY stage and after *every* MSM step,
+//! Checkpointing proof tasks: a [`ProofTask`] variant that persists the
+//! backend's checkpoint after the POLY stage and after *every* MSM step,
 //! and honors a cooperative interrupt flag between steps.
 //!
 //! This is the host-migration building block of the cluster layer: when a
 //! simulated host dies mid-proof, the job's latest checkpoint bytes are
 //! still in its [`CheckpointSlot`] (shared memory standing in for a
 //! replicated checkpoint store), so the cluster scheduler rebuilds the
-//! task on a surviving host with [`CheckpointingGroth16Task::resume`] and
-//! the proof comes out byte-identical to an uninterrupted run — the
-//! blinding RNG seed rides inside the checkpoint.
+//! task on a surviving host with [`CheckpointingTask::resume`] and the
+//! proof comes out byte-identical to an uninterrupted run — the blinding
+//! RNG seed rides inside the checkpoint. The task is generic over
+//! [`ProofSystem`], so Groth16's five-step and PLONK's four-step MSM
+//! stages migrate through the same machinery.
 
 use crate::job::{ProofTask, StageProfile, TaskOutput};
 use gzkp_curves::pairing::PairingConfig;
-use gzkp_curves::{CoordField, CurveParams};
 use gzkp_gpu_sim::device::DeviceConfig;
-use gzkp_groth16::checkpoint::ProofCheckpoint;
-use gzkp_groth16::prove::{prove_poly, ProverEngines};
-use gzkp_groth16::r1cs::ConstraintSystem;
-use gzkp_groth16::{proof_to_bytes, verify_proof_bytes, ProvingKey, VerifyingKey};
 use gzkp_msm::{GzkpMsm, MsmEngine, PreprocessStore};
 use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_proof_system::{Engines, ProofSystem};
 use gzkp_telemetry::TelemetrySink;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::any::TypeId;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -40,53 +36,56 @@ fn store_slot(slot: &CheckpointSlot, bytes: Option<Vec<u8>>) {
     *slot.lock().unwrap_or_else(PoisonError::into_inner) = bytes;
 }
 
-/// A [`crate::Groth16Task`] twin that checkpoints after POLY and after
-/// each of the five MSM steps, and fails fast (persisting first) when its
-/// interrupt flag rises — the cluster sets that flag when it kills the
-/// host the task is running on.
-pub struct CheckpointingGroth16Task<P: PairingConfig> {
-    cs: Arc<ConstraintSystem<P::Fr>>,
-    pk: Arc<ProvingKey<P>>,
-    vk: Option<Arc<VerifyingKey<P>>>,
+/// A [`crate::SystemTask`] twin that checkpoints after POLY and after
+/// each MSM step, and fails fast (persisting first) when its interrupt
+/// flag rises — the cluster sets that flag when it kills the host the
+/// task is running on.
+pub struct CheckpointingTask<S: ProofSystem> {
+    circuit: Arc<S::Circuit>,
+    pk: Arc<S::ProvingKey>,
+    vk: Option<Arc<S::VerifyingKey>>,
     ntt: GzkpNtt,
     msm_g1: GzkpMsm,
     msm_g2: GzkpMsm,
     seed: u64,
-    ckpt: Option<ProofCheckpoint<P>>,
+    ckpt: Option<S::Checkpoint>,
     slot: CheckpointSlot,
     interrupt: Arc<AtomicBool>,
     msm_h2d_bytes: u64,
 }
 
-impl<P: PairingConfig> CheckpointingGroth16Task<P>
-where
-    <P::G1 as CurveParams>::Base: CoordField,
-    <P::G2 as CurveParams>::Base: CoordField,
-{
+/// A checkpointing Groth16 task over one of the workspace curves.
+pub type CheckpointingGroth16Task<P> = CheckpointingTask<gzkp_groth16::Groth16System<P>>;
+
+/// A checkpointing KZG/PLONK task over one of the workspace curves.
+pub type CheckpointingPlonkTask<P> = CheckpointingTask<gzkp_plonk::PlonkSystem<P>>;
+
+impl<S: ProofSystem> CheckpointingTask<S> {
     /// Builds a fresh task (no prior checkpoint). `slot` receives the
     /// serialized checkpoint at every stage boundary; `interrupt` aborts
     /// the task between MSM steps when set.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        cs: Arc<ConstraintSystem<P::Fr>>,
-        pk: Arc<ProvingKey<P>>,
+        circuit: Arc<S::Circuit>,
+        pk: Arc<S::ProvingKey>,
         device: DeviceConfig,
         store: Option<Arc<PreprocessStore>>,
         seed: u64,
         slot: CheckpointSlot,
         interrupt: Arc<AtomicBool>,
     ) -> Self {
-        let mut msm_g1 = GzkpMsm::new(device.clone());
-        let mut msm_g2 = GzkpMsm::new(device.clone());
+        let tag = S::KIND.cache_tag();
+        let mut msm_g1 = GzkpMsm::new(device.clone()).with_system_tag(tag);
+        let mut msm_g2 = GzkpMsm::new(device.clone()).with_system_tag(tag);
         if let Some(store) = store {
             msm_g1 = msm_g1.with_store(store.clone());
             msm_g2 = msm_g2.with_store(store);
         }
         Self {
-            cs,
+            circuit,
             pk,
             vk: None,
-            ntt: GzkpNtt::auto::<P::Fr>(device),
+            ntt: GzkpNtt::auto::<<S::Pairing as PairingConfig>::Fr>(device),
             msm_g1,
             msm_g2,
             seed,
@@ -104,28 +103,28 @@ where
     ///
     /// # Errors
     ///
-    /// Fails when `bytes` is not a valid checkpoint for curve `P`.
+    /// Fails when `bytes` is not a valid checkpoint for system `S`.
     #[allow(clippy::too_many_arguments)]
     pub fn resume(
-        cs: Arc<ConstraintSystem<P::Fr>>,
-        pk: Arc<ProvingKey<P>>,
+        circuit: Arc<S::Circuit>,
+        pk: Arc<S::ProvingKey>,
         device: DeviceConfig,
         store: Option<Arc<PreprocessStore>>,
         bytes: &[u8],
         slot: CheckpointSlot,
         interrupt: Arc<AtomicBool>,
     ) -> Result<Self, String> {
-        let ckpt = ProofCheckpoint::<P>::from_bytes(bytes)?;
-        let seed = ckpt.seed;
-        let mut task = Self::new(cs, pk, device, store, seed, slot, interrupt);
-        task.msm_h2d_bytes = ckpt.scalar_bytes();
+        let ckpt = S::checkpoint_from_bytes(bytes)?;
+        let seed = S::checkpoint_seed(&ckpt);
+        let mut task = Self::new(circuit, pk, device, store, seed, slot, interrupt);
+        task.msm_h2d_bytes = S::checkpoint_scalar_bytes(&ckpt);
         task.ckpt = Some(ckpt);
         Ok(task)
     }
 
     /// Enables verify-before-return against `vk`, as on
-    /// [`crate::Groth16Task::with_verifying_key`].
-    pub fn with_verifying_key(mut self, vk: Arc<VerifyingKey<P>>) -> Self {
+    /// [`crate::SystemTask::with_verifying_key`].
+    pub fn with_verifying_key(mut self, vk: Arc<S::VerifyingKey>) -> Self {
         self.vk = Some(vk);
         self
     }
@@ -133,20 +132,16 @@ where
     /// Number of MSM steps already completed (from a restored
     /// checkpoint, or from progress made this run).
     pub fn steps_done(&self) -> usize {
-        self.ckpt.as_ref().map_or(0, |c| c.steps_done())
+        self.ckpt
+            .as_ref()
+            .map_or(0, |c| S::checkpoint_steps_done(c))
     }
 }
 
-impl<P: PairingConfig> ProofTask for CheckpointingGroth16Task<P>
-where
-    <P::G1 as CurveParams>::Base: CoordField,
-    <P::G2 as CurveParams>::Base: CoordField,
-    <P::Fq12C as gzkp_ff::ext::Fp12Config>::Fp6C: gzkp_ff::ext::Fp6Config<Fp2C = P::Fq2C>,
-    P::Fq2C: gzkp_ff::ext::Fp2Config,
-{
+impl<S: ProofSystem> ProofTask for CheckpointingTask<S> {
     fn key_id(&self) -> u64 {
         let mut h = DefaultHasher::new();
-        TypeId::of::<P>().hash(&mut h);
+        TypeId::of::<S>().hash(&mut h);
         (Arc::as_ptr(&self.pk) as usize).hash(&mut h);
         h.finish()
     }
@@ -159,11 +154,11 @@ where
         if self.interrupt.load(Ordering::Relaxed) {
             return Err("interrupted before poly stage".to_string());
         }
-        let artifacts = prove_poly::<P>(&self.cs, &self.pk, &self.ntt, sink)
-            .map_err(|e| format!("poly stage failed: {e:?}"))?;
-        self.msm_h2d_bytes = artifacts.scalar_bytes();
-        let ckpt = ProofCheckpoint::from_poly(self.seed, artifacts);
-        store_slot(&self.slot, Some(ckpt.to_bytes()));
+        let artifacts = S::prove_poly(&self.circuit, &self.pk, &self.ntt, sink)
+            .map_err(|e| format!("poly stage failed: {e}"))?;
+        self.msm_h2d_bytes = S::poly_scalar_bytes(&artifacts);
+        let ckpt = S::checkpoint_from_poly(self.seed, artifacts);
+        store_slot(&self.slot, Some(S::checkpoint_to_bytes(&ckpt)));
         self.ckpt = Some(ckpt);
         Ok(())
     }
@@ -173,60 +168,70 @@ where
             .ckpt
             .take()
             .ok_or_else(|| "msm stage scheduled before poly stage".to_string())?;
-        let engines = ProverEngines::<P> {
+        let engines = Engines::<S::Pairing> {
             ntt: &self.ntt,
-            msm_g1: &self.msm_g1 as &dyn MsmEngine<P::G1>,
-            msm_g2: &self.msm_g2 as &dyn MsmEngine<P::G2>,
+            msm_g1: &self.msm_g1 as &dyn MsmEngine<<S::Pairing as PairingConfig>::G1>,
+            msm_g2: &self.msm_g2 as &dyn MsmEngine<<S::Pairing as PairingConfig>::G2>,
         };
-        while let Some(step) = ckpt.next_step() {
+        while let Some(step) = S::checkpoint_next_step(&ckpt) {
             if self.interrupt.load(Ordering::Relaxed) {
                 // Persist progress and put the checkpoint back so a
                 // retry on this task (rather than a cross-host resume)
                 // also continues instead of restarting.
-                store_slot(&self.slot, Some(ckpt.to_bytes()));
-                let done = ckpt.steps_done();
+                store_slot(&self.slot, Some(S::checkpoint_to_bytes(&ckpt)));
+                let done = S::checkpoint_steps_done(&ckpt);
+                let total = S::total_msm_steps();
                 self.ckpt = Some(ckpt);
                 return Err(format!(
-                    "host killed mid-proof: interrupted before msm step {step} ({done}/5 done)"
+                    "host killed mid-proof: interrupted before msm step {step} ({done}/{total} done)"
                 ));
             }
-            ckpt.run_step(&self.pk, &engines, step, sink)?;
-            store_slot(&self.slot, Some(ckpt.to_bytes()));
+            S::checkpoint_run_step(&mut ckpt, &self.pk, &engines, step, sink)?;
+            store_slot(&self.slot, Some(S::checkpoint_to_bytes(&ckpt)));
         }
-        let mut rng = StdRng::seed_from_u64(ckpt.seed);
-        let (proof, report) = ckpt.finish(&self.pk, &mut rng)?;
+        let (proof, report) = S::checkpoint_finish(ckpt, &self.pk)?;
         store_slot(&self.slot, None);
         Ok(TaskOutput {
-            proof: proof_to_bytes(&proof),
+            proof,
             report: Some(report),
         })
     }
 
+    fn system(&self) -> &'static str {
+        S::KIND.as_str()
+    }
+
     fn bind_device(&mut self, device: &DeviceConfig) {
-        self.ntt = self.ntt.rebind::<P::Fr>(device.clone());
+        self.ntt = self
+            .ntt
+            .rebind::<<S::Pairing as PairingConfig>::Fr>(device.clone());
         self.msm_g1.device = device.clone();
         self.msm_g2.device = device.clone();
     }
 
     fn msm_cost_estimate_ns(&self) -> f64 {
-        let g1 = |n| MsmEngine::<P::G1>::plan_dense(&self.msm_g1, n).total_ns();
-        g1(self.pk.a_query.len())
-            + g1(self.pk.b_g1_query.len())
-            + g1(self.pk.h_query.len())
-            + g1(self.pk.l_query.len())
-            + MsmEngine::<P::G2>::plan_dense(&self.msm_g2, self.pk.b_g2_query.len()).total_ns()
+        let mut total = 0.0;
+        for n in S::g1_msm_sizes(&self.pk) {
+            total += MsmEngine::<<S::Pairing as PairingConfig>::G1>::plan_dense(&self.msm_g1, n)
+                .total_ns();
+        }
+        for n in S::g2_msm_sizes(&self.pk) {
+            total += MsmEngine::<<S::Pairing as PairingConfig>::G2>::plan_dense(&self.msm_g2, n)
+                .total_ns();
+        }
+        total
     }
 
     fn poly_profile(&self) -> StageProfile {
         use gzkp_ff::PrimeField;
-        let fr_bytes = (P::Fr::NUM_LIMBS * 8) as u64;
+        let fr_bytes = (<S::Pairing as PairingConfig>::Fr::NUM_LIMBS * 8) as u64;
         StageProfile {
-            h2d_bytes: self.cs.num_variables() as u64 * fr_bytes,
+            h2d_bytes: S::witness_elems(&self.circuit) as u64 * fr_bytes,
             kernel_ns: self
                 .ckpt
                 .as_ref()
-                .map_or(0.0, |c| c.poly_report().total_ns()),
-            d2h_bytes: self.pk.h_query.len() as u64 * fr_bytes,
+                .map_or(0.0, |c| S::checkpoint_poly_report(c).total_ns()),
+            d2h_bytes: S::poly_d2h_elems(&self.pk) as u64 * fr_bytes,
             shards: 0,
         }
     }
@@ -243,7 +248,7 @@ where
     fn verify_output(&self, output: &TaskOutput) -> Option<bool> {
         self.vk
             .as_ref()
-            .map(|vk| verify_proof_bytes::<P>(vk, &output.proof, &self.cs.input_assignment))
+            .map(|vk| S::verify_bytes(vk, &self.circuit, &output.proof))
     }
 }
 
@@ -252,10 +257,13 @@ mod tests {
     use super::*;
     use gzkp_curves::bn254::{Bn254, Fr};
     use gzkp_gpu_sim::v100;
-    use gzkp_groth16::prove::prove;
-    use gzkp_groth16::r1cs::LinearCombination;
+    use gzkp_groth16::proof_to_bytes;
+    use gzkp_groth16::prove::{prove, ProverEngines};
+    use gzkp_groth16::r1cs::{ConstraintSystem, LinearCombination};
     use gzkp_groth16::setup::setup;
     use gzkp_telemetry::NoopSink;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn factor_cs() -> ConstraintSystem<Fr> {
         use gzkp_ff::Field;
@@ -329,5 +337,75 @@ mod tests {
             slot2.lock().unwrap().is_none(),
             "slot must clear on completion"
         );
+    }
+
+    #[test]
+    fn plonk_interrupt_persists_and_resume_matches_direct_prove() {
+        use gzkp_ff::Field;
+        use gzkp_plonk::{prove_bytes, setup as plonk_setup, PlonkCircuit, PlonkGate};
+        use gzkp_proof_system::Engines;
+
+        // x² = 9 with public x² exposed.
+        let mut circuit = PlonkCircuit::new(&[Fr::from_u64(9)]);
+        let x = circuit.alloc(Fr::from_u64(3));
+        circuit.push_gate(PlonkGate {
+            q_m: Fr::one(),
+            q_o: -Fr::one(),
+            a: x,
+            b: x,
+            c: 1, // the public variable
+            ..PlonkGate::empty()
+        });
+        let circuit = Arc::new(circuit);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pk, vk) = plonk_setup::<Bn254, _>(&circuit, &mut rng).unwrap();
+        let (pk, vk) = (Arc::new(pk), Arc::new(vk));
+
+        let ntt = GzkpNtt::auto::<Fr>(v100());
+        let msm_g1 = GzkpMsm::new(v100());
+        let msm_g2 = GzkpMsm::new(v100());
+        let engines = Engines::<Bn254> {
+            ntt: &ntt,
+            msm_g1: &msm_g1,
+            msm_g2: &msm_g2,
+        };
+        let (expected, _) = prove_bytes(&circuit, &pk, &engines, 42, &NoopSink).unwrap();
+
+        let slot: CheckpointSlot = Arc::new(Mutex::new(None));
+        let interrupt = Arc::new(AtomicBool::new(false));
+        let mut task = CheckpointingPlonkTask::<Bn254>::new(
+            circuit.clone(),
+            pk.clone(),
+            v100(),
+            None,
+            42,
+            slot.clone(),
+            interrupt.clone(),
+        );
+        task.poly(&NoopSink).unwrap();
+        interrupt.store(true, Ordering::Relaxed);
+        let err = task.msm(&NoopSink).expect_err("interrupt must abort");
+        assert!(err.contains("host killed"), "{err}");
+        assert!(err.contains("0/4 done"), "{err}");
+        assert_eq!(task.system(), "plonk");
+
+        let bytes = slot.lock().unwrap().clone().expect("checkpoint persisted");
+        let slot2: CheckpointSlot = Arc::new(Mutex::new(None));
+        let mut resumed = CheckpointingPlonkTask::<Bn254>::resume(
+            circuit.clone(),
+            pk.clone(),
+            v100(),
+            None,
+            &bytes,
+            slot2.clone(),
+            Arc::new(AtomicBool::new(false)),
+        )
+        .unwrap()
+        .with_verifying_key(vk);
+        resumed.poly(&NoopSink).unwrap();
+        let out = resumed.msm(&NoopSink).unwrap();
+        assert_eq!(out.proof, expected);
+        assert_eq!(resumed.verify_output(&out), Some(true));
+        assert!(slot2.lock().unwrap().is_none());
     }
 }

@@ -1,18 +1,14 @@
 //! Job-side types: the type-erased [`ProofTask`] the queue schedules, the
-//! standard Groth16 implementation, and the [`JobHandle`] callers hold.
+//! backend-generic [`SystemTask`] implementation, and the [`JobHandle`]
+//! callers hold.
 
 use gzkp_curves::pairing::PairingConfig;
-use gzkp_curves::{CoordField, CurveParams};
 use gzkp_gpu_sim::device::DeviceConfig;
-use gzkp_groth16::prove::{prove_msm, prove_poly, PolyArtifacts, ProveReport, ProverEngines};
-use gzkp_groth16::r1cs::ConstraintSystem;
-use gzkp_groth16::{proof_to_bytes, verify_proof_bytes, ProvingKey, VerifyingKey};
 use gzkp_msm::{GzkpMsm, MsmEngine, PreprocessStore};
 use gzkp_ntt::gpu::GzkpNtt;
+use gzkp_proof_system::{Engines, ProofSystem, ProveReport};
 use gzkp_runtime::{CrossDeviceMsm, FleetRuntime};
 use gzkp_telemetry::{TelemetrySink, Trace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::any::TypeId;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -33,13 +29,19 @@ pub trait ProofTask: Send {
     /// tables hot in the shared store.
     fn key_id(&self) -> u64;
 
-    /// Stage 1 — POLY: witness reduction and the seven NTTs. Must leave
-    /// the task ready for [`ProofTask::msm`].
+    /// Stage 1 — POLY: witness reduction and the backend's NTT batch.
+    /// Must leave the task ready for [`ProofTask::msm`].
     fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String>;
 
-    /// Stage 2 — the five multi-scalar multiplications, producing the
-    /// serialized proof.
+    /// Stage 2 — the backend's multi-scalar-multiplication steps,
+    /// producing the serialized proof.
     fn msm(&mut self, sink: &dyn TelemetrySink) -> Result<TaskOutput, String>;
+
+    /// Wire label of the proof system producing this job's proof
+    /// (`"groth16"`, `"plonk"`), for per-backend service telemetry.
+    fn system(&self) -> &'static str {
+        "groth16"
+    }
 
     /// Rebinds the task's engines to `device` before its next stage runs.
     /// Fleet placement and work stealing move stages between
@@ -116,28 +118,28 @@ pub struct StageProfile {
 /// What a completed task hands back.
 #[derive(Debug, Clone)]
 pub struct TaskOutput {
-    /// The proof, serialized with [`gzkp_groth16::proof_to_bytes`]
-    /// (curve-generic so the type-erased queue can carry it).
+    /// The proof in the backend's serialized encoding (curve- and
+    /// system-generic so the type-erased queue can carry it).
     pub proof: Vec<u8>,
     /// The prover's simulated-time stage report, when the task produces
     /// one.
     pub report: Option<ProveReport>,
 }
 
-/// The standard [`ProofTask`]: a Groth16 proof over one of the workspace
-/// curves, using the GZKP NTT and MSM engines.
+/// The standard [`ProofTask`]: one proof under any [`ProofSystem`]
+/// backend, using the GZKP NTT and MSM engines.
 ///
-/// The blinding factors come from a seeded `StdRng` drawn in the MSM
-/// stage, exactly where the direct prover draws them — a `Groth16Task`
-/// with seed `s` produces bytes identical to `gzkp_groth16::prove` with
-/// `StdRng::seed_from_u64(s)`.
-pub struct Groth16Task<P: PairingConfig> {
-    cs: Arc<ConstraintSystem<P::Fr>>,
-    pk: Arc<ProvingKey<P>>,
+/// The blinding factors come from seeded rngs drawn inside the backend's
+/// MSM stage, exactly where its direct prover draws them — a task with
+/// seed `s` produces bytes identical to the backend's monolithic prover
+/// with the same seed.
+pub struct SystemTask<S: ProofSystem> {
+    circuit: Arc<S::Circuit>,
+    pk: Arc<S::ProvingKey>,
     /// Verify-before-return: when present, the finished proof is checked
-    /// against this key (public inputs from the constraint system) before
-    /// the service publishes it.
-    vk: Option<Arc<VerifyingKey<P>>>,
+    /// against this key (public inputs from the circuit) before the
+    /// service publishes it.
+    vk: Option<Arc<S::VerifyingKey>>,
     ntt: GzkpNtt,
     msm_g1: GzkpMsm,
     msm_g2: GzkpMsm,
@@ -146,36 +148,45 @@ pub struct Groth16Task<P: PairingConfig> {
     cross_g1: Option<CrossDeviceMsm>,
     cross_g2: Option<CrossDeviceMsm>,
     seed: u64,
-    poly_out: Option<PolyArtifacts<P>>,
+    poly_out: Option<S::PolyArtifacts>,
     /// Scalar bytes the MSM stage will upload; captured at the end of
     /// POLY because the artifacts are consumed by the MSM stage itself.
     msm_h2d_bytes: u64,
 }
 
-impl<P: PairingConfig> Groth16Task<P> {
-    /// Builds a task proving `cs` under `pk` on the given simulated
+/// A Groth16 proof task over one of the workspace curves.
+pub type Groth16Task<P> = SystemTask<gzkp_groth16::Groth16System<P>>;
+
+/// A KZG/PLONK proof task over one of the workspace curves.
+pub type PlonkTask<P> = SystemTask<gzkp_plonk::PlonkSystem<P>>;
+
+impl<S: ProofSystem> SystemTask<S> {
+    /// Builds a task proving `circuit` under `pk` on the given simulated
     /// device. `store` wires the MSM engines to the service's shared
     /// checkpoint-table cache (pass [`crate::ProvingService::store`]);
-    /// `None` leaves them on the process-wide default cache. `seed` feeds
+    /// `None` leaves them on the process-wide default cache — either way
+    /// the entries are tagged with the backend's cache tag so Groth16 and
+    /// PLONK preprocessing of the same points never alias. `seed` feeds
     /// the blinding-factor rng.
     pub fn new(
-        cs: Arc<ConstraintSystem<P::Fr>>,
-        pk: Arc<ProvingKey<P>>,
+        circuit: Arc<S::Circuit>,
+        pk: Arc<S::ProvingKey>,
         device: DeviceConfig,
         store: Option<Arc<PreprocessStore>>,
         seed: u64,
     ) -> Self {
-        let mut msm_g1 = GzkpMsm::new(device.clone());
-        let mut msm_g2 = GzkpMsm::new(device.clone());
+        let tag = S::KIND.cache_tag();
+        let mut msm_g1 = GzkpMsm::new(device.clone()).with_system_tag(tag);
+        let mut msm_g2 = GzkpMsm::new(device.clone()).with_system_tag(tag);
         if let Some(store) = store {
             msm_g1 = msm_g1.with_store(store.clone());
             msm_g2 = msm_g2.with_store(store);
         }
         Self {
-            cs,
+            circuit,
             pk,
             vk: None,
-            ntt: GzkpNtt::auto::<P::Fr>(device),
+            ntt: GzkpNtt::auto::<<S::Pairing as PairingConfig>::Fr>(device),
             msm_g1,
             msm_g2,
             cross_g1: None,
@@ -190,30 +201,24 @@ impl<P: PairingConfig> Groth16Task<P> {
     /// checked against `vk` (with the task's public inputs) before the
     /// service returns it, catching silent corruption between the MSM
     /// kernels and the response buffer.
-    pub fn with_verifying_key(mut self, vk: Arc<VerifyingKey<P>>) -> Self {
+    pub fn with_verifying_key(mut self, vk: Arc<S::VerifyingKey>) -> Self {
         self.vk = Some(vk);
         self
     }
 }
 
-impl<P: PairingConfig> ProofTask for Groth16Task<P>
-where
-    <P::G1 as CurveParams>::Base: CoordField,
-    <P::G2 as CurveParams>::Base: CoordField,
-    <P::Fq12C as gzkp_ff::ext::Fp12Config>::Fp6C: gzkp_ff::ext::Fp6Config<Fp2C = P::Fq2C>,
-    P::Fq2C: gzkp_ff::ext::Fp2Config,
-{
+impl<S: ProofSystem> ProofTask for SystemTask<S> {
     fn key_id(&self) -> u64 {
         let mut h = DefaultHasher::new();
-        TypeId::of::<P>().hash(&mut h);
+        TypeId::of::<S>().hash(&mut h);
         (Arc::as_ptr(&self.pk) as usize).hash(&mut h);
         h.finish()
     }
 
     fn poly(&mut self, sink: &dyn TelemetrySink) -> Result<(), String> {
-        let artifacts = prove_poly::<P>(&self.cs, &self.pk, &self.ntt, sink)
-            .map_err(|e| format!("poly stage failed: {e:?}"))?;
-        self.msm_h2d_bytes = artifacts.scalar_bytes();
+        let artifacts = S::prove_poly(&self.circuit, &self.pk, &self.ntt, sink)
+            .map_err(|e| format!("poly stage failed: {e}"))?;
+        self.msm_h2d_bytes = S::poly_scalar_bytes(&artifacts);
         self.poly_out = Some(artifacts);
         Ok(())
     }
@@ -223,23 +228,26 @@ where
             .poly_out
             .take()
             .ok_or_else(|| "msm stage scheduled before poly stage".to_string())?;
-        let engines = ProverEngines::<P> {
+        let engines = Engines::<S::Pairing> {
             ntt: &self.ntt,
-            msm_g1: self
-                .cross_g1
-                .as_ref()
-                .map_or(&self.msm_g1 as &dyn MsmEngine<P::G1>, |c| c),
-            msm_g2: self
-                .cross_g2
-                .as_ref()
-                .map_or(&self.msm_g2 as &dyn MsmEngine<P::G2>, |c| c),
+            msm_g1: self.cross_g1.as_ref().map_or(
+                &self.msm_g1 as &dyn MsmEngine<<S::Pairing as PairingConfig>::G1>,
+                |c| c,
+            ),
+            msm_g2: self.cross_g2.as_ref().map_or(
+                &self.msm_g2 as &dyn MsmEngine<<S::Pairing as PairingConfig>::G2>,
+                |c| c,
+            ),
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let (proof, report) = prove_msm::<P, _>(&self.pk, &engines, poly, &mut rng, sink);
+        let (proof, report) = S::prove_msm(&self.pk, &engines, poly, self.seed, sink)?;
         Ok(TaskOutput {
-            proof: proof_to_bytes(&proof),
+            proof,
             report: Some(report),
         })
+    }
+
+    fn system(&self) -> &'static str {
+        S::KIND.as_str()
     }
 
     fn bind_device(&mut self, device: &DeviceConfig) {
@@ -247,7 +255,9 @@ where
         // memory, MSM windows from the cost tables), so rebuild them; the
         // functional results are exact group/field elements either way,
         // which keeps proofs byte-identical across placements.
-        self.ntt = self.ntt.rebind::<P::Fr>(device.clone());
+        self.ntt = self
+            .ntt
+            .rebind::<<S::Pairing as PairingConfig>::Fr>(device.clone());
         self.msm_g1.device = device.clone();
         self.msm_g2.device = device.clone();
         self.cross_g1 = None;
@@ -263,7 +273,9 @@ where
         // the claimed devices only for kernel pricing and transfers.
         self.msm_g1.device = fleet.config(devices[0]).clone();
         self.msm_g2.device = fleet.config(devices[0]).clone();
-        self.ntt = self.ntt.rebind::<P::Fr>(fleet.config(devices[0]).clone());
+        self.ntt = self
+            .ntt
+            .rebind::<<S::Pairing as PairingConfig>::Fr>(fleet.config(devices[0]).clone());
         self.cross_g1 = Some(CrossDeviceMsm::new(
             self.msm_g1.clone(),
             fleet.clone(),
@@ -280,41 +292,49 @@ where
     }
 
     fn msm_cost_estimate_ns(&self) -> f64 {
-        let g1 = |n| MsmEngine::<P::G1>::plan_dense(&self.msm_g1, n).total_ns();
-        g1(self.pk.a_query.len())
-            + g1(self.pk.b_g1_query.len())
-            + g1(self.pk.h_query.len())
-            + g1(self.pk.l_query.len())
-            + MsmEngine::<P::G2>::plan_dense(&self.msm_g2, self.pk.b_g2_query.len()).total_ns()
+        let mut total = 0.0;
+        for n in S::g1_msm_sizes(&self.pk) {
+            total += MsmEngine::<<S::Pairing as PairingConfig>::G1>::plan_dense(&self.msm_g1, n)
+                .total_ns();
+        }
+        for n in S::g2_msm_sizes(&self.pk) {
+            total += MsmEngine::<<S::Pairing as PairingConfig>::G2>::plan_dense(&self.msm_g2, n)
+                .total_ns();
+        }
+        total
     }
 
     fn poly_profile(&self) -> StageProfile {
         use gzkp_ff::PrimeField;
-        let fr_bytes = (P::Fr::NUM_LIMBS * 8) as u64;
+        let fr_bytes = (<S::Pairing as PairingConfig>::Fr::NUM_LIMBS * 8) as u64;
         StageProfile {
-            h2d_bytes: self.cs.num_variables() as u64 * fr_bytes,
-            kernel_ns: self.poly_out.as_ref().map_or(0.0, |a| a.report.total_ns()),
-            d2h_bytes: self.pk.h_query.len() as u64 * fr_bytes,
+            h2d_bytes: S::witness_elems(&self.circuit) as u64 * fr_bytes,
+            kernel_ns: self
+                .poly_out
+                .as_ref()
+                .map_or(0.0, |a| S::poly_report(a).total_ns()),
+            d2h_bytes: S::poly_d2h_elems(&self.pk) as u64 * fr_bytes,
             shards: 0,
         }
     }
 
     fn msm_profile(&self, output: &TaskOutput) -> StageProfile {
         let mut shards = 0u64;
-        for n in [
-            self.pk.a_query.len(),
-            self.pk.b_g1_query.len(),
-            self.pk.h_query.len(),
-            self.pk.l_query.len(),
-        ] {
-            let s = self.msm_g1.shard_plan::<P::G1>(n);
+        for n in S::g1_msm_sizes(&self.pk) {
+            let s = self
+                .msm_g1
+                .shard_plan::<<S::Pairing as PairingConfig>::G1>(n);
             if s > 1 {
                 shards += s as u64;
             }
         }
-        let s = self.msm_g2.shard_plan::<P::G2>(self.pk.b_g2_query.len());
-        if s > 1 {
-            shards += s as u64;
+        for n in S::g2_msm_sizes(&self.pk) {
+            let s = self
+                .msm_g2
+                .shard_plan::<<S::Pairing as PairingConfig>::G2>(n);
+            if s > 1 {
+                shards += s as u64;
+            }
         }
         StageProfile {
             h2d_bytes: self.msm_h2d_bytes,
@@ -327,7 +347,7 @@ where
     fn verify_output(&self, output: &TaskOutput) -> Option<bool> {
         self.vk
             .as_ref()
-            .map(|vk| verify_proof_bytes::<P>(vk, &output.proof, &self.cs.input_assignment))
+            .map(|vk| S::verify_bytes(vk, &self.circuit, &output.proof))
     }
 }
 

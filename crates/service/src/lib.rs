@@ -62,8 +62,13 @@ pub mod job;
 pub mod replay;
 pub mod service;
 
-pub use checkpoint::{CheckpointSlot, CheckpointingGroth16Task};
-pub use job::{Groth16Task, JobError, JobHandle, JobResult, ProofTask, StageProfile, TaskOutput};
+pub use checkpoint::{
+    CheckpointSlot, CheckpointingGroth16Task, CheckpointingPlonkTask, CheckpointingTask,
+};
+pub use job::{
+    Groth16Task, JobError, JobHandle, JobResult, PlonkTask, ProofTask, StageProfile, SystemTask,
+    TaskOutput,
+};
 pub use replay::{prepare, run_sequential, run_service, PreparedWorkload, ReplayOutcome};
 pub use service::{ProvingService, ServiceStats, VERIFY_VOTE_RUNS};
 

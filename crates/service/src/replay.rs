@@ -2,51 +2,97 @@
 //! keys once, then run the request stream either as a sequential
 //! prove-in-a-loop baseline or through the [`ProvingService`] — the
 //! comparison `zkserve` and the `service_throughput` bench report.
+//!
+//! Request classes carry a proof system (`groth16` or `plonk`) as well as
+//! a curve; mixed streams flow through the same service front door, with
+//! PLONK circuits migrated from the synthetic R1CS by
+//! [`gzkp_plonk::PlonkCircuit::from_r1cs`].
 
-use crate::checkpoint::{CheckpointSlot, CheckpointingGroth16Task};
+use crate::checkpoint::{CheckpointSlot, CheckpointingTask};
 use crate::service::ServiceStats;
-use crate::{Groth16Task, JobError, JobOptions, Priority, ProvingService, ServiceConfig};
+use crate::{JobError, JobOptions, Priority, ProvingService, ServiceConfig, SystemTask};
 use gzkp_curves::bls12_381::Bls12_381;
 use gzkp_curves::bn254::Bn254;
 use gzkp_curves::pairing::PairingConfig;
 use gzkp_gpu_sim::device::DeviceConfig;
 use gzkp_gpu_sim::FaultSummary;
-use gzkp_groth16::r1cs::ConstraintSystem;
-use gzkp_groth16::{proof_to_bytes, prove, setup, ProverEngines, ProvingKey, VerifyingKey};
+use gzkp_groth16::Groth16System;
 use gzkp_msm::GzkpMsm;
 use gzkp_ntt::gpu::GzkpNtt;
-use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestWorkload};
+use gzkp_plonk::{PlonkCircuit, PlonkSystem};
+use gzkp_proof_system::{Engines, ProofSystem};
+use gzkp_telemetry::NoopSink;
+use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestSystem, RequestWorkload};
 use gzkp_workloads::synthetic::synthetic_circuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Shared circuit + proving key of one request class.
-struct Keyed<P: PairingConfig> {
-    cs: Arc<ConstraintSystem<P::Fr>>,
-    pk: Arc<ProvingKey<P>>,
-    vk: Arc<VerifyingKey<P>>,
+/// Shared circuit + keys of one request class under one backend.
+struct Keyed<S: ProofSystem> {
+    circuit: Arc<S::Circuit>,
+    pk: Arc<S::ProvingKey>,
+    vk: Arc<S::VerifyingKey>,
 }
 
-impl<P: PairingConfig> Clone for Keyed<P> {
+impl<S: ProofSystem> Clone for Keyed<S> {
     fn clone(&self) -> Self {
         Self {
-            cs: self.cs.clone(),
+            circuit: self.circuit.clone(),
             pk: self.pk.clone(),
             vk: self.vk.clone(),
         }
     }
 }
 
-enum PreparedCurve {
-    Bn254(Keyed<Bn254>),
-    Bls12_381(Keyed<Bls12_381>),
+enum PreparedClass {
+    Groth16Bn254(Keyed<Groth16System<Bn254>>),
+    Groth16Bls12_381(Keyed<Groth16System<Bls12_381>>),
+    PlonkBn254(Keyed<PlonkSystem<Bn254>>),
+    PlonkBls12_381(Keyed<PlonkSystem<Bls12_381>>),
+}
+
+impl Clone for PreparedClass {
+    fn clone(&self) -> Self {
+        match self {
+            PreparedClass::Groth16Bn254(k) => PreparedClass::Groth16Bn254(k.clone()),
+            PreparedClass::Groth16Bls12_381(k) => PreparedClass::Groth16Bls12_381(k.clone()),
+            PreparedClass::PlonkBn254(k) => PreparedClass::PlonkBn254(k.clone()),
+            PreparedClass::PlonkBls12_381(k) => PreparedClass::PlonkBls12_381(k.clone()),
+        }
+    }
+}
+
+/// Expands to `$body` with `$k` bound to the class's [`Keyed`] and `$S`
+/// aliased to its concrete [`ProofSystem`] type — the one dispatch point
+/// from the type-erased request stream to generic task code.
+macro_rules! dispatch_class {
+    ($class:expr, $k:ident, $S:ident, $body:expr) => {
+        match $class {
+            PreparedClass::Groth16Bn254($k) => {
+                type $S = Groth16System<Bn254>;
+                $body
+            }
+            PreparedClass::Groth16Bls12_381($k) => {
+                type $S = Groth16System<Bls12_381>;
+                $body
+            }
+            PreparedClass::PlonkBn254($k) => {
+                type $S = PlonkSystem<Bn254>;
+                $body
+            }
+            PreparedClass::PlonkBls12_381($k) => {
+                type $S = PlonkSystem<Bls12_381>;
+                $body
+            }
+        }
+    };
 }
 
 /// One concrete proof request of the prepared stream.
 struct PreparedRequest {
-    curve: PreparedCurve,
+    class: PreparedClass,
     priority: Priority,
     deadline: Option<Duration>,
     seed: u64,
@@ -54,7 +100,8 @@ struct PreparedRequest {
 
 /// A workload with circuits synthesized and keys set up, ready to replay.
 /// Requests are interleaved round-robin across the workload's classes, so
-/// consecutive submissions alternate proving keys.
+/// consecutive submissions alternate proving keys (and, in mixed
+/// workloads, proof systems).
 pub struct PreparedWorkload {
     requests: Vec<PreparedRequest>,
 }
@@ -68,6 +115,19 @@ impl PreparedWorkload {
     /// Whether the workload has no requests.
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
+    }
+
+    /// Wire label of the proof system of request `index` (`"groth16"` /
+    /// `"plonk"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn request_system(&self, index: usize) -> &'static str {
+        dispatch_class!(&self.requests[index].class, k, S, {
+            let _ = k;
+            S::KIND.as_str()
+        })
     }
 
     /// Submission options of request `index` (its priority/deadline from
@@ -94,7 +154,7 @@ impl PreparedWorkload {
     /// # Errors
     ///
     /// Fails when `index` is out of range or `checkpoint` doesn't decode
-    /// for the request's curve.
+    /// for the request's curve and system.
     #[allow(clippy::too_many_arguments)]
     pub fn checkpoint_task(
         &self,
@@ -110,39 +170,32 @@ impl PreparedWorkload {
             .requests
             .get(index)
             .ok_or_else(|| format!("request {index} out of range ({})", self.requests.len()))?;
-        macro_rules! build {
-            ($keyed:expr, $curve:ty) => {{
-                let k = $keyed;
-                let mut task = match checkpoint {
-                    Some(bytes) => CheckpointingGroth16Task::<$curve>::resume(
-                        k.cs.clone(),
-                        k.pk.clone(),
-                        device.clone(),
-                        store,
-                        bytes,
-                        slot,
-                        interrupt,
-                    )?,
-                    None => CheckpointingGroth16Task::<$curve>::new(
-                        k.cs.clone(),
-                        k.pk.clone(),
-                        device.clone(),
-                        store,
-                        req.seed,
-                        slot,
-                        interrupt,
-                    ),
-                };
-                if verify {
-                    task = task.with_verifying_key(k.vk.clone());
-                }
-                Ok(Box::new(task) as Box<dyn crate::ProofTask>)
-            }};
-        }
-        match &req.curve {
-            PreparedCurve::Bn254(k) => build!(k, Bn254),
-            PreparedCurve::Bls12_381(k) => build!(k, Bls12_381),
-        }
+        dispatch_class!(&req.class, k, S, {
+            let mut task = match checkpoint {
+                Some(bytes) => CheckpointingTask::<S>::resume(
+                    k.circuit.clone(),
+                    k.pk.clone(),
+                    device.clone(),
+                    store,
+                    bytes,
+                    slot,
+                    interrupt,
+                )?,
+                None => CheckpointingTask::<S>::new(
+                    k.circuit.clone(),
+                    k.pk.clone(),
+                    device.clone(),
+                    store,
+                    req.seed,
+                    slot,
+                    interrupt,
+                ),
+            };
+            if verify {
+                task = task.with_verifying_key(k.vk.clone());
+            }
+            Ok(Box::new(task) as Box<dyn crate::ProofTask>)
+        })
     }
 
     /// Proves request `index` directly (no service, fresh engines on
@@ -170,35 +223,66 @@ fn to_priority(p: RequestPriority) -> Priority {
 
 /// Synthesizes each class's circuit and runs its trusted setup (once per
 /// class), then expands the per-class counts into the round-robin arrival
-/// order. Deterministic in `workload.seed`.
+/// order. Deterministic in `workload.seed`. PLONK classes reuse the same
+/// synthetic R1CS generator and migrate the circuit with
+/// [`PlonkCircuit::from_r1cs`], so both backends prove the same relation.
 pub fn prepare(workload: &RequestWorkload, device: &DeviceConfig) -> PreparedWorkload {
     let _ = device; // reserved for device-dependent preparation
     let mut rng = StdRng::seed_from_u64(workload.seed);
-    let classes: Vec<(PreparedCurve, &gzkp_workloads::requests::RequestSpec)> = workload
+    let classes: Vec<(PreparedClass, &gzkp_workloads::requests::RequestSpec)> = workload
         .requests
         .iter()
         .map(|spec| {
-            let prepared = match spec.curve {
-                RequestCurve::Bn254 => {
+            let prepared = match (spec.curve, spec.system) {
+                (RequestCurve::Bn254, RequestSystem::Groth16) => {
                     let cs = Arc::new(synthetic_circuit::<<Bn254 as PairingConfig>::Fr, _>(
                         spec.constraints,
                         &mut rng,
                     ));
-                    let (pk, vk) = setup::<Bn254, _>(&cs, &mut rng).expect("setup");
-                    PreparedCurve::Bn254(Keyed {
-                        cs,
+                    let (pk, vk) = gzkp_groth16::setup::<Bn254, _>(&cs, &mut rng).expect("setup");
+                    PreparedClass::Groth16Bn254(Keyed {
+                        circuit: cs,
                         pk: Arc::new(pk),
                         vk: Arc::new(vk),
                     })
                 }
-                RequestCurve::Bls12_381 => {
+                (RequestCurve::Bls12_381, RequestSystem::Groth16) => {
                     let cs = Arc::new(synthetic_circuit::<<Bls12_381 as PairingConfig>::Fr, _>(
                         spec.constraints,
                         &mut rng,
                     ));
-                    let (pk, vk) = setup::<Bls12_381, _>(&cs, &mut rng).expect("setup");
-                    PreparedCurve::Bls12_381(Keyed {
-                        cs,
+                    let (pk, vk) =
+                        gzkp_groth16::setup::<Bls12_381, _>(&cs, &mut rng).expect("setup");
+                    PreparedClass::Groth16Bls12_381(Keyed {
+                        circuit: cs,
+                        pk: Arc::new(pk),
+                        vk: Arc::new(vk),
+                    })
+                }
+                (RequestCurve::Bn254, RequestSystem::Plonk) => {
+                    let cs = synthetic_circuit::<<Bn254 as PairingConfig>::Fr, _>(
+                        spec.constraints,
+                        &mut rng,
+                    );
+                    let circuit = Arc::new(PlonkCircuit::from_r1cs(&cs));
+                    let (pk, vk) =
+                        gzkp_plonk::setup::<Bn254, _>(&circuit, &mut rng).expect("plonk setup");
+                    PreparedClass::PlonkBn254(Keyed {
+                        circuit,
+                        pk: Arc::new(pk),
+                        vk: Arc::new(vk),
+                    })
+                }
+                (RequestCurve::Bls12_381, RequestSystem::Plonk) => {
+                    let cs = synthetic_circuit::<<Bls12_381 as PairingConfig>::Fr, _>(
+                        spec.constraints,
+                        &mut rng,
+                    );
+                    let circuit = Arc::new(PlonkCircuit::from_r1cs(&cs));
+                    let (pk, vk) =
+                        gzkp_plonk::setup::<Bls12_381, _>(&circuit, &mut rng).expect("plonk setup");
+                    PreparedClass::PlonkBls12_381(Keyed {
+                        circuit,
                         pk: Arc::new(pk),
                         vk: Arc::new(vk),
                     })
@@ -214,12 +298,8 @@ pub fn prepare(workload: &RequestWorkload, device: &DeviceConfig) -> PreparedWor
     for round in 0..max_count {
         for (prepared, spec) in &classes {
             if round < spec.count {
-                let curve = match prepared {
-                    PreparedCurve::Bn254(k) => PreparedCurve::Bn254(k.clone()),
-                    PreparedCurve::Bls12_381(k) => PreparedCurve::Bls12_381(k.clone()),
-                };
                 requests.push(PreparedRequest {
-                    curve,
+                    class: prepared.clone(),
                     priority: to_priority(spec.priority),
                     deadline: spec.deadline_ms.map(Duration::from_millis),
                     seed: workload.seed.wrapping_add(requests.len() as u64),
@@ -284,28 +364,16 @@ impl ReplayOutcome {
 }
 
 fn prove_one(req: &PreparedRequest, ntt: &GzkpNtt, msm_g1: &GzkpMsm, msm_g2: &GzkpMsm) -> Vec<u8> {
-    match &req.curve {
-        PreparedCurve::Bn254(k) => {
-            let engines = ProverEngines::<Bn254> {
-                ntt,
-                msm_g1,
-                msm_g2,
-            };
-            let mut rng = StdRng::seed_from_u64(req.seed);
-            let (proof, _) = prove(&k.cs, &k.pk, &engines, &mut rng).expect("prove");
-            proof_to_bytes(&proof)
-        }
-        PreparedCurve::Bls12_381(k) => {
-            let engines = ProverEngines::<Bls12_381> {
-                ntt,
-                msm_g1,
-                msm_g2,
-            };
-            let mut rng = StdRng::seed_from_u64(req.seed);
-            let (proof, _) = prove(&k.cs, &k.pk, &engines, &mut rng).expect("prove");
-            proof_to_bytes(&proof)
-        }
-    }
+    dispatch_class!(&req.class, k, S, {
+        let engines = Engines::<<S as ProofSystem>::Pairing> {
+            ntt,
+            msm_g1,
+            msm_g2,
+        };
+        let poly = S::prove_poly(&k.circuit, &k.pk, ntt, &NoopSink).expect("poly");
+        let (proof, _) = S::prove_msm(&k.pk, &engines, poly, req.seed, &NoopSink).expect("prove");
+        proof
+    })
 }
 
 /// The baseline: prove every request in arrival order on stock engines
@@ -356,34 +424,19 @@ pub fn run_service(
         .requests
         .iter()
         .map(|req| {
-            let task: Box<dyn crate::ProofTask> = match &req.curve {
-                PreparedCurve::Bn254(k) => {
-                    let mut t = Groth16Task::<Bn254>::new(
-                        k.cs.clone(),
-                        k.pk.clone(),
-                        device.clone(),
-                        Some(store.clone()),
-                        req.seed,
-                    );
-                    if verify {
-                        t = t.with_verifying_key(k.vk.clone());
-                    }
-                    Box::new(t)
+            let task: Box<dyn crate::ProofTask> = dispatch_class!(&req.class, k, S, {
+                let mut t = SystemTask::<S>::new(
+                    k.circuit.clone(),
+                    k.pk.clone(),
+                    device.clone(),
+                    Some(store.clone()),
+                    req.seed,
+                );
+                if verify {
+                    t = t.with_verifying_key(k.vk.clone());
                 }
-                PreparedCurve::Bls12_381(k) => {
-                    let mut t = Groth16Task::<Bls12_381>::new(
-                        k.cs.clone(),
-                        k.pk.clone(),
-                        device.clone(),
-                        Some(store.clone()),
-                        req.seed,
-                    );
-                    if verify {
-                        t = t.with_verifying_key(k.vk.clone());
-                    }
-                    Box::new(t)
-                }
-            };
+                Box::new(t)
+            });
             let opts = JobOptions {
                 priority: req.priority,
                 deadline: req.deadline,

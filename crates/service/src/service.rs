@@ -92,6 +92,10 @@ struct ServiceMetrics {
     accepted: Counter,
     rejected: Counter,
     completed: Counter,
+    /// Completions split by proof system (`system=groth16` /
+    /// `system=plonk`), for mixed-backend dashboards.
+    completed_groth16: Counter,
+    completed_plonk: Counter,
     deadline_missed: Counter,
     cancelled: Counter,
     drained: Counter,
@@ -115,6 +119,16 @@ impl ServiceMetrics {
             accepted: reg.counter(counters::SERVICE_ACCEPTED),
             rejected: reg.counter(counters::SERVICE_REJECTED),
             completed: reg.counter(counters::SERVICE_COMPLETED),
+            completed_groth16: reg.counter_with(
+                counters::SERVICE_COMPLETED_BY_SYSTEM,
+                counters::LABEL_SYSTEM,
+                counters::SYSTEM_GROTH16,
+            ),
+            completed_plonk: reg.counter_with(
+                counters::SERVICE_COMPLETED_BY_SYSTEM,
+                counters::LABEL_SYSTEM,
+                counters::SYSTEM_PLONK,
+            ),
             deadline_missed: reg.counter(counters::SERVICE_DEADLINE_MISSED),
             cancelled: reg.counter(counters::SERVICE_CANCELLED),
             drained: reg.counter(counters::SERVICE_DRAINED),
@@ -922,6 +936,13 @@ fn resolve_locked(
             Err(JobError::Failed(_)) => &m.failed,
         };
         counter.inc();
+        if outcome.is_ok() {
+            let by_system = match job.task.system() {
+                counters::SYSTEM_PLONK => &m.completed_plonk,
+                _ => &m.completed_groth16,
+            };
+            by_system.inc();
+        }
         m.job_latency
             .record(job.submitted.elapsed().as_nanos() as u64);
         m.queue_depth.set((q.pending.len() + q.staged.len()) as f64);

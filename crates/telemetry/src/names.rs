@@ -15,7 +15,8 @@
 
 // -- span names (trace tree) ------------------------------------------------
 
-/// Root span of one Groth16 proof.
+/// Root span of one proof, any backend (per-backend series carry the
+/// `system=` label instead of renaming the span).
 pub const SPAN_PROVE: &str = "prove";
 /// Polynomial stage (NTTs + coefficient work) of a proof.
 pub const SPAN_POLY: &str = "poly";
@@ -33,6 +34,40 @@ pub const SPAN_RETRY: &str = "retry";
 pub const SPAN_RUNTIME: &str = "runtime";
 /// Device-health event lane in a fleet trace (fault/quarantine markers).
 pub const SPAN_HEALTH: &str = "health";
+
+// -- per-backend stage names ------------------------------------------------
+//
+// The MSM stage's child spans are backend-specific: `zkprof render/diff`
+// and `zkserve top` look stage names up through `msm_stage_spans` keyed by
+// the `system=` label, so a PLONK trace is never mislabeled with Groth16
+// query names (and vice versa).
+
+/// `system=` label value for Groth16 series.
+pub const SYSTEM_GROTH16: &str = "groth16";
+/// `system=` label value for PLONK series.
+pub const SYSTEM_PLONK: &str = "plonk";
+/// Label key of per-proof-system series.
+pub const LABEL_SYSTEM: &str = "system";
+
+/// Child spans of the Groth16 `msm` span, in execution order: the five
+/// query MSMs.
+pub const GROTH16_MSM_STAGES: [&str; 5] = ["a", "b_g1", "h", "l", "b_g2"];
+/// Child spans of the PLONK `msm` span, in execution order: the KZG
+/// commitments of the three wire polynomials, the permutation
+/// accumulator, the three quotient chunks, and the two opening proofs.
+pub const PLONK_MSM_STAGES: [&str; 9] = [
+    "wires_a", "wires_b", "wires_c", "perm_z", "t_lo", "t_mid", "t_hi", "open_z", "open_zw",
+];
+
+/// MSM-stage child span names for a `system=` label value, defaulting to
+/// Groth16 for unlabeled (pre-multi-backend) traces.
+pub fn msm_stage_spans(system: &str) -> &'static [&'static str] {
+    if system == SYSTEM_PLONK {
+        &PLONK_MSM_STAGES
+    } else {
+        &GROTH16_MSM_STAGES
+    }
+}
 
 // -- device-lane names ------------------------------------------------------
 //
@@ -81,6 +116,9 @@ pub const SERVICE_ACCEPTED: &str = "service.accepted";
 pub const SERVICE_REJECTED: &str = "service.rejected";
 /// Jobs that ran to completion through the proving service.
 pub const SERVICE_COMPLETED: &str = "service.completed";
+/// Jobs completed per proof system (counter, labeled
+/// `system=groth16|plonk`).
+pub const SERVICE_COMPLETED_BY_SYSTEM: &str = "service.completed_by_system";
 /// Jobs dropped because their deadline expired before/between stages.
 pub const SERVICE_DEADLINE_MISSED: &str = "service.deadline_missed";
 /// Jobs cancelled cooperatively via their handle.

@@ -10,16 +10,17 @@
 //!     { "curve": "bn254",      "constraints": 256, "count": 4,
 //!       "priority": "normal",  "deadline_ms": 60000 },
 //!     { "curve": "bls12-381",  "constraints": 128, "count": 2,
-//!       "priority": "high" }
+//!       "priority": "high",    "system": "plonk" }
 //!   ]
 //! }
 //! ```
 //!
 //! Each entry describes one request *class*: a synthetic circuit of
-//! `constraints` constraints over `curve`, submitted `count` times.
-//! `count` (default 1), `priority` (default `"normal"`), `deadline_ms`
-//! (default: the service's default deadline) and `seed` (default 42) are
-//! optional. Replay interleaves the classes round-robin so consecutive
+//! `constraints` constraints over `curve`, proven under `system`
+//! (`"groth16"` or `"plonk"`) and submitted `count` times.
+//! `count` (default 1), `priority` (default `"normal"`), `system`
+//! (default `"groth16"`), `deadline_ms` (default: the service's default
+//! deadline) and `seed` (default 42) are optional. Replay interleaves the classes round-robin so consecutive
 //! submissions alternate proving keys — the access pattern that stresses
 //! a per-key preprocessing cache.
 //!
@@ -44,6 +45,26 @@ impl RequestCurve {
         match self {
             RequestCurve::Bn254 => "bn254",
             RequestCurve::Bls12_381 => "bls12-381",
+        }
+    }
+}
+
+/// Proof system of one request class (mirrors
+/// `ProofSystemKind` without depending on the proof-system crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestSystem {
+    /// Per-circuit-setup Groth16 — the default.
+    Groth16,
+    /// Universal-setup KZG-committed PLONK.
+    Plonk,
+}
+
+impl RequestSystem {
+    /// The workload-file spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RequestSystem::Groth16 => "groth16",
+            RequestSystem::Plonk => "plonk",
         }
     }
 }
@@ -76,6 +97,8 @@ impl RequestPriority {
 pub struct RequestSpec {
     /// Curve the proofs run over.
     pub curve: RequestCurve,
+    /// Proof system the proofs are produced under.
+    pub system: RequestSystem,
     /// Synthetic-circuit size (R1CS constraints).
     pub constraints: usize,
     /// How many proofs of this class to request.
@@ -109,6 +132,7 @@ impl RequestWorkload {
             requests: vec![
                 RequestSpec {
                     curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
                     constraints: 256,
                     count: 4,
                     priority: RequestPriority::Normal,
@@ -116,6 +140,7 @@ impl RequestWorkload {
                 },
                 RequestSpec {
                     curve: RequestCurve::Bls12_381,
+                    system: RequestSystem::Groth16,
                     constraints: 128,
                     count: 2,
                     priority: RequestPriority::High,
@@ -123,9 +148,45 @@ impl RequestWorkload {
                 },
                 RequestSpec {
                     curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
                     constraints: 512,
                     count: 2,
                     priority: RequestPriority::Low,
+                    deadline_ms: None,
+                },
+            ],
+        }
+    }
+
+    /// A mixed-backend example: Groth16 and PLONK classes over both
+    /// curves interleaved through one service front door (what
+    /// `zkserve example --mixed` prints).
+    pub fn mixed_example() -> Self {
+        Self {
+            seed: 42,
+            requests: vec![
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
+                    constraints: 256,
+                    count: 3,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bn254,
+                    system: RequestSystem::Plonk,
+                    constraints: 256,
+                    count: 3,
+                    priority: RequestPriority::Normal,
+                    deadline_ms: None,
+                },
+                RequestSpec {
+                    curve: RequestCurve::Bls12_381,
+                    system: RequestSystem::Plonk,
+                    constraints: 128,
+                    count: 2,
+                    priority: RequestPriority::High,
                     deadline_ms: None,
                 },
             ],
@@ -142,6 +203,7 @@ impl RequestWorkload {
             requests: vec![
                 RequestSpec {
                     curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
                     constraints: 256,
                     count: 6,
                     priority: RequestPriority::Normal,
@@ -149,6 +211,7 @@ impl RequestWorkload {
                 },
                 RequestSpec {
                     curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
                     constraints: 384,
                     count: 4,
                     priority: RequestPriority::Normal,
@@ -156,6 +219,7 @@ impl RequestWorkload {
                 },
                 RequestSpec {
                     curve: RequestCurve::Bn254,
+                    system: RequestSystem::Groth16,
                     constraints: 512,
                     count: 2,
                     priority: RequestPriority::Normal,
@@ -195,6 +259,12 @@ impl RequestWorkload {
             Some(other) => return Err(format!("unknown curve {other:?}")),
             None => return Err("missing \"curve\"".into()),
         };
+        let system = match e.get("system").map(|v| v.as_str()) {
+            None => RequestSystem::Groth16,
+            Some(Some("groth16")) => RequestSystem::Groth16,
+            Some(Some("plonk")) => RequestSystem::Plonk,
+            Some(other) => return Err(format!("unknown system {other:?}")),
+        };
         let constraints = e
             .get("constraints")
             .and_then(Value::as_u64)
@@ -221,6 +291,7 @@ impl RequestWorkload {
         };
         Ok(RequestSpec {
             curve,
+            system,
             constraints,
             count,
             priority,
@@ -236,6 +307,7 @@ impl RequestWorkload {
             .map(|r| {
                 let mut fields = vec![
                     ("curve".into(), Value::Str(r.curve.as_str().into())),
+                    ("system".into(), Value::Str(r.system.as_str().into())),
                     ("constraints".into(), Value::U64(r.constraints as u64)),
                     ("count".into(), Value::U64(r.count as u64)),
                     ("priority".into(), Value::Str(r.priority.as_str().into())),
@@ -273,11 +345,36 @@ mod tests {
         assert_eq!(w.total_requests(), 5);
         assert_eq!(w.requests[0].priority, RequestPriority::High);
         assert_eq!(w.requests[0].deadline_ms, Some(1500));
-        // Defaults: count 1, normal priority, no deadline.
+        // Defaults: count 1, normal priority, groth16, no deadline.
         assert_eq!(w.requests[1].count, 1);
         assert_eq!(w.requests[1].priority, RequestPriority::Normal);
         assert_eq!(w.requests[1].deadline_ms, None);
         assert_eq!(w.requests[1].curve, RequestCurve::Bls12_381);
+        assert_eq!(w.requests[1].system, RequestSystem::Groth16);
+    }
+
+    #[test]
+    fn parses_plonk_system() {
+        let text = r#"{
+            "requests": [
+                {"curve": "bn254", "constraints": 64, "system": "plonk"}
+            ]
+        }"#;
+        let w = RequestWorkload::from_json(text).unwrap();
+        assert_eq!(w.requests[0].system, RequestSystem::Plonk);
+    }
+
+    #[test]
+    fn mixed_example_round_trips() {
+        let w = RequestWorkload::mixed_example();
+        assert_eq!(w.total_requests(), 8);
+        assert!(w.requests.iter().any(|r| r.system == RequestSystem::Plonk));
+        assert!(w
+            .requests
+            .iter()
+            .any(|r| r.system == RequestSystem::Groth16));
+        let parsed = RequestWorkload::from_json(&w.to_json()).unwrap();
+        assert_eq!(parsed, w);
     }
 
     #[test]
@@ -313,6 +410,10 @@ mod tests {
             (
                 r#"{"requests": [{"curve": "bn254", "constraints": 4, "priority": "urgent"}]}"#,
                 "unknown priority",
+            ),
+            (
+                r#"{"requests": [{"curve": "bn254", "constraints": 4, "system": "stark"}]}"#,
+                "unknown system",
             ),
         ] {
             let err = RequestWorkload::from_json(text).unwrap_err();

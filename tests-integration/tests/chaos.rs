@@ -14,7 +14,9 @@ use gzkp_service::{
     ServiceConfig, TaskOutput,
 };
 use gzkp_telemetry::TelemetrySink;
-use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestSpec, RequestWorkload};
+use gzkp_workloads::requests::{
+    RequestCurve, RequestPriority, RequestSpec, RequestSystem, RequestWorkload,
+};
 use std::time::Duration;
 
 /// The paper-shaped mixed stream, shrunk to suite-friendly circuits.
@@ -24,6 +26,7 @@ fn small_workload() -> RequestWorkload {
         requests: vec![
             RequestSpec {
                 curve: RequestCurve::Bn254,
+                system: RequestSystem::Groth16,
                 constraints: 64,
                 count: 3,
                 priority: RequestPriority::Normal,
@@ -31,6 +34,7 @@ fn small_workload() -> RequestWorkload {
             },
             RequestSpec {
                 curve: RequestCurve::Bls12_381,
+                system: RequestSystem::Groth16,
                 constraints: 64,
                 count: 2,
                 priority: RequestPriority::High,
@@ -198,6 +202,7 @@ fn dead_fleet_degrades_to_cpu_and_still_proves() {
         seed: 7,
         requests: vec![RequestSpec {
             curve: RequestCurve::Bn254,
+            system: RequestSystem::Groth16,
             constraints: 64,
             count: 2,
             priority: RequestPriority::Normal,

@@ -1,0 +1,94 @@
+//! Property-based round-trip of the KZG commitment scheme through the
+//! shared MSM engine: commit/open/verify must succeed on honest claims
+//! and reject tampered ones, on both pairing curves, and the commitment
+//! bytes must be identical at every worker-thread count (the SRS MSM
+//! rides the same bucket-sorted Pippenger kernels as Groth16, so KZG
+//! inherits its bit-determinism guarantees).
+//!
+//! Everything lives in ONE test function: the thread count is driven by
+//! the `GZKP_THREADS` env override, and env mutation must stay
+//! sequential within the test binary (see `parallel_determinism.rs`).
+
+use gzkp_curves::pairing::PairingConfig;
+use gzkp_curves::{bls12_381, bn254, compress, CoordField, CurveParams};
+use gzkp_ff::ext::{Fp12Config, Fp2Config, Fp6Config};
+use gzkp_ff::Field;
+use gzkp_gpu_sim::v100;
+use gzkp_msm::GzkpMsm;
+use gzkp_plonk::kzg::{self, KzgSrs};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One property check on curve `P`: random polynomial of `n` coefficients,
+/// SRS from a seeded trusted setup, commit + open at a random point, then
+/// verify the honest opening and reject two tampered variants. Runs under
+/// GZKP_THREADS ∈ {1, 4} and asserts the commitment bytes never change.
+fn check<P: PairingConfig>(seed: u64, n: usize) -> Result<(), String>
+where
+    <P::G1 as CurveParams>::Base: CoordField,
+    <P::Fq12C as Fp12Config>::Fp6C: Fp6Config<Fp2C = P::Fq2C>,
+    P::Fq2C: Fp2Config,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let srs = KzgSrs::<P>::setup(n, &mut rng);
+    let coeffs: Vec<P::Fr> = (0..n).map(|_| P::Fr::random(&mut rng)).collect();
+    let point = P::Fr::random(&mut rng);
+    let msm = GzkpMsm::new(v100());
+
+    let mut reference_bytes = None;
+    for threads in ["1", "4"] {
+        std::env::set_var("GZKP_THREADS", threads);
+        let commitment = srs.commit(&coeffs, &msm).result.to_affine();
+        let bytes = compress(&commitment);
+        match &reference_bytes {
+            None => reference_bytes = Some(bytes),
+            Some(reference) => prop_assert_eq!(
+                &bytes,
+                reference,
+                "KZG commitment bytes diverged at GZKP_THREADS={}",
+                threads
+            ),
+        }
+
+        let opening = kzg::open(&srs, &coeffs, point, &msm);
+        prop_assert_eq!(
+            opening.value,
+            kzg::evaluate_poly(&coeffs, point),
+            "opening value disagrees with direct evaluation"
+        );
+        prop_assert!(
+            kzg::verify(&srs, &commitment, point, &opening),
+            "honest opening rejected at GZKP_THREADS={}",
+            threads
+        );
+
+        // Tampered evaluation: claim p(z) + 1.
+        let mut bad_value = opening.clone();
+        bad_value.value += P::Fr::one();
+        prop_assert!(
+            !kzg::verify(&srs, &commitment, point, &bad_value),
+            "tampered evaluation accepted"
+        );
+
+        // Tampered witness: substitute the SRS generator.
+        let mut bad_witness = opening.clone();
+        bad_witness.witness = srs.g1();
+        prop_assert!(
+            !kzg::verify(&srs, &commitment, point, &bad_witness),
+            "tampered witness accepted"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn kzg_round_trips_and_rejects_tampering(seed in 0u64..1000, n in 2usize..48) {
+        check::<bn254::Bn254>(seed, n)?;
+        check::<bls12_381::Bls12_381>(seed ^ 0xa5a5, n)?;
+        std::env::remove_var("GZKP_THREADS");
+    }
+}

@@ -8,7 +8,9 @@ use gzkp_gpu_sim::v100;
 use gzkp_groth16::setup;
 use gzkp_service::{prepare, run_service, Groth16Task, JobOptions, ProvingService, ServiceConfig};
 use gzkp_telemetry::{counters, folded_stacks, MetricsRegistry, MetricsSnapshot, Trace};
-use gzkp_workloads::requests::{RequestCurve, RequestPriority, RequestSpec, RequestWorkload};
+use gzkp_workloads::requests::{
+    RequestCurve, RequestPriority, RequestSpec, RequestSystem, RequestWorkload,
+};
 use gzkp_workloads::synthetic::synthetic_circuit;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -128,6 +130,7 @@ fn tiny_workload() -> RequestWorkload {
         seed: 9,
         requests: vec![RequestSpec {
             curve: RequestCurve::Bn254,
+            system: RequestSystem::Groth16,
             constraints: 64,
             count: 3,
             priority: RequestPriority::Normal,

@@ -118,6 +118,59 @@ fn span_tree_matches_paper_pipeline() {
 }
 
 #[test]
+fn plonk_span_tree_uses_per_backend_stage_labels() {
+    use gzkp_plonk::PlonkCircuit;
+    use gzkp_proof_system::Engines;
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let cs = sample_cs();
+    let circuit = PlonkCircuit::from_r1cs(&cs);
+    let (pk, vk) = gzkp_plonk::setup::<Bn254, _>(&circuit, &mut rng).expect("setup");
+    let ntt = GzkpNtt::auto::<Fr>(v100());
+    let msm = GzkpMsm::new(v100());
+    let engines = Engines::<Bn254> {
+        ntt: &ntt,
+        msm_g1: &msm,
+        msm_g2: &msm,
+    };
+    let recorder = TraceRecorder::new(v100().name);
+    let (bytes, _) = gzkp_plonk::prove_bytes(&circuit, &pk, &engines, 9, &recorder).expect("prove");
+    assert!(gzkp_plonk::verify_bytes::<Bn254>(
+        &vk,
+        circuit.public_inputs(),
+        &bytes
+    ));
+    let trace = recorder.finish();
+
+    // The MSM stage carries PLONK's nine commitment/opening MSMs under
+    // the per-backend labels `zkprof render`/`zkserve top` look up via
+    // `msm_stage_spans`, not Groth16's five (the stage also nests its
+    // coset-NTT helper spans, which we skip here).
+    let stages = counters::msm_stage_spans(counters::SYSTEM_PLONK);
+    let msm_span = trace.find(&["prove", "msm"]).expect("msm span");
+    let commits: Vec<_> = msm_span
+        .children
+        .iter()
+        .filter(|c| stages.contains(&c.name.as_str()))
+        .collect();
+    let names: Vec<&str> = commits.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names.as_slice(), stages);
+    for child in commits {
+        assert!(
+            child.counter(counters::MSM_PADD).unwrap_or(0.0) > 0.0,
+            "{} must count PADDs through the shared engine",
+            child.name
+        );
+        assert!(!child.kernels.is_empty());
+    }
+
+    // And the rendered view labels the PLONK stages.
+    let rendered = gzkp_telemetry::render_trace(&trace);
+    assert!(rendered.contains("wires_a"));
+    assert!(rendered.contains("open_zw"));
+}
+
+#[test]
 fn trace_json_roundtrips_through_disk_format() {
     let trace = traced_prove();
     let json = trace.to_json();

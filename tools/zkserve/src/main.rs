@@ -7,17 +7,19 @@
 //!                             [--fleet-trace PATH]
 //!                             [--chaos SPEC] [--metrics PATH] [--prom PATH]
 //! zkserve top <metrics.json> [--watch SECS]
-//! zkserve example
+//! zkserve example [--mixed]
 //! ```
 //!
 //! `run` parses a proof-request workload file (see
-//! `gzkp_workloads::requests` for the format), prepares every request
-//! class (circuit synthesis + trusted setup, outside the timed region),
-//! replays the stream through the [`gzkp_service::ProvingService`], and
-//! reports throughput plus p50/p95/p99 latency. With `--compare` it first
-//! replays the same stream as a sequential prove-in-a-loop baseline and
-//! prints the speedup; the two runs must produce byte-identical proofs,
-//! which `zkserve` asserts.
+//! `gzkp_workloads::requests` for the format — each request class may
+//! carry a `"system"` of `"groth16"` or `"plonk"`, so one stream mixes
+//! both backends), prepares every request class (circuit synthesis +
+//! trusted setup, outside the timed region), replays the stream through
+//! the [`gzkp_service::ProvingService`], and reports throughput plus
+//! p50/p95/p99 latency. With `--compare` it first replays the same
+//! stream as a sequential prove-in-a-loop baseline and prints the
+//! speedup; the two runs must produce byte-identical proofs — for
+//! Groth16 and PLONK requests alike — which `zkserve` asserts.
 //!
 //! `--devices` switches the service into fleet mode: the value is a
 //! device-fleet spec (`2` = two V100s, `2,1080ti` = two 1080 Tis,
@@ -74,7 +76,8 @@
 //! them). `--watch SECS` clears the screen and re-renders every
 //! interval until interrupted.
 //!
-//! `example` prints a starter workload file to stdout.
+//! `example` prints a starter workload file to stdout; `example --mixed`
+//! prints one that interleaves Groth16 and PLONK request classes.
 
 use gzkp_cluster::{
     workload_factory, Cluster, ClusterConfig, ClusterJobOptions, HostConfig, TenantSpec,
@@ -96,7 +99,7 @@ fn usage() -> ExitCode {
          [--chaos seed[,rate=X][,kernel=X][,transfer=X][,hang=X][,corrupt=X][,hostkill=X][,dead=I+J]] \
          [--cluster hosts=N] [--metrics PATH] [--prom PATH]\n  \
          zkserve top <metrics.json> [--watch SECS]\n  \
-         zkserve example"
+         zkserve example [--mixed]"
     );
     ExitCode::from(2)
 }
@@ -390,10 +393,17 @@ fn report(label: &str, outcome: &ReplayOutcome) {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("example") => {
-            println!("{}", RequestWorkload::example().to_json());
-            ExitCode::SUCCESS
-        }
+        Some("example") => match args.get(1).map(String::as_str) {
+            None => {
+                println!("{}", RequestWorkload::example().to_json());
+                ExitCode::SUCCESS
+            }
+            Some("--mixed") => {
+                println!("{}", RequestWorkload::mixed_example().to_json());
+                ExitCode::SUCCESS
+            }
+            Some(_) => usage(),
+        },
         Some("top") => {
             let Some((path, watch)) = parse_top_args(&args[1..]) else {
                 return usage();
